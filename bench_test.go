@@ -1,0 +1,478 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (§7), plus micro-benchmarks of the core operations.
+//
+// The figure benchmarks run the corresponding experiment end-to-end at a
+// reduced scale (so `go test -bench=.` finishes in minutes) and report the
+// paper's metrics — DHT-lookups, records moved, rounds — via
+// b.ReportMetric. For paper-scale series use cmd/mlight-bench, which prints
+// the full tables; EXPERIMENTS.md records the paper-vs-measured comparison.
+package mlight_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlight"
+	"mlight/internal/experiments"
+)
+
+// benchCfg is the reduced-scale configuration used by the figure
+// benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		DataSize:       8000,
+		Peers:          64,
+		ThetaSplit:     50,
+		Epsilon:        35,
+		MaxDepth:       22,
+		Seed:           1,
+		Checkpoints:    4,
+		Thetas:         []int{25, 50, 100},
+		Spans:          []float64{0.05, 0.2, 0.4},
+		QueriesPerSpan: 10,
+		Lookaheads:     []int{2, 4},
+	}
+}
+
+// reportFinal reports each series' final y value as a named metric.
+func reportFinal(b *testing.B, tbl experiments.Table, unit string) {
+	b.Helper()
+	for _, s := range tbl.Series {
+		if p, ok := s.Last(); ok {
+			b.ReportMetric(p.Y, sanitize(s.Name)+"-"+unit)
+		}
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch r {
+		case ' ', '(', ')':
+		case '-':
+			out = append(out, r)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// --- Fig. 5: index maintenance ---
+
+func BenchmarkFig5a_LookupCostVsDataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lookups, _, err := experiments.Fig5DataSize(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, lookups, "dhtlookups")
+		}
+	}
+}
+
+func BenchmarkFig5b_DataMovementVsDataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, movement, err := experiments.Fig5DataSize(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, movement, "recordsmoved")
+		}
+	}
+}
+
+func BenchmarkFig5c_LookupCostVsTheta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lookups, _, err := experiments.Fig5Theta(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, lookups, "dhtlookups")
+		}
+	}
+}
+
+func BenchmarkFig5d_DataMovementVsTheta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, movement, err := experiments.Fig5Theta(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, movement, "recordsmoved")
+		}
+	}
+}
+
+// --- Fig. 6: storage load balance ---
+
+func BenchmarkFig6a_LoadVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		variance, _, err := experiments.Fig6LoadBalance(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, variance, "loadvariance")
+		}
+	}
+}
+
+func BenchmarkFig6b_EmptyBuckets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, empties, err := experiments.Fig6LoadBalance(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, empties, "emptyfraction")
+		}
+	}
+}
+
+// --- Fig. 7: range query performance ---
+
+func BenchmarkFig7a_RangeBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bandwidth, _, err := experiments.Fig7RangeQuery(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, bandwidth, "lookupsperquery")
+		}
+	}
+}
+
+func BenchmarkFig7b_RangeLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, latency, err := experiments.Fig7RangeQuery(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportFinal(b, latency, "roundsperquery")
+		}
+	}
+}
+
+// --- Ablations (beyond the paper) ---
+
+func BenchmarkAblations(b *testing.B) {
+	cfg := benchCfg()
+	cfg.DataSize = 3000
+	cfg.QueriesPerSpan = 6
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Ablations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, tbl := range tables {
+				reportFinal(b, tbl, "final")
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core operations ---
+
+// loadedIndex builds an index pre-filled with n NE records.
+func loadedIndex(b *testing.B, n int) *mlight.Index {
+	b.Helper()
+	ix, err := mlight.New(mlight.NewLocalDHT(64), mlight.Options{ThetaSplit: 100, ThetaMerge: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range mlight.GenerateNE(n, 1) {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	extra := mlight.GenerateNE(b.N, 2)
+	before := ix.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Insert(extra[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	delta := ix.Stats().Sub(before)
+	b.ReportMetric(float64(delta.DHTLookups)/float64(b.N), "dhtlookups/insert")
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	points := mlight.GenerateNE(1000, 3)
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		_, trace, err := ix.LookupTraced(points[i%len(points)].Key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += trace.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/lookup")
+}
+
+func BenchmarkExactMatch(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	points := mlight.GenerateNE(1000, 1) // same seed as the load: hits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Exact(points[i%len(points)].Key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchQueries(n int, span float64) []mlight.Rect {
+	rng := rand.New(rand.NewSource(4))
+	out := make([]mlight.Rect, n)
+	side := span // 2-D: side = sqrt(span); keep spans small enough either way
+	for i := range out {
+		x := rng.Float64() * (1 - side)
+		y := rng.Float64() * (1 - side)
+		out[i] = mlight.Rect{
+			Lo: mlight.Point{x, y},
+			Hi: mlight.Point{x + side, y + side},
+		}
+	}
+	return out
+}
+
+func BenchmarkRangeQueryBasic(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	queries := benchQueries(256, 0.3)
+	b.ResetTimer()
+	lookups, rounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.RangeQuery(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookups += res.Lookups
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
+}
+
+func BenchmarkRangeQueryParallel4(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	queries := benchQueries(256, 0.3)
+	b.ResetTimer()
+	lookups, rounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.RangeQueryParallel(queries[i%len(queries)], 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookups += res.Lookups
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
+}
+
+func BenchmarkDelete(b *testing.B) {
+	records := mlight.GenerateNE(maxInt(b.N, 1000), 5)
+	ix, err := mlight.New(mlight.NewLocalDHT(64), mlight.Options{ThetaSplit: 100, ThetaMerge: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range records {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := records[i%len(records)]
+		if _, err := ix.Delete(rec.Key, rec.Data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChordDHTOp(b *testing.B) {
+	ring, _, err := mlight.NewChordCluster(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Joins and stabilization also spend lookup RPCs; reset so the metric
+	// reflects steady-state data operations only.
+	ring.Hops.Reset()
+	ring.Lookups.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := mlight.Key(fmt.Sprintf("bench-%d", i))
+		if err := ring.Put(key, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ring.MeanRouteLength(), "hops/op")
+}
+
+func BenchmarkPastryDHTOp(b *testing.B) {
+	overlay, _, err := mlight.NewPastryCluster(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Joins and stabilization also spend lookup RPCs; reset so the metric
+	// reflects steady-state data operations only.
+	overlay.Hops.Reset()
+	overlay.Lookups.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := mlight.Key(fmt.Sprintf("bench-%d", i))
+		if err := overlay.Put(key, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(overlay.MeanRouteLength(), "hops/op")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	cfg := benchCfg()
+	cfg.DataSize = 3000
+	cfg.QueriesPerSpan = 6
+	cfg.Spans = []float64{0.1, 0.3}
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Extensions(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, tbl := range tables {
+				reportFinal(b, tbl, "final")
+			}
+		}
+	}
+}
+
+func BenchmarkKademliaDHTOp(b *testing.B) {
+	overlay, _, err := mlight.NewKademliaCluster(32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Joins and stabilization also spend lookup RPCs; reset so the metric
+	// reflects steady-state data operations only.
+	overlay.Hops.Reset()
+	overlay.Lookups.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := mlight.Key(fmt.Sprintf("bench-%d", i))
+		if err := overlay.Put(key, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(overlay.MeanRouteLength(), "rpcs/op")
+}
+
+func BenchmarkPeerRangeQuery(b *testing.B) {
+	ring, net, err := mlight.NewChordCluster(24, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := mlight.New(ring, mlight.Options{ThetaSplit: 60, ThetaMerge: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range mlight.GenerateNE(8000, 1) {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc, err := mlight.NewPeerQueryService(ring, net, 2, 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueries(128, 0.3)
+	b.ResetTimer()
+	lookups := 0
+	for i := 0; i < b.N; i++ {
+		res, err := svc.RangeQuery(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookups += res.Lookups
+	}
+	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	records := mlight.GenerateNE(20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := mlight.New(mlight.NewLocalDHT(64), mlight.Options{ThetaSplit: 100, ThetaMerge: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.BulkLoad(records); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records")
+}
+
+func BenchmarkNearest(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mlight.Point{rng.Float64(), rng.Float64()}
+		if _, err := ix.Nearest(p, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapeQueryCircle(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mlight.Circle{
+			Center: mlight.Point{rng.Float64(), rng.Float64()},
+			Radius: 0.15,
+		}
+		if _, err := ix.ShapeQuery(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := ix.Snapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mlight.RestoreIndex(mlight.NewLocalDHT(16), &buf, mlight.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}

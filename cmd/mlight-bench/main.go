@@ -1,0 +1,180 @@
+// Command mlight-bench regenerates the tables and figures of the m-LIGHT
+// paper's evaluation (ICDCS 2009, §7): maintenance cost (Fig. 5), load
+// balance (Fig. 6), and range-query performance (Fig. 7).
+//
+// By default it runs every figure at the paper's scale (the 123,593-record
+// synthetic NE dataset, 128 peers, θsplit=100, ε=70, D=28), printing each
+// panel as an aligned table. Use -quick for a reduced preset, -figs to
+// select panels, and -csvdir to also write machine-readable CSV files.
+//
+//	mlight-bench -quick
+//	mlight-bench -figs fig5,fig7 -n 50000
+//	mlight-bench -csvdir out/
+//	mlight-bench -dataset ne.csv         # use the real NE data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mlight/internal/dataset"
+	"mlight/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mlight-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mlight-bench", flag.ContinueOnError)
+	var (
+		n       = fs.Int("n", dataset.NESize, "number of records to index")
+		peers   = fs.Int("peers", 128, "number of logical DHT peers")
+		theta   = fs.Int("theta", 100, "θsplit (leaf/node capacity for all schemes)")
+		epsilon = fs.Int("epsilon", 70, "data-aware expected load ε")
+		depth   = fs.Int("depth", 28, "index depth bound D")
+		seed    = fs.Int64("seed", 1, "random seed for data and queries")
+		queries = fs.Int("queries", 50, "queries averaged per range-span point")
+		figs    = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions or all")
+		quick   = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
+		csvDir  = fs.String("csvdir", "", "directory to also write per-panel CSV files")
+		dataCSV = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{
+		DataSize:       *n,
+		Peers:          *peers,
+		ThetaSplit:     *theta,
+		Epsilon:        *epsilon,
+		MaxDepth:       *depth,
+		Seed:           *seed,
+		QueriesPerSpan: *queries,
+	}
+	if *quick {
+		cfg.DataSize = 10000
+		cfg.QueriesPerSpan = 15
+		cfg.ThetaSplit = 50
+		cfg.Epsilon = 35
+		cfg.MaxDepth = 22
+		cfg.Thetas = []int{25, 50, 100, 200}
+	}
+	if *dataCSV != "" {
+		f, err := os.Open(*dataCSV)
+		if err != nil {
+			return err
+		}
+		records, err := dataset.LoadCSV(f)
+		closeErr := f.Close()
+		if err != nil {
+			return fmt.Errorf("load %s: %w", *dataCSV, err)
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		cfg.Records = records
+		fmt.Fprintf(out, "loaded %d records from %s\n", len(records), *dataCSV)
+	}
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(strings.ToLower(*figs), ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+
+	emit := func(tables ...experiments.Table) error {
+		for _, t := range tables {
+			fmt.Fprintln(out, t.Format())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "  (csv written to %s)\n\n", path)
+			}
+		}
+		return nil
+	}
+
+	if all || want["fig5"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Fig. 5: index maintenance ==")
+		a, b, err := experiments.Fig5DataSize(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+		c, d, err := experiments.Fig5Theta(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(c, d); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(fig5 took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || want["fig6"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Fig. 6: storage load balance ==")
+		a, b, err := experiments.Fig6LoadBalance(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(fig6 took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || want["fig7"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Fig. 7: range query performance ==")
+		a, b, err := experiments.Fig7RangeQuery(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(fig7 took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || want["extensions"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Extensions (beyond the paper) ==")
+		tables, err := experiments.Extensions(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(tables...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(extensions took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if all || want["ablations"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Ablations (beyond the paper) ==")
+		tables, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(tables...); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(ablations took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

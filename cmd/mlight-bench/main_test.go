@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlight/internal/dataset"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-n", "1500", "-peers", "16", "-theta", "20", "-epsilon", "14",
+		"-depth", "16", "-queries", "3",
+	}
+	return append(base, extra...)
+}
+
+func TestRunFig6Tiny(t *testing.T) {
+	if err := run2(tinyArgs("-figs", "fig6")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig7WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run2(tinyArgs("-figs", "fig7", "-csvdir", dir)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig7a.csv", "fig7b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+}
+
+func TestRunWithDatasetFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, dataset.Generate(1200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run2(tinyArgs("-figs", "fig6", "-dataset", path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run2([]string{"-bad-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run2(tinyArgs("-dataset", "/does/not/exist.csv")); err == nil {
+		t.Error("missing dataset file accepted")
+	}
+	// Unknown figure selection runs nothing and succeeds.
+	if err := run2(tinyArgs("-figs", "fig99")); err != nil {
+		t.Errorf("unknown figure selection errored: %v", err)
+	}
+}
+
+// run2 runs the CLI with output discarded.
+func run2(args []string) error {
+	return run(args, io.Discard)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mlight/internal/dataset"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "points.csv")
+	if err := run([]string{"-n", "120", "-seed", "9", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := dataset.LoadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 120 {
+		t.Fatalf("wrote %d records, want 120", len(records))
+	}
+	for _, r := range records {
+		if !r.Key.Valid() || r.Key.Dim() != 2 {
+			t.Fatalf("invalid point %v", r.Key)
+		}
+	}
+}
+
+func TestRunUniformDims(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "u.csv")
+	if err := run([]string{"-n", "40", "-uniform", "-dims", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := dataset.LoadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 40 || records[0].Key.Dim() != 3 {
+		t.Fatalf("got %d records of dim %d", len(records), records[0].Key.Dim())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-o", filepath.Join(t.TempDir(), "missing", "dir", "x.csv")}); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

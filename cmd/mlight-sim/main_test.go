@@ -1,0 +1,73 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunChordWithChurn(t *testing.T) {
+	err := run([]string{
+		"-overlay", "chord", "-peers", "16", "-n", "1500",
+		"-queries", "5", "-churn", "2",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChordCrashWithReplication(t *testing.T) {
+	err := run([]string{
+		"-overlay", "chord", "-peers", "16", "-n", "1500",
+		"-queries", "5", "-crash", "2", "-replication", "3",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPastry(t *testing.T) {
+	err := run([]string{
+		"-overlay", "pastry", "-peers", "12", "-n", "1000", "-queries", "4",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-overlay", "dummy"}, io.Discard); err == nil {
+		t.Error("unknown overlay accepted")
+	}
+	if err := run([]string{"-bad-flag"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-peers", "4", "-n", "100", "-churn", "4"}, io.Discard); err == nil {
+		t.Error("churn emptying the overlay accepted")
+	}
+}
+
+func TestRunKademlia(t *testing.T) {
+	err := run([]string{
+		"-overlay", "kademlia", "-peers", "12", "-n", "800", "-queries", "3",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPeerQuery(t *testing.T) {
+	err := run([]string{
+		"-overlay", "chord", "-peers", "12", "-n", "1200",
+		"-queries", "4", "-peerquery",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -peerquery on a non-chord overlay errors.
+	err = run([]string{
+		"-overlay", "pastry", "-peers", "8", "-n", "500", "-queries", "2", "-peerquery",
+	}, io.Discard)
+	if err == nil {
+		t.Error("-peerquery on pastry accepted")
+	}
+}

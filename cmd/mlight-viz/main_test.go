@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesSVG(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.svg")
+	err := run([]string{"-n", "1000", "-theta", "30", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("output is not an SVG document")
+	}
+}
+
+func TestRunDataAwareDarkWithQuery(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.svg")
+	err := run([]string{
+		"-n", "800", "-strategy", "data-aware", "-epsilon", "20", "-theta", "30",
+		"-mode", "dark", "-query", "0.2,0.2,0.6,0.6", "-o", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "stroke-dasharray") {
+		t.Error("query annotation missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-strategy", "magic"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-n", "10", "-mode", "sepia"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-n", "10", "-query", "1,2,3"}); err == nil {
+		t.Error("malformed query accepted")
+	}
+	if err := run([]string{"-n", "10", "-query", "a,b,c,d"}); err == nil {
+		t.Error("non-numeric query accepted")
+	}
+	if err := run([]string{"-bad"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

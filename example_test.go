@@ -1,0 +1,89 @@
+package mlight_test
+
+import (
+	"fmt"
+
+	"mlight"
+)
+
+// Example shows the minimal index lifecycle: create, insert, range query.
+func Example() {
+	ix, err := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.41, 0.73}, Data: "pizza"})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.90, 0.10}, Data: "sushi"})
+
+	q, _ := mlight.NewRect(mlight.Point{0.4, 0.7}, mlight.Point{0.5, 0.8})
+	res, _ := ix.RangeQuery(q)
+	for _, r := range res.Records {
+		fmt.Println(r.Data)
+	}
+	// Output: pizza
+}
+
+// ExampleIndex_RangeQueryParallel shows the latency/bandwidth trade of the
+// parallel range query: identical answers, fewer rounds, more lookups.
+func ExampleIndex_RangeQueryParallel() {
+	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{ThetaSplit: 4, ThetaMerge: 2})
+	for i := 0; i < 64; i++ {
+		_ = ix.Insert(mlight.Record{
+			Key:  mlight.Point{float64(i%8)/8 + 0.01, float64(i/8)/8 + 0.01},
+			Data: fmt.Sprintf("r%d", i),
+		})
+	}
+	q, _ := mlight.NewRect(mlight.Point{0, 0}, mlight.Point{0.6, 0.6})
+	basic, _ := ix.RangeQuery(q)
+	parallel, _ := ix.RangeQueryParallel(q, 4)
+	fmt.Println(len(basic.Records) == len(parallel.Records))
+	fmt.Println(parallel.Rounds <= basic.Rounds)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleIndex_Nearest finds the records closest to a query point.
+func ExampleIndex_Nearest() {
+	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.50, 0.50}, Data: "centre"})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.52, 0.50}, Data: "near"})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.90, 0.90}, Data: "far"})
+
+	res, _ := ix.Nearest(mlight.Point{0.5, 0.5}, 2)
+	for _, n := range res.Neighbors {
+		fmt.Println(n.Record.Data)
+	}
+	// Output:
+	// centre
+	// near
+}
+
+// ExampleIndex_ShapeQuery answers a circular ("within radius") query.
+func ExampleIndex_ShapeQuery() {
+	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.50, 0.50}, Data: "inside"})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.95, 0.95}, Data: "outside"})
+
+	c, _ := mlight.NewCircle(mlight.Point{0.5, 0.5}, 0.2)
+	res, _ := ix.ShapeQuery(c)
+	for _, r := range res.Records {
+		fmt.Println(r.Data)
+	}
+	// Output: inside
+}
+
+// ExampleNewChordCluster runs the index over a real routed overlay.
+func ExampleNewChordCluster() {
+	ring, _, err := mlight.NewChordCluster(8, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ix, _ := mlight.New(ring, mlight.Options{})
+	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.3, 0.3}, Data: "on-chord"})
+	recs, _ := ix.Exact(mlight.Point{0.3, 0.3})
+	fmt.Println(recs[0].Data)
+	// Output: on-chord
+}

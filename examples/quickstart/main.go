@@ -1,0 +1,82 @@
+// Quickstart: build an m-LIGHT index over an in-process DHT, insert a few
+// multi-dimensional records, and answer exact-match and range queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlight"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The substrate: an in-process DHT with 16 virtual peers. Swap in
+	// mlight.NewChordCluster or mlight.NewPastryCluster for a routed
+	// overlay — the index code does not change.
+	d := mlight.NewLocalDHT(16)
+
+	// A 2-D index with the paper's default parameters (θsplit=100, D=28).
+	ix, err := mlight.New(d, mlight.Options{})
+	if err != nil {
+		return err
+	}
+
+	// Index some restaurants by (longitude, latitude), normalised to the
+	// unit square.
+	restaurants := []mlight.Record{
+		{Key: mlight.Point{0.41, 0.73}, Data: "Pizza Mercato"},
+		{Key: mlight.Point{0.44, 0.71}, Data: "Noodle Bar"},
+		{Key: mlight.Point{0.47, 0.78}, Data: "Taco Stand"},
+		{Key: mlight.Point{0.12, 0.22}, Data: "Diner on 5th"},
+		{Key: mlight.Point{0.81, 0.35}, Data: "Harbor Grill"},
+	}
+	for _, r := range restaurants {
+		if err := ix.Insert(r); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("indexed %d records\n", len(restaurants))
+
+	// Exact-match query (a lookup plus a local filter).
+	hits, err := ix.Exact(mlight.Point{0.44, 0.71})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact <0.44, 0.71>: %d hit(s): %v\n", len(hits), hits[0].Data)
+
+	// Range query: everything in the downtown window.
+	q, err := mlight.NewRect(mlight.Point{0.40, 0.70}, mlight.Point{0.50, 0.80})
+	if err != nil {
+		return err
+	}
+	res, err := ix.RangeQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("range %v: %d record(s), using %d DHT-lookups in %d round(s)\n",
+		q, len(res.Records), res.Lookups, res.Rounds)
+	for _, r := range res.Records {
+		fmt.Printf("  %v  %s\n", r.Key, r.Data)
+	}
+
+	// Delete one record and confirm it is gone.
+	if _, err := ix.Delete(mlight.Point{0.41, 0.73}, "Pizza Mercato"); err != nil {
+		return err
+	}
+	res, err = ix.RangeQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after delete: %d record(s) in the window\n", len(res.Records))
+
+	fmt.Printf("maintenance stats: %v\n", ix.Stats())
+	return nil
+}

@@ -1,0 +1,3 @@
+module mlight
+
+go 1.22

@@ -1,0 +1,62 @@
+package bitlabel
+
+import "testing"
+
+// FuzzParse: Parse either rejects the input or produces a label whose
+// String round-trips, and never panics.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("001101111")
+	f.Add("abc")
+	f.Add("0101010101010101010101010101010101010101010101010101010101010101")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if l.Len() != len(s) {
+			t.Fatalf("Parse(%q).Len() = %d", s, l.Len())
+		}
+		if len(s) > 0 && l.String() != s {
+			t.Fatalf("round trip %q → %q", s, l.String())
+		}
+	})
+}
+
+// FuzzFromKey: FromKey never panics and accepts exactly what Key produces.
+func FuzzFromKey(f *testing.F) {
+	f.Add([]byte(MustParse("0011").Key()))
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := FromKey(string(data))
+		if err != nil {
+			return
+		}
+		back, err := FromKey(l.Key())
+		if err != nil || back != l {
+			t.Fatalf("canonical re-encode failed: %v, %v", back, err)
+		}
+	})
+}
+
+// FuzzName: for any syntactically valid kd-tree label and small m, the
+// naming function terminates with a proper prefix.
+func FuzzName(f *testing.F) {
+	f.Add(uint64(0b0011011), 7, 2)
+	f.Add(uint64(1), 2, 1)
+	f.Fuzz(func(t *testing.T, bits uint64, n, m int) {
+		if m < 1 || m > 8 || n < m+1 || n > MaxLen {
+			return
+		}
+		l := New(bits, n)
+		if !Root(m).IsPrefixOf(l) {
+			return // not a tree label; Name is specified only on those
+		}
+		name := Name(l, m)
+		if !name.IsPrefixOf(l) || name.Len() >= l.Len() || name.Len() < m {
+			t.Fatalf("Name(%v, %d) = %v", l, m, name)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package bitlabel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "01", "001", "0011011", "1111111111", "001101111"}
+	for _, s := range cases {
+		l, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		got := l.String()
+		want := s
+		if s == "" {
+			want = "ε"
+		}
+		if got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", s, got, want)
+		}
+		if l.Len() != len(s) {
+			t.Errorf("Parse(%q).Len() = %d, want %d", s, l.Len(), len(s))
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	if _, err := Parse("01x"); err == nil {
+		t.Error("Parse(01x) succeeded, want error")
+	}
+	if _, err := Parse(strings.Repeat("0", 65)); err == nil {
+		t.Error("Parse of 65 bits succeeded, want error")
+	}
+}
+
+func TestNewMasksHighBits(t *testing.T) {
+	l := New(0xFF, 4)
+	if got := l.String(); got != "1111" {
+		t.Errorf("New(0xFF, 4) = %q, want 1111", got)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		vr := VirtualRoot(m)
+		if vr.Len() != m || vr.Bits() != 0 {
+			t.Errorf("VirtualRoot(%d) = %v", m, vr)
+		}
+		r := Root(m)
+		if r.Len() != m+1 || r.Bits() != 1 {
+			t.Errorf("Root(%d) = %v", m, r)
+		}
+		if !vr.IsPrefixOf(r) {
+			t.Errorf("VirtualRoot(%d) not prefix of Root", m)
+		}
+	}
+}
+
+func TestAtAppendParentSibling(t *testing.T) {
+	l := MustParse("0011011")
+	wantBits := []byte{0, 0, 1, 1, 0, 1, 1}
+	for i, w := range wantBits {
+		if got := l.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := l.Last(); got != 1 {
+		t.Errorf("Last() = %d, want 1", got)
+	}
+	if got := l.Parent().String(); got != "001101" {
+		t.Errorf("Parent() = %q", got)
+	}
+	if got := l.Sibling().String(); got != "0011010" {
+		t.Errorf("Sibling() = %q", got)
+	}
+	if got := l.MustAppend(0).String(); got != "00110110" {
+		t.Errorf("MustAppend(0) = %q", got)
+	}
+	left, err := l.Left()
+	if err != nil || left.String() != "00110110" {
+		t.Errorf("Left() = %v, %v", left, err)
+	}
+	right, err := l.Right()
+	if err != nil || right.String() != "00110111" {
+		t.Errorf("Right() = %v, %v", right, err)
+	}
+}
+
+func TestAppendOverflow(t *testing.T) {
+	full := New(0, 64)
+	if _, err := full.Append(1); err == nil {
+		t.Error("Append on full label succeeded, want ErrTooLong")
+	}
+}
+
+func TestPrefixAndIsPrefixOf(t *testing.T) {
+	l := MustParse("001101111")
+	if got := l.Prefix(3).String(); got != "001" {
+		t.Errorf("Prefix(3) = %q", got)
+	}
+	if got := l.Prefix(0); got != Empty {
+		t.Errorf("Prefix(0) = %v, want empty", got)
+	}
+	if !MustParse("0011").IsPrefixOf(l) {
+		t.Error("0011 should be prefix of 001101111")
+	}
+	if MustParse("0111").IsPrefixOf(l) {
+		t.Error("0111 should not be prefix of 001101111")
+	}
+	if !l.IsPrefixOf(l) {
+		t.Error("label should be prefix of itself")
+	}
+	if l.IsPrefixOf(l.Parent()) {
+		t.Error("label should not be prefix of its parent")
+	}
+}
+
+// naiveCommonPrefixLen is the string-based oracle for CommonPrefixLen.
+func naiveCommonPrefixLen(a, b Label) int {
+	as, bs := a.String(), b.String()
+	if as == "ε" {
+		as = ""
+	}
+	if bs == "ε" {
+		bs = ""
+	}
+	n := 0
+	for n < len(as) && n < len(bs) && as[n] == bs[n] {
+		n++
+	}
+	return n
+}
+
+func randomLabel(rng *rand.Rand, maxLen int) Label {
+	n := rng.Intn(maxLen + 1)
+	return New(rng.Uint64(), n)
+}
+
+func TestCommonPrefixLenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := randomLabel(rng, 64)
+		b := randomLabel(rng, 64)
+		got := a.CommonPrefixLen(b)
+		want := naiveCommonPrefixLen(a, b)
+		if got != want {
+			t.Fatalf("CommonPrefixLen(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		cp := a.CommonPrefix(b)
+		if cp.Len() != want || !cp.IsPrefixOf(a) || !cp.IsPrefixOf(b) {
+			t.Fatalf("CommonPrefix(%v, %v) = %v", a, b, cp)
+		}
+	}
+}
+
+func TestKeyRoundTripQuick(t *testing.T) {
+	f := func(v uint64, nRaw uint8) bool {
+		n := int(nRaw) % (MaxLen + 1)
+		l := New(v, n)
+		back, err := FromKey(l.Key())
+		return err == nil && back == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[string]Label, 4096)
+	for i := 0; i < 4096; i++ {
+		l := randomLabel(rng, 64)
+		k := l.Key()
+		if prev, ok := seen[k]; ok && prev != l {
+			t.Fatalf("Key collision: %v and %v both map to %q", prev, l, k)
+		}
+		seen[k] = l
+	}
+}
+
+func TestFromKeyRejectsMalformed(t *testing.T) {
+	if _, err := FromKey("short"); err == nil {
+		t.Error("FromKey(short) succeeded, want error")
+	}
+	bad := string(append([]byte{65}, make([]byte, 8)...))
+	if _, err := FromKey(bad); err == nil {
+		t.Error("FromKey with length 65 succeeded, want error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "0", -1},
+		{"0", "1", -1},
+		{"01", "010", -1},
+		{"010", "01", 1},
+		{"0011", "0011", 0},
+		{"10", "01", 1},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.Compare(a); got != -c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestPretty(t *testing.T) {
+	// 2-D: root is 001, so 001101111 renders as #101111.
+	l := MustParse("001101111")
+	if got := l.Pretty(2); got != "#101111" {
+		t.Errorf("Pretty = %q, want #101111", got)
+	}
+	if got := Root(2).Pretty(2); got != "#" {
+		t.Errorf("Pretty(root) = %q, want #", got)
+	}
+	if got := VirtualRoot(2).Pretty(2); got != "00" {
+		t.Errorf("Pretty(virtual root) = %q, want 00", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, b := MustParse("001"), MustParse("1011")
+	if got := a.Concat(b).String(); got != "0011011" {
+		t.Errorf("Concat = %q", got)
+	}
+	if got := a.Concat(Empty); got != a {
+		t.Errorf("Concat with empty = %v", got)
+	}
+	if got := Empty.Concat(b); got != b {
+		t.Errorf("empty Concat = %v", got)
+	}
+}

@@ -1,0 +1,81 @@
+package bitlabel
+
+import "fmt"
+
+// LocalTree is the decomposed view a leaf bucket carries (paper §3.3):
+// "the local tree of a leaf consists of all its ancestors", each encoded as
+// a prefix of the leaf label, and "the sibling of an ancestor (called
+// branch node) can be found by a modified prefix of λ with the ending bit
+// inverted". Everything is derived from the leaf label alone, which is why
+// a bucket's label store needs only λ.
+type LocalTree struct {
+	leaf Label
+	m    int
+}
+
+// NewLocalTree builds the local tree of a leaf for dimensionality m. The
+// leaf must extend the ordinary root.
+func NewLocalTree(leaf Label, m int) (LocalTree, error) {
+	if m < 1 {
+		return LocalTree{}, fmt.Errorf("bitlabel: dimensionality %d < 1", m)
+	}
+	if !Root(m).IsPrefixOf(leaf) {
+		return LocalTree{}, fmt.Errorf("bitlabel: %v does not extend the %d-dimensional root", leaf, m)
+	}
+	return LocalTree{leaf: leaf, m: m}, nil
+}
+
+// Leaf returns the leaf label the tree is anchored at.
+func (t LocalTree) Leaf() Label { return t.leaf }
+
+// Ancestors returns the leaf's proper ancestors from the ordinary root down
+// to the parent.
+func (t LocalTree) Ancestors() []Label {
+	rootLen := t.m + 1
+	if t.leaf.Len() <= rootLen {
+		return nil
+	}
+	out := make([]Label, 0, t.leaf.Len()-rootLen)
+	for j := rootLen; j < t.leaf.Len(); j++ {
+		out = append(out, t.leaf.Prefix(j))
+	}
+	return out
+}
+
+// BranchNodes returns every branch node of the local tree: the sibling of
+// each node on the root-to-leaf path (the root itself has no sibling),
+// ordered from shallowest to deepest. The deepest entry is the leaf's own
+// sibling.
+func (t LocalTree) BranchNodes() []Label {
+	return t.BranchNodesBelow(Root(t.m))
+}
+
+// BranchNodesBelow returns the branch nodes strictly below ancestor β: the
+// siblings of the path nodes with lengths in (len(β), len(leaf)] — the set
+// Algorithm 3 decomposes a range over. β must be a prefix of the leaf.
+func (t LocalTree) BranchNodesBelow(beta Label) []Label {
+	if !beta.IsPrefixOf(t.leaf) || beta.Len() >= t.leaf.Len() {
+		return nil
+	}
+	out := make([]Label, 0, t.leaf.Len()-beta.Len())
+	for j := beta.Len() + 1; j <= t.leaf.Len(); j++ {
+		out = append(out, t.leaf.Prefix(j).Sibling())
+	}
+	return out
+}
+
+// Covers reports whether the local tree's view contains the label: the
+// leaf itself, one of its ancestors, or one of its branch nodes.
+func (t LocalTree) Covers(l Label) bool {
+	if l == t.leaf {
+		return true
+	}
+	if l.Len() <= t.leaf.Len() && l.IsPrefixOf(t.leaf) && l.Len() >= t.m+1 {
+		return true
+	}
+	if l.Len() >= t.m+2 && l.Len() <= t.leaf.Len() &&
+		t.leaf.Prefix(l.Len()).Sibling() == l {
+		return true
+	}
+	return false
+}

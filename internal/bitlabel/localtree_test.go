@@ -1,0 +1,160 @@
+package bitlabel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewLocalTreeValidation(t *testing.T) {
+	if _, err := NewLocalTree(MustParse("001101"), 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewLocalTree(MustParse("11"), 2); err == nil {
+		t.Error("non-root-prefixed leaf accepted")
+	}
+	if _, err := NewLocalTree(Root(2), 2); err != nil {
+		t.Errorf("root-as-leaf rejected: %v", err)
+	}
+}
+
+// TestLocalTreePaperExample checks Fig. 1b: the local tree of leaf #101111
+// (2-D) has ancestors #, #1, #10, #101, #1011, #10111 and branch nodes
+// #0, #11, #100, #1010, #10110, #101110.
+func TestLocalTreePaperExample(t *testing.T) {
+	leaf := MustParse("001" + "101111")
+	lt, err := NewLocalTree(leaf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnc := []string{"#", "#1", "#10", "#101", "#1011", "#10111"}
+	anc := lt.Ancestors()
+	if len(anc) != len(wantAnc) {
+		t.Fatalf("ancestors = %d, want %d", len(anc), len(wantAnc))
+	}
+	for i, a := range anc {
+		if got := a.Pretty(2); got != wantAnc[i] {
+			t.Errorf("ancestor %d = %s, want %s", i, got, wantAnc[i])
+		}
+	}
+	wantBranch := []string{"#0", "#11", "#100", "#1010", "#10110", "#101110"}
+	branches := lt.BranchNodes()
+	if len(branches) != len(wantBranch) {
+		t.Fatalf("branch nodes = %d, want %d", len(branches), len(wantBranch))
+	}
+	for i, b := range branches {
+		if got := b.Pretty(2); got != wantBranch[i] {
+			t.Errorf("branch %d = %s, want %s", i, got, wantBranch[i])
+		}
+	}
+	if lt.Leaf() != leaf {
+		t.Error("Leaf() wrong")
+	}
+}
+
+// TestBranchNodesBelowRangeExample reproduces the §6 range query example:
+// the corner cell #10101 of LCA #10 decomposes over branch nodes
+// #100, #1010 (sibling of #1011? no — sibling of #1010 is #1011), #10100.
+func TestBranchNodesBelowRangeExample(t *testing.T) {
+	leaf := MustParse("001" + "10101")
+	lca := MustParse("001" + "10")
+	lt, err := NewLocalTree(leaf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lt.BranchNodesBelow(lca)
+	// Path below #10: #101, #1010, #10101 → siblings #100, #1011, #10100 —
+	// exactly the three subranges the paper forwards to.
+	want := []string{"#100", "#1011", "#10100"}
+	if len(got) != len(want) {
+		t.Fatalf("branch nodes = %v", got)
+	}
+	for i, b := range got {
+		if b.Pretty(2) != want[i] {
+			t.Errorf("branch %d = %s, want %s", i, b.Pretty(2), want[i])
+		}
+	}
+}
+
+// TestLocalTreePartitionProperty: for random leaves, the branch nodes below
+// any ancestor β plus the leaf itself form an antichain whose members are
+// pairwise disjoint and exactly tile the subtree below β (every extension
+// of β is covered by exactly one of them or is an ancestor of the leaf).
+func TestLocalTreePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for m := 1; m <= 4; m++ {
+		for trial := 0; trial < 300; trial++ {
+			leaf := Root(m)
+			for d := 1 + rng.Intn(20); d > 0; d-- {
+				leaf = leaf.MustAppend(byte(rng.Intn(2)))
+			}
+			lt, err := NewLocalTree(leaf, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pick a random ancestor β.
+			betaLen := m + 1 + rng.Intn(leaf.Len()-(m+1))
+			beta := leaf.Prefix(betaLen)
+			branches := lt.BranchNodesBelow(beta)
+			if len(branches) != leaf.Len()-betaLen {
+				t.Fatalf("m=%d leaf=%v β=%v: %d branches, want %d",
+					m, leaf, beta, len(branches), leaf.Len()-betaLen)
+			}
+			cover := append([]Label{leaf}, branches...)
+			for i := range cover {
+				for j := range cover {
+					if i != j && cover[i].IsPrefixOf(cover[j]) {
+						t.Fatalf("cover not an antichain: %v ⊑ %v", cover[i], cover[j])
+					}
+				}
+				if !beta.IsPrefixOf(cover[i]) {
+					t.Fatalf("cover element %v escapes β=%v", cover[i], beta)
+				}
+			}
+			// A random deep extension of β must be covered by exactly one
+			// element, or be a prefix of the leaf (an internal path node).
+			probe := beta
+			for d := 0; d < 10; d++ {
+				probe = probe.MustAppend(byte(rng.Intn(2)))
+			}
+			covered := 0
+			for _, c := range cover {
+				if c.IsPrefixOf(probe) {
+					covered++
+				}
+			}
+			if probe.CommonPrefixLen(leaf) == probe.Len() {
+				// probe is an ancestor of the leaf: not covered, by design.
+				if covered != 0 {
+					t.Fatalf("path node %v covered %d times", probe, covered)
+				}
+			} else if covered != 1 {
+				t.Fatalf("probe %v covered %d times by %v", probe, covered, cover)
+			}
+		}
+	}
+}
+
+func TestLocalTreeCovers(t *testing.T) {
+	leaf := MustParse("001" + "1011")
+	lt, err := NewLocalTree(leaf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"0011011", "001101", "00110", "001", "0011010", "001100", "0010"} {
+		if !lt.Covers(MustParse(s)) {
+			t.Errorf("local tree should cover %s", s)
+		}
+	}
+	for _, s := range []string{"00110110", "0010101", "00", "0011000"} {
+		if lt.Covers(MustParse(s)) {
+			t.Errorf("local tree should not cover %s", s)
+		}
+	}
+	// BranchNodesBelow with a non-ancestor returns nothing.
+	if got := lt.BranchNodesBelow(MustParse("0010")); got != nil {
+		t.Errorf("non-ancestor β produced %v", got)
+	}
+	if got := lt.BranchNodesBelow(leaf); got != nil {
+		t.Errorf("β=leaf produced %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package bitlabel
+
+import "fmt"
+
+// Name applies the m-dimensional naming function fmd of Definition 2 to a
+// leaf label. Given λ = b1···bi, fmd compares the last bit b_i with b_{i-m};
+// while they are equal the last bit is truncated and the test repeats, and
+// when they differ the last bit is truncated one final time. fmd(λ) is
+// therefore always a proper prefix of λ.
+//
+// Intuitively (paper §3.4.1) fmd maps a leaf to its lowest ancestor that is
+// not aligned with the leaf in terms of its orthant position: the recursion
+// strips levels while the node keeps falling in the same relative orthant of
+// its m-levels-up ancestor.
+//
+// fmd is a bijection from the leaf set onto the internal-node set of any
+// space kd-tree (Theorem 4), which is what lets m-LIGHT store exactly one
+// leaf bucket per internal-node DHT key.
+//
+// Name panics if the label is shorter than m+1 bits (only the virtual root
+// and shorter strings violate this; they are never leaves).
+func Name(leaf Label, m int) Label {
+	if m < 1 {
+		panic(fmt.Sprintf("bitlabel: dimensionality %d < 1", m))
+	}
+	if leaf.Len() < m+1 {
+		panic(fmt.Sprintf("bitlabel: Name of %v needs at least %d bits", leaf, m+1))
+	}
+	l := leaf
+	for {
+		i := l.Len()
+		if i < m+1 {
+			// Unreachable for labels of a real space kd-tree: every tree
+			// label starts with 0^m 1, so the recursion stops at the
+			// ordinary root at the latest (its first and (m+1)-th bits
+			// differ, yielding the virtual root).
+			panic(fmt.Sprintf("bitlabel: %v is not a %d-dimensional kd-tree label", leaf, m))
+		}
+		// Compare b_i with b_{i-m} (1-indexed in the paper); with 0-indexed
+		// At this is bit i-1 versus bit i-1-m.
+		same := l.At(i-1) == l.At(i-1-m)
+		l = l.Parent()
+		if !same {
+			return l
+		}
+	}
+}
+
+// NamePreimage returns the two labels whose name is l when l names the
+// children of a freshly split leaf: per Theorem 5, splitting leaf λ into λ0
+// and λ1 assigns one child the name fmd(λ) and the other the name λ. Given
+// an internal node ω this helper answers "which immediate child of ω is
+// named ω?" — the child whose appended bit differs from ω's bit m positions
+// from the end.
+//
+// It panics if ω is shorter than m bits.
+func NamePreimage(omega Label, m int) Label {
+	if omega.Len() < m {
+		panic(fmt.Sprintf("bitlabel: NamePreimage of %v needs at least %d bits", omega, m))
+	}
+	// Child ω·b has Name(ω·b) == ω iff b != bit at position len(ω·b)-1-m,
+	// i.e. differs from omega's bit len(ω)-m.
+	b := omega.At(omega.Len() - m)
+	return omega.MustAppend(1 - b)
+}
+
+// Interleave builds the z-order bit string of an m-dimensional point whose
+// coordinates are given as binary fractions in [0,1): bit j of the result
+// is bit j/m of coordinate j%m. depth is the number of bits taken per
+// coordinate, so the result has m*depth bits.
+//
+// coords[i] must lie in [0,1); values outside are clamped. Interleave
+// returns an error if m*depth exceeds MaxLen.
+func Interleave(coords []float64, depth int) (Label, error) {
+	m := len(coords)
+	if m == 0 {
+		return Label{}, fmt.Errorf("bitlabel: interleave of zero coordinates")
+	}
+	if depth < 0 || m*depth > MaxLen {
+		return Label{}, fmt.Errorf("bitlabel: interleave depth %d with m=%d exceeds %d bits: %w",
+			depth, m, MaxLen, ErrTooLong)
+	}
+	frac := make([]float64, m)
+	for i, c := range coords {
+		switch {
+		case c < 0:
+			frac[i] = 0
+		case c >= 1:
+			frac[i] = nextBelowOne
+		default:
+			frac[i] = c
+		}
+	}
+	l := Empty
+	for j := 0; j < depth; j++ {
+		for i := 0; i < m; i++ {
+			frac[i] *= 2
+			var bit byte
+			if frac[i] >= 1 {
+				bit = 1
+				frac[i]--
+			}
+			l = l.MustAppend(bit)
+		}
+	}
+	return l, nil
+}
+
+// nextBelowOne is the largest float64 strictly less than 1.
+const nextBelowOne = 1 - 1.0/(1<<53)
+
+// PathLabel returns the full candidate path label for a point: the ordinary
+// root label followed by the z-order interleaving of the coordinates to the
+// given tree depth. Every possible leaf label covering the point is a prefix
+// of the result of length ≥ m+1 (paper §5).
+func PathLabel(coords []float64, depth int) (Label, error) {
+	m := len(coords)
+	z, err := Interleave(coords, depthPerCoord(depth, m))
+	if err != nil {
+		return Label{}, err
+	}
+	z = z.Prefix(min(z.Len(), depth))
+	root := Root(m)
+	if root.Len()+z.Len() > MaxLen {
+		return Label{}, ErrTooLong
+	}
+	return root.Concat(z), nil
+}
+
+// PathLabelNoRoot returns the plain z-order label of a point to the given
+// total bit depth, without the kd-tree root prefix — the linearisation the
+// PHT and DST baselines use.
+func PathLabelNoRoot(coords []float64, depth int) (Label, error) {
+	z, err := Interleave(coords, depthPerCoord(depth, len(coords)))
+	if err != nil {
+		return Label{}, err
+	}
+	return z.Prefix(min(z.Len(), depth)), nil
+}
+
+// depthPerCoord returns how many bits per coordinate are needed to produce
+// at least totalBits interleaved bits.
+func depthPerCoord(totalBits, m int) int {
+	return (totalBits + m - 1) / m
+}
+
+// Concat appends all bits of other to l. It panics if the result would
+// exceed MaxLen; callers bound depth ahead of time.
+func (l Label) Concat(other Label) Label {
+	if int(l.n)+int(other.n) > MaxLen {
+		panic(ErrTooLong)
+	}
+	return Label{v: l.v<<uint(other.n) | other.v, n: l.n + other.n}
+}

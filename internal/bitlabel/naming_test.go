@@ -1,0 +1,300 @@
+package bitlabel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// name2 is shorthand for the 2-D naming function in the paper's examples.
+func name2(t *testing.T, s string) string {
+	t.Helper()
+	return Name(MustParse(s), 2).String()
+}
+
+// TestNamingPaperExamples checks every worked f2d example from §3.4.1.
+// The paper writes labels as # + suffix with # = 001 in 2-D.
+func TestNamingPaperExamples(t *testing.T) {
+	cases := []struct{ leaf, want string }{
+		{"001" + "0101111", "001" + "0101"}, // f2d(#0101111) = #0101
+		{"001" + "0011111", "001" + "001"},  // f2d(#0011111) = #001
+		{"001" + "101111", "001" + "101"},   // f2d(#101111)  = #101
+		{"001", "00"},                       // f2d(#) = 00 (virtual root)
+		{"001" + "1011100001", "001" + "101110000"},
+		{"001" + "10111", "001" + "101"}, // lookup example probe
+		{"001" + "1011", "001" + "101"},  // #1011 also named to #101
+		// The paper's lookup example prints f2d(#101110) = "#0111", which
+		// cannot be literally right: fmd always returns a prefix of its
+		// argument, and #0111 is not a prefix of #101110. Truncating the
+		// final 0 (third-last bit is 1, differing) gives #10111.
+		{"001" + "101110", "001" + "10111"},
+		{"001" + "10110", "001" + "1011"}, // range example: covers subrange
+		{"001" + "10", "001" + "1"},       // f2d(#10) = #1 (range query LCA)
+	}
+	for _, c := range cases {
+		if got := name2(t, c.leaf); got != c.want {
+			t.Errorf("Name(%s, 2) = %s, want %s", c.leaf, got, c.want)
+		}
+	}
+}
+
+// TestNameIsProperPrefix: fmd(λ) is always a proper prefix of λ of length
+// at least m (the virtual root), for every dimensionality.
+func TestNameIsProperPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for m := 1; m <= 6; m++ {
+		root := Root(m)
+		for i := 0; i < 2000; i++ {
+			depth := rng.Intn(40)
+			leaf := root
+			for j := 0; j < depth; j++ {
+				leaf = leaf.MustAppend(byte(rng.Intn(2)))
+			}
+			name := Name(leaf, m)
+			if !name.IsPrefixOf(leaf) || name.Len() >= leaf.Len() {
+				t.Fatalf("m=%d: Name(%v) = %v is not a proper prefix", m, leaf, name)
+			}
+			if name.Len() < m {
+				t.Fatalf("m=%d: Name(%v) = %v shorter than virtual root", m, leaf, name)
+			}
+		}
+	}
+}
+
+// TestTheorem5IncrementalSplit: splitting leaf λ into λ0 and λ1 maps one
+// child to fmd(λ) and the other to λ.
+func TestTheorem5IncrementalSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for m := 1; m <= 6; m++ {
+		root := Root(m)
+		for i := 0; i < 2000; i++ {
+			leaf := root
+			for j := rng.Intn(30); j > 0; j-- {
+				leaf = leaf.MustAppend(byte(rng.Intn(2)))
+			}
+			n0 := Name(leaf.MustAppend(0), m)
+			n1 := Name(leaf.MustAppend(1), m)
+			nl := Name(leaf, m)
+			ok := (n0 == nl && n1 == leaf) || (n1 == nl && n0 == leaf)
+			if !ok {
+				t.Fatalf("m=%d leaf=%v: child names %v, %v; want {%v, %v}",
+					m, leaf, n0, n1, nl, leaf)
+			}
+			// NamePreimage identifies the child named to the parent label.
+			pre := NamePreimage(leaf, m)
+			if Name(pre, m) != leaf {
+				t.Fatalf("m=%d: NamePreimage(%v)=%v but Name(pre)=%v",
+					m, leaf, pre, Name(pre, m))
+			}
+		}
+	}
+}
+
+// testTree is a random space kd-tree over labels, used to check the
+// structural theorems. leaves and internals are label sets; internals
+// excludes the virtual root.
+type testTree struct {
+	m         int
+	leaves    map[Label]bool
+	internals map[Label]bool
+}
+
+func buildRandomTree(rng *rand.Rand, m, splits int) *testTree {
+	tr := &testTree{
+		m:         m,
+		leaves:    map[Label]bool{Root(m): true},
+		internals: map[Label]bool{},
+	}
+	order := make([]Label, 0, splits+1)
+	order = append(order, Root(m))
+	for s := 0; s < splits; s++ {
+		// Pick a random current leaf with room to grow.
+		var pick Label
+		found := false
+		for try := 0; try < 50; try++ {
+			cand := order[rng.Intn(len(order))]
+			if tr.leaves[cand] && cand.Len() < MaxLen-1 {
+				pick = cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		delete(tr.leaves, pick)
+		tr.internals[pick] = true
+		l, r := pick.MustAppend(0), pick.MustAppend(1)
+		tr.leaves[l] = true
+		tr.leaves[r] = true
+		order = append(order, l, r)
+	}
+	return tr
+}
+
+// TestTheorem4Bijection: fmd maps the leaf set one-to-one onto the
+// internal-node set (ordinary internals plus the virtual root).
+func TestTheorem4Bijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for m := 1; m <= 5; m++ {
+		for trial := 0; trial < 30; trial++ {
+			tr := buildRandomTree(rng, m, 1+rng.Intn(200))
+			wantTargets := make(map[Label]bool, len(tr.internals)+1)
+			for ω := range tr.internals {
+				wantTargets[ω] = true
+			}
+			wantTargets[VirtualRoot(m)] = true
+			if len(tr.leaves) != len(wantTargets) {
+				t.Fatalf("m=%d: %d leaves vs %d internals+virtual", m, len(tr.leaves), len(wantTargets))
+			}
+			got := make(map[Label]Label, len(tr.leaves))
+			for leaf := range tr.leaves {
+				name := Name(leaf, m)
+				if prev, dup := got[name]; dup {
+					t.Fatalf("m=%d: leaves %v and %v both named %v", m, prev, leaf, name)
+				}
+				got[name] = leaf
+				if !wantTargets[name] {
+					t.Fatalf("m=%d: leaf %v named to %v, not an internal node", m, leaf, name)
+				}
+			}
+			if len(got) != len(wantTargets) {
+				t.Fatalf("m=%d: naming not onto: %d of %d targets hit", m, len(got), len(wantTargets))
+			}
+		}
+	}
+}
+
+// cornerLeaf descends from internal node ω to the leaf at corner direction
+// d (d[i] = 0 for the low corner in dim i, 1 for high): the corner of a
+// region remains the same corner of whichever child contains it.
+func (tr *testTree) cornerLeaf(omega Label, d []byte) Label {
+	cur := omega
+	for tr.internals[cur] {
+		depthBelowRoot := cur.Len() - (tr.m + 1)
+		dim := depthBelowRoot % tr.m
+		cur = cur.MustAppend(d[dim])
+	}
+	return cur
+}
+
+// TestTheorem3CornerPreservation: the corner cells of internal node ω are
+// named fmd(ω), ω, ω0, ω1, …, ω1…1 (all extensions of ω by fewer than m
+// bits, plus fmd(ω)). When the subtree under ω is shallow, several corner
+// directions share a cell, so the observed name set may be a strict subset;
+// when all 2^m corner cells are distinct the sets must match exactly. In
+// every case the leaf named fmd(ω) must itself be one of ω's corner cells —
+// the property Algorithm 2 relies on to enter the queried region.
+func TestTheorem3CornerPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for m := 1; m <= 4; m++ {
+		for trial := 0; trial < 20; trial++ {
+			tr := buildRandomTree(rng, m, 1+rng.Intn(300))
+			nameToLeaf := make(map[Label]Label, len(tr.leaves))
+			for leaf := range tr.leaves {
+				nameToLeaf[Name(leaf, m)] = leaf
+			}
+			for omega := range tr.internals {
+				want := map[Label]bool{Name(omega, m): true}
+				frontier := []Label{omega}
+				for level := 0; level < m; level++ {
+					next := make([]Label, 0, 2*len(frontier))
+					for _, l := range frontier {
+						want[l] = true
+						if level < m-1 {
+							next = append(next, l.MustAppend(0), l.MustAppend(1))
+						}
+					}
+					frontier = next
+				}
+				cornerLeaves := make(map[Label]bool, 1<<m)
+				got := make(map[Label]bool, 1<<m)
+				for dMask := 0; dMask < 1<<m; dMask++ {
+					d := make([]byte, m)
+					for i := range d {
+						d[i] = byte((dMask >> i) & 1)
+					}
+					corner := tr.cornerLeaf(omega, d)
+					cornerLeaves[corner] = true
+					got[Name(corner, m)] = true
+				}
+				for n := range got {
+					if !want[n] {
+						t.Fatalf("m=%d ω=%v: corner name %v not in %v", m, omega, n, want)
+					}
+				}
+				if len(cornerLeaves) == 1<<m && len(got) != len(want) {
+					t.Fatalf("m=%d ω=%v: distinct corners but names %v != %v", m, omega, got, want)
+				}
+				// The leaf named fmd(ω) is a corner cell of ω.
+				entry, ok := nameToLeaf[Name(omega, m)]
+				if !ok {
+					t.Fatalf("m=%d ω=%v: no leaf named fmd(ω)=%v", m, omega, Name(omega, m))
+				}
+				if !cornerLeaves[entry] {
+					t.Fatalf("m=%d ω=%v: leaf %v named fmd(ω) is not a corner cell", m, omega, entry)
+				}
+			}
+		}
+	}
+}
+
+func TestInterleaveKnownValues(t *testing.T) {
+	// 0.4 = 0.0110…, 0.2 = 0.0011… in binary. Interleaving dim0-first to
+	// 3 bits per coordinate: x1 y1 x2 y2 x3 y3 = 0 0 1 0 1 1.
+	l, err := Interleave([]float64{0.4, 0.2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "001011" {
+		t.Errorf("Interleave(<0.4,0.2>, 3) = %q, want 001011", got)
+	}
+	// Boundary clamping: coordinates at 1.0 land in the top cell (all ones).
+	l, err = Interleave([]float64{1.0}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "11111111" {
+		t.Errorf("Interleave(<1>, 8) = %q, want all ones", got)
+	}
+	l, err = Interleave([]float64{0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "0000" {
+		t.Errorf("Interleave(<0>, 4) = %q, want all zeros", got)
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if _, err := Interleave(nil, 3); err == nil {
+		t.Error("Interleave(nil) succeeded")
+	}
+	if _, err := Interleave(make([]float64, 3), 30); err == nil {
+		t.Error("Interleave exceeding 64 bits succeeded")
+	}
+}
+
+func TestPathLabel(t *testing.T) {
+	// PathLabel(p, D) = Root(m) ++ interleave(p) truncated to D bits.
+	l, err := PathLabel([]float64{0.4, 0.2}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "001"+"001011" {
+		t.Errorf("PathLabel = %q", got)
+	}
+	if l.Len() != 3+6 {
+		t.Errorf("PathLabel length = %d", l.Len())
+	}
+	// Odd depth truncates mid-coordinate.
+	l, err = PathLabel([]float64{0.4, 0.2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.String(); got != "001"+"00101" {
+		t.Errorf("PathLabel(depth 5) = %q", got)
+	}
+	if _, err := PathLabel([]float64{0.5, 0.5}, 80); err == nil {
+		t.Error("PathLabel exceeding 64 bits succeeded")
+	}
+}

@@ -1,0 +1,347 @@
+// Package chord implements the Chord distributed hash table (Stoica et al.,
+// SIGCOMM 2001) over the simulated network in internal/simnet. It is one of
+// the pluggable substrates beneath the m-LIGHT index: the index only sees
+// the generic dht.DHT interface, demonstrating the paper's claim that an
+// over-DHT index "is adaptable to any DHT substrate".
+//
+// Nodes live on a 160-bit identifier ring (SHA-1 of their address). Each
+// node maintains a predecessor pointer, a successor list for resilience,
+// and a finger table for O(log n) routing. Lookups are iterative: the
+// querying side repeatedly asks the closest known predecessor for a better
+// next hop, counting each RPC as one overlay hop.
+//
+// Stabilization (stabilize / notify / fix-fingers) runs as explicit rounds
+// driven by the Ring, keeping simulations deterministic.
+package chord
+
+import (
+	"fmt"
+	"sync"
+
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
+
+// SuccessorListLen is the length of each node's successor list.
+const SuccessorListLen = 4
+
+// ref identifies a remote node: its network address and ring identifier.
+type ref struct {
+	Addr simnet.NodeID
+	ID   dht.ID
+}
+
+func (r ref) isZero() bool { return r.Addr == "" }
+
+// Node is one Chord peer.
+type Node struct {
+	addr simnet.NodeID
+	id   dht.ID
+	net  *simnet.Network
+
+	mu      sync.Mutex
+	pred    ref
+	succs   []ref // succs[0] is the immediate successor; never empty once joined
+	fingers [dht.IDBits]ref
+	store   map[dht.Key]any
+	// replicas holds copies of other nodes' keys when the ring runs with
+	// Replication > 1; see replication.go.
+	replicas map[dht.Key]any
+	// app is the application-level handler consulted for request types the
+	// node itself does not recognise — the over-DHT application layer
+	// (OpenDHT-style installed handlers). See SetAppHandler.
+	app simnet.Handler
+}
+
+// SetAppHandler installs an application-level handler for requests the DHT
+// layer does not recognise, the hook an over-DHT index uses to run its
+// query logic on the peers themselves.
+func (n *Node) SetAppHandler(h simnet.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.app = h
+}
+
+// LocalGet reads a value from this node's own store (no network traffic) —
+// what an application handler running on the peer sees.
+func (n *Node) LocalGet(key dht.Key) (any, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.store[key]
+	if !ok {
+		v, ok = n.replicas[key]
+	}
+	return v, ok
+}
+
+// rpc request types. Each is handled synchronously by Node.HandleRPC.
+type (
+	pingReq        struct{}
+	getPredReq     struct{}
+	getSuccsReq    struct{}
+	notifyReq      struct{ Candidate ref }
+	lookupStepReq  struct{ Target dht.ID }
+	lookupStepResp struct {
+		Done bool
+		Next ref // the answer when Done, otherwise the next hop
+	}
+	storeReq struct {
+		Key   dht.Key
+		Value any
+	}
+	retrieveReq  struct{ Key dht.Key }
+	retrieveResp struct {
+		Value any
+		Found bool
+	}
+	removeReq struct{ Key dht.Key }
+	applyReq  struct {
+		Key dht.Key
+		Fn  dht.ApplyFunc
+	}
+	applyResp struct {
+		Value any
+		Keep  bool
+	}
+	// handoffReq asks a node to absorb keys (join/leave transfers).
+	handoffReq struct{ Entries map[dht.Key]any }
+	// claimReq asks a node to hand over the keys now owned by the joiner:
+	// those whose hash is not in (Joiner.ID, node.ID].
+	claimReq  struct{ Joiner ref }
+	claimResp struct{ Entries map[dht.Key]any }
+	// setPredReq / setSuccReq support graceful departure.
+	setPredReq struct{ Pred ref }
+	setSuccReq struct{ Succ ref }
+)
+
+// newNode creates an unjoined node registered on the network.
+func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
+	n := &Node{
+		addr:  addr,
+		id:    dht.HashString(string(addr)),
+		net:   net,
+		store: make(map[dht.Key]any),
+	}
+	if err := net.Register(addr, n); err != nil {
+		return nil, fmt.Errorf("chord: register %q: %w", addr, err)
+	}
+	return n, nil
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.NodeID { return n.addr }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() dht.ID { return n.id }
+
+// self returns the node's own ref.
+func (n *Node) self() ref { return ref{Addr: n.addr, ID: n.id} }
+
+// HandleRPC implements simnet.Handler.
+func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
+	switch r := req.(type) {
+	case pingReq:
+		return n.self(), nil
+	case getPredReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.pred, nil
+	case getSuccsReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return append([]ref(nil), n.succs...), nil
+	case notifyReq:
+		n.handleNotify(r.Candidate)
+		return struct{}{}, nil
+	case lookupStepReq:
+		return n.handleLookupStep(r.Target), nil
+	case storeReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.store[r.Key] = r.Value
+		return struct{}{}, nil
+	case retrieveReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		v, ok := n.store[r.Key]
+		if !ok {
+			// Crash window: routing may already point here while the key
+			// still sits in the replica store, before promotion.
+			v, ok = n.replicas[r.Key]
+		}
+		return retrieveResp{Value: v, Found: ok}, nil
+	case removeReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.store, r.Key)
+		delete(n.replicas, r.Key)
+		return struct{}{}, nil
+	case applyReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		cur, ok := n.store[r.Key]
+		if !ok {
+			if rv, rok := n.replicas[r.Key]; rok {
+				cur, ok = rv, true
+				n.store[r.Key] = rv // promote on write
+				delete(n.replicas, r.Key)
+			}
+		}
+		next, keep := r.Fn(cur, ok)
+		if keep {
+			n.store[r.Key] = next
+		} else {
+			delete(n.store, r.Key)
+		}
+		return applyResp{Value: next, Keep: keep}, nil
+	case handoffReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for k, v := range r.Entries {
+			n.store[k] = v
+		}
+		return struct{}{}, nil
+	case claimReq:
+		return n.handleClaim(r.Joiner), nil
+	case replicateReq:
+		n.handleReplicate(r.Entries)
+		return struct{}{}, nil
+	case dropReplicaReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.replicas, r.Key)
+		return struct{}{}, nil
+	case setPredReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.pred = r.Pred
+		return struct{}{}, nil
+	case setSuccReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if len(n.succs) == 0 {
+			n.succs = []ref{r.Succ}
+		} else {
+			n.succs[0] = r.Succ
+		}
+		return struct{}{}, nil
+	default:
+		n.mu.Lock()
+		app := n.app
+		n.mu.Unlock()
+		if app != nil {
+			return app.HandleRPC(from, req)
+		}
+		return nil, fmt.Errorf("chord: %s: unknown request type %T", n.addr, req)
+	}
+}
+
+// handleNotify implements Chord's notify: candidate thinks it may be our
+// predecessor.
+func (n *Node) handleNotify(candidate ref) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if candidate.Addr == n.addr {
+		return
+	}
+	if n.pred.isZero() || candidate.ID.BetweenOpen(n.pred.ID, n.id) {
+		n.pred = candidate
+	}
+}
+
+// handleLookupStep answers one iterative-lookup step: if the target falls
+// between this node and its immediate successor, the successor is the
+// answer; otherwise return the closest preceding node from the finger table
+// and successor list.
+func (n *Node) handleLookupStep(target dht.ID) lookupStepResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		// Not joined: we are the whole ring.
+		return lookupStepResp{Done: true, Next: n.self()}
+	}
+	succ := n.succs[0]
+	if target.Between(n.id, succ.ID) {
+		return lookupStepResp{Done: true, Next: succ}
+	}
+	return lookupStepResp{Next: n.closestPrecedingLocked(target)}
+}
+
+// closestPrecedingLocked scans fingers (then the successor list) for the
+// node most closely preceding target. Callers hold n.mu.
+func (n *Node) closestPrecedingLocked(target dht.ID) ref {
+	best := n.self()
+	for i := dht.IDBits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if !f.isZero() && f.ID.BetweenOpen(n.id, target) {
+			best = f
+			break
+		}
+	}
+	for _, s := range n.succs {
+		if !s.isZero() && s.ID.BetweenOpen(best.ID, target) {
+			best = s
+		}
+	}
+	if best.Addr == n.addr && len(n.succs) > 0 {
+		// No finger helps; fall forward to the successor to guarantee
+		// progress around the ring.
+		return n.succs[0]
+	}
+	return best
+}
+
+// handleClaim hands over the keys a joining predecessor now owns: with the
+// joiner at position j between our old predecessor and us, every stored key
+// whose hash is not in (j, us] moves to the joiner.
+func (n *Node) handleClaim(joiner ref) claimResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[dht.Key]any)
+	for k, v := range n.store {
+		if !dht.HashKey(k).Between(joiner.ID, n.id) {
+			out[k] = v
+			delete(n.store, k)
+		}
+	}
+	return claimResp{Entries: out}
+}
+
+// storeSnapshot copies the node's stored entries (for Ring.Range and leave
+// transfers).
+func (n *Node) storeSnapshot() map[dht.Key]any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[dht.Key]any, len(n.store))
+	for k, v := range n.store {
+		out[k] = v
+	}
+	return out
+}
+
+// StoreLen returns how many entries the node currently stores.
+func (n *Node) StoreLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// Successor returns the node's immediate successor ref (zero if unjoined).
+func (n *Node) Successor() (simnet.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.succs) == 0 {
+		return "", false
+	}
+	return n.succs[0].Addr, true
+}
+
+// Predecessor returns the node's predecessor address (zero if unknown).
+func (n *Node) Predecessor() (simnet.NodeID, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pred.isZero() {
+		return "", false
+	}
+	return n.pred.Addr, true
+}

@@ -1,0 +1,120 @@
+package chord
+
+import "mlight/internal/dht"
+
+// Replication support (an extension beyond the m-LIGHT paper, mirroring
+// DHash/OpenDHT): with Config.Replication = r > 1, every key is stored at
+// its primary owner and copied to the next r-1 successors. Replicas live in
+// a separate replica store so ownership transfers (joins, claims) never
+// confuse the two. Repair is periodic, in Bamboo style:
+//
+//   - each Stabilize round, every node pushes its primary entries to its
+//     current r-1 successors, refreshing stale replica sets;
+//   - each node promotes replica entries whose hash it now owns (its
+//     predecessor changed after a crash) into its primary store.
+//
+// After up to r-1 simultaneous crashes and a couple of stabilization
+// rounds, every surviving key is primary-owned at the correct node again,
+// so index lookups keep working with no application involvement.
+
+// replicateReq pushes replica copies to a successor.
+type replicateReq struct{ Entries map[dht.Key]any }
+
+// dropReplicaReq removes a replica after a key is deleted.
+type dropReplicaReq struct{ Key dht.Key }
+
+// handleReplicate stores pushed replica copies.
+func (n *Node) handleReplicate(entries map[dht.Key]any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.replicas == nil {
+		n.replicas = make(map[dht.Key]any, len(entries))
+	}
+	for k, v := range entries {
+		n.replicas[k] = v
+	}
+}
+
+// promoteOwnedReplicasLocked moves replica entries the node now owns (their
+// hash falls in (pred, n]) into the primary store. Callers hold n.mu.
+func (n *Node) promoteOwnedReplicasLocked() {
+	if len(n.replicas) == 0 || n.pred.isZero() {
+		return
+	}
+	for k, v := range n.replicas {
+		if dht.HashKey(k).Between(n.pred.ID, n.id) {
+			if _, exists := n.store[k]; !exists {
+				n.store[k] = v
+			}
+			delete(n.replicas, k)
+		}
+	}
+}
+
+// ReplicaLen returns the number of replica entries held (for tests).
+func (n *Node) ReplicaLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.replicas)
+}
+
+// replicate pushes the value for key to the first r-1 live successors of
+// the primary.
+func (r *Ring) replicate(primary ref, key dht.Key, value any) {
+	if r.replication <= 1 {
+		return
+	}
+	for _, succ := range r.replicaTargets(primary) {
+		_, _ = r.net.Call(primary.Addr, succ.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
+	}
+}
+
+// dropReplicas removes the key's replicas after a Remove.
+func (r *Ring) dropReplicas(primary ref, key dht.Key) {
+	if r.replication <= 1 {
+		return
+	}
+	for _, succ := range r.replicaTargets(primary) {
+		_, _ = r.net.Call(primary.Addr, succ.Addr, dropReplicaReq{Key: key})
+	}
+}
+
+// replicaTargets returns the first r-1 distinct successors of primary.
+func (r *Ring) replicaTargets(primary ref) []ref {
+	succsAny, err := r.net.Call(primary.Addr, primary.Addr, getSuccsReq{})
+	if err != nil {
+		return nil
+	}
+	succs, ok := succsAny.([]ref)
+	if !ok {
+		return nil
+	}
+	out := make([]ref, 0, r.replication-1)
+	seen := map[ref]bool{primary: true}
+	for _, s := range succs {
+		if len(out) >= r.replication-1 {
+			break
+		}
+		if s.isZero() || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// reReplicate pushes a node's whole primary store to its current replica
+// targets — the periodic repair of one stabilization round.
+func (r *Ring) reReplicate(n *Node) {
+	if r.replication <= 1 {
+		return
+	}
+	entries := n.storeSnapshot()
+	if len(entries) == 0 {
+		return
+	}
+	for _, succ := range r.replicaTargets(n.self()) {
+		_, _ = r.net.Call(n.addr, succ.Addr, replicateReq{Entries: entries})
+	}
+}

@@ -1,0 +1,202 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
+
+// buildReplicatedRing creates a stabilized ring with the given replication
+// factor.
+func buildReplicatedRing(t *testing.T, n, replication int) *Ring {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	ring := NewRing(net, Config{Seed: 1, Replication: replication})
+	for i := 0; i < n; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	ring.Stabilize(2)
+	return ring
+}
+
+func TestReplicationSurvivesSingleCrash(t *testing.T) {
+	ring := buildReplicatedRing(t, 12, 3)
+	for i := 0; i < 300; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("rk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(1) // settle replica placement
+	if err := ring.CrashNode("node-5"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	for i := 0; i < 300; i++ {
+		k := dht.Key(fmt.Sprintf("rk%d", i))
+		v, ok, err := ring.Get(k)
+		if err != nil || !ok || v != i {
+			t.Fatalf("after crash Get(%q) = %v, %v, %v", k, v, ok, err)
+		}
+	}
+}
+
+func TestReplicationSurvivesTwoCrashes(t *testing.T) {
+	ring := buildReplicatedRing(t, 16, 3)
+	for i := 0; i < 300; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("dk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(1)
+	// Crash two nodes with stabilization between them (sequential failures,
+	// the scenario r=3 is built for).
+	if err := ring.CrashNode("node-3"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	if err := ring.CrashNode("node-9"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	lost := 0
+	for i := 0; i < 300; i++ {
+		k := dht.Key(fmt.Sprintf("dk%d", i))
+		v, ok, err := ring.Get(k)
+		if err != nil || !ok || v != i {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Errorf("%d of 300 keys lost after two sequential crashes with r=3", lost)
+	}
+}
+
+func TestNoReplicationLosesDataOnCrash(t *testing.T) {
+	ring := buildReplicatedRing(t, 12, 1)
+	for i := 0; i < 300; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("nk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := "node-4"
+	n, _ := ring.node(simnet.NodeID(victim))
+	atRisk := n.StoreLen()
+	if atRisk == 0 {
+		t.Skip("victim holds no keys in this hash layout")
+	}
+	if err := ring.CrashNode(simnet.NodeID(victim)); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	lost := 0
+	for i := 0; i < 300; i++ {
+		if _, ok, _ := ring.Get(dht.Key(fmt.Sprintf("nk%d", i))); !ok {
+			lost++
+		}
+	}
+	if lost != atRisk {
+		t.Errorf("lost %d keys, expected exactly the victim's %d (r=1)", lost, atRisk)
+	}
+}
+
+func TestReplicationApplySurvivesCrash(t *testing.T) {
+	ring := buildReplicatedRing(t, 10, 2)
+	inc := func(cur any, ok bool) (any, bool) {
+		if !ok {
+			return 1, true
+		}
+		n, _ := cur.(int)
+		return n + 1, true
+	}
+	for i := 0; i < 5; i++ {
+		if err := ring.Apply("counter", inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(1)
+	owner, err := ring.Owner("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.CrashNode(simnet.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	v, ok, err := ring.Get("counter")
+	if err != nil || !ok || v != 5 {
+		t.Fatalf("counter after owner crash = %v, %v, %v", v, ok, err)
+	}
+	// Further applies keep working on the promoted copy.
+	if err := ring.Apply("counter", inc); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := ring.Get("counter"); v != 6 {
+		t.Fatalf("counter after post-crash apply = %v", v)
+	}
+}
+
+func TestReplicationRemoveDropsReplicas(t *testing.T) {
+	ring := buildReplicatedRing(t, 8, 3)
+	if err := ring.Put("gone", "x"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(1)
+	if err := ring.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(1)
+	// Even after the owner crashes, no replica resurrects the key.
+	owner, err := ring.Owner("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.CrashNode(simnet.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	if _, ok, _ := ring.Get("gone"); ok {
+		t.Error("removed key resurrected from a replica")
+	}
+}
+
+func TestReplicationFactorClamped(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	ring := NewRing(net, Config{Replication: 99})
+	if ring.replication != SuccessorListLen+1 {
+		t.Errorf("replication = %d, want clamp at %d", ring.replication, SuccessorListLen+1)
+	}
+	ring2 := NewRing(simnet.New(simnet.Options{}), Config{Replication: -3})
+	if ring2.replication != 1 {
+		t.Errorf("replication = %d, want 1", ring2.replication)
+	}
+}
+
+func TestReplicasAreBounded(t *testing.T) {
+	ring := buildReplicatedRing(t, 10, 2)
+	for i := 0; i < 200; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("bk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2)
+	// Total primary copies = 200; replica copies ≤ 200 * (r-1).
+	primaries, replicas := 0, 0
+	for _, addr := range ring.Nodes() {
+		n, _ := ring.node(addr)
+		primaries += n.StoreLen()
+		replicas += n.ReplicaLen()
+	}
+	if primaries != 200 {
+		t.Errorf("primary copies = %d, want 200", primaries)
+	}
+	if replicas > 200 {
+		t.Errorf("replica copies = %d, want ≤ 200 for r=2", replicas)
+	}
+	if replicas < 150 {
+		t.Errorf("replica copies = %d; repair seems not to be running", replicas)
+	}
+}

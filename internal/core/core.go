@@ -1,0 +1,272 @@
+// Package core implements m-LIGHT (multi-dimensional Lightweight Hash Tree
+// over a DHT), the primary contribution of the ICDCS 2009 paper. It is an
+// over-DHT index: it runs entirely above the generic dht.DHT interface and
+// never modifies the substrate.
+//
+// # Structure (paper §3)
+//
+// Data keys are m-dimensional points in the unit cube, clustered by a space
+// kd-tree that always halves cells at their spatial midpoint, cycling
+// through the dimensions. The tree is decomposed into leaf buckets: each
+// leaf λ stores its label (which encodes its whole local tree — ancestors
+// and their siblings) and its data records. The bucket of leaf λ lives in
+// the DHT under the label fmd(λ), where fmd is the m-dimensional naming
+// function (bitlabel.Name). Because fmd bijectively maps leaves onto
+// internal nodes (Theorem 4), every internal-node label hosts exactly one
+// bucket, and because a freshly split leaf sends exactly one child to a new
+// DHT key (Theorem 5), maintenance is incremental: half the work of a
+// naive re-insertion.
+//
+// # Operations
+//
+//   - Lookup (§5): binary search over the candidate prefix set of the
+//     point's interleaved path label, O(log D) DHT gets.
+//   - Insert/Delete (§4.1): one lookup plus an Apply at the bucket; leaf
+//     splits relocate only the children not named to the old key, merges
+//     relocate only one sibling.
+//   - Data-aware splitting (§4.2): Algorithm 1 chooses the split subtree
+//     minimising Σ(load−ε)², Theorem 6's optimal load balance.
+//   - Range queries (§6): the query is forwarded to the corner cell of the
+//     range's lowest common ancestor and recursively decomposed over branch
+//     nodes (Algorithms 2–3); a parallel variant trades bandwidth for
+//     latency with a lookahead factor h.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/dht"
+	"mlight/internal/kdtree"
+	"mlight/internal/metrics"
+	"mlight/internal/spatial"
+)
+
+// SplitStrategy selects how overfull leaf buckets divide (paper §4).
+type SplitStrategy int
+
+const (
+	// SplitThreshold is the conventional θsplit/θmerge strategy (§4.1).
+	SplitThreshold SplitStrategy = iota + 1
+	// SplitDataAware is the data-aware strategy of §4.2: buckets split
+	// according to the optimal split subtree of Algorithm 1.
+	SplitDataAware
+)
+
+// String renders the strategy name.
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitThreshold:
+		return "threshold"
+	case SplitDataAware:
+		return "data-aware"
+	default:
+		return fmt.Sprintf("SplitStrategy(%d)", int(s))
+	}
+}
+
+// Options configures an Index. The zero value of each field selects the
+// listed default.
+type Options struct {
+	// Dims is the data dimensionality m. Default 2.
+	Dims int
+	// MaxDepth is D, the maximum index-tree depth below the ordinary root;
+	// the lookup binary search runs over candidate labels of length up to
+	// m+1+D (§5). Default 28, the paper's evaluation setting.
+	MaxDepth int
+	// ThetaSplit is the leaf capacity for threshold splitting. Default 100.
+	ThetaSplit int
+	// ThetaMerge triggers a merge when a sibling leaf pair jointly holds
+	// fewer records (§4.1 suggests θsplit/2). Default ThetaSplit/2.
+	ThetaMerge int
+	// Strategy selects the splitting strategy. Default SplitThreshold.
+	Strategy SplitStrategy
+	// Epsilon is the expected per-bucket load ε for SplitDataAware.
+	// Default 70, the paper's Fig. 6 setting.
+	Epsilon int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dims == 0 {
+		o.Dims = 2
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 28
+	}
+	if o.ThetaSplit == 0 {
+		o.ThetaSplit = 100
+	}
+	if o.ThetaMerge == 0 {
+		o.ThetaMerge = o.ThetaSplit / 2
+	}
+	if o.Strategy == 0 {
+		o.Strategy = SplitThreshold
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 70
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Dims < 1 {
+		return fmt.Errorf("core: Dims must be ≥ 1, got %d", o.Dims)
+	}
+	if o.MaxDepth < 1 || o.Dims+1+o.MaxDepth > bitlabel.MaxLen {
+		return fmt.Errorf("core: MaxDepth %d out of range for m=%d (need m+1+D ≤ %d)",
+			o.MaxDepth, o.Dims, bitlabel.MaxLen)
+	}
+	if o.ThetaSplit < 1 {
+		return fmt.Errorf("core: ThetaSplit must be ≥ 1, got %d", o.ThetaSplit)
+	}
+	if o.ThetaMerge < 0 || o.ThetaMerge >= o.ThetaSplit {
+		return fmt.Errorf("core: need 0 ≤ ThetaMerge < ThetaSplit, got %d, %d", o.ThetaMerge, o.ThetaSplit)
+	}
+	switch o.Strategy {
+	case SplitThreshold:
+	case SplitDataAware:
+		if o.Epsilon < 1 {
+			return fmt.Errorf("core: Epsilon must be ≥ 1 for data-aware splitting, got %d", o.Epsilon)
+		}
+	default:
+		return fmt.Errorf("core: unknown split strategy %v", o.Strategy)
+	}
+	return nil
+}
+
+// Bucket is one leaf bucket of the index (§3.3): the label store (the leaf
+// label λ, from which the whole local tree is derived) and the record
+// store. Buckets are stored in the DHT under key fmd(λ).
+type Bucket struct {
+	// Label is the leaf's kd-tree label λ.
+	Label bitlabel.Label
+	// Records are the data records whose keys fall in the leaf's cell.
+	Records []spatial.Record
+}
+
+// Load returns the number of records in the bucket.
+func (b Bucket) Load() int { return len(b.Records) }
+
+// Key returns the DHT key the bucket lives under: fmd(λ).
+func (b Bucket) Key(m int) dht.Key {
+	return labelKey(bitlabel.Name(b.Label, m))
+}
+
+// labelKey converts a node label into a DHT key.
+func labelKey(l bitlabel.Label) dht.Key {
+	return dht.Key("mlight/" + l.Key())
+}
+
+// Errors reported by the index.
+var (
+	// ErrNotFound is returned by lookups that cannot locate a covering
+	// bucket — the index is missing or inconsistent.
+	ErrNotFound = errors.New("core: no bucket covers the key")
+	// ErrDimension is returned when an argument's dimensionality does not
+	// match the index.
+	ErrDimension = errors.New("core: dimensionality mismatch")
+)
+
+// Index is an m-LIGHT index client bound to a DHT substrate. All methods
+// are safe for concurrent use if the substrate is; the experiments drive it
+// single-threaded for determinism.
+type Index struct {
+	opts  Options
+	raw   dht.DHT       // uncounted: local rewrites on the owning peer
+	d     *dht.Counting // counted: operations that cross the DHT
+	stats *metrics.IndexStats
+}
+
+// New creates an index client over d and bootstraps the root bucket if the
+// index does not exist yet. Several clients may attach to the same
+// substrate; only the first creates the root.
+func New(d dht.DHT, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	stats := &metrics.IndexStats{}
+	ix := &Index{
+		opts:  opts,
+		raw:   d,
+		d:     dht.NewCounting(d, stats),
+		stats: stats,
+	}
+	root := bitlabel.Root(opts.Dims)
+	// Bootstrap idempotently: create the root bucket only when absent.
+	err := ix.raw.Apply(labelKey(bitlabel.Name(root, opts.Dims)), func(cur any, exists bool) (any, bool) {
+		if exists {
+			return cur, true
+		}
+		return Bucket{Label: root}, true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap root bucket: %w", err)
+	}
+	return ix, nil
+}
+
+// Options returns the index configuration (with defaults resolved).
+func (ix *Index) Options() Options { return ix.opts }
+
+// Dims returns the index dimensionality m.
+func (ix *Index) Dims() int { return ix.opts.Dims }
+
+// Stats returns a snapshot of the maintenance counters.
+func (ix *Index) Stats() metrics.Snapshot { return ix.stats.Snapshot() }
+
+// ResetStats zeroes the maintenance counters.
+func (ix *Index) ResetStats() { ix.stats.Reset() }
+
+// DHT returns the counted substrate view used by the index.
+func (ix *Index) DHT() dht.DHT { return ix.d }
+
+// Buckets returns all leaf buckets, in unspecified order. It requires an
+// enumerable substrate and is intended for measurements and tests.
+func (ix *Index) Buckets() ([]Bucket, error) {
+	e, ok := ix.raw.(dht.Enumerator)
+	if !ok {
+		return nil, dht.ErrNotEnumerable
+	}
+	var out []Bucket
+	err := e.Range(func(k dht.Key, v any) bool {
+		if b, isBucket := v.(Bucket); isBucket {
+			out = append(out, b)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Size returns the total number of records across all buckets (requires an
+// enumerable substrate).
+func (ix *Index) Size() (int, error) {
+	bs, err := ix.Buckets()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, b := range bs {
+		n += b.Load()
+	}
+	return n, nil
+}
+
+// cellOf converts a bucket into the kd-tree cell it indexes.
+func (ix *Index) cellOf(b Bucket) (kdtree.Cell, error) {
+	g, err := spatial.RegionOf(b.Label, ix.opts.Dims)
+	if err != nil {
+		return kdtree.Cell{}, err
+	}
+	return kdtree.Cell{Label: b.Label, Region: g, Records: b.Records}, nil
+}
+
+// remainingDepth returns how many more levels a leaf at label may split.
+func (ix *Index) remainingDepth(label bitlabel.Label) int {
+	used := label.Len() - (ix.opts.Dims + 1)
+	return ix.opts.MaxDepth - used
+}

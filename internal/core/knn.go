@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mlight/internal/spatial"
+)
+
+// Neighbor is one k-nearest-neighbour result.
+type Neighbor struct {
+	Record   spatial.Record
+	Distance float64
+}
+
+// NearestResult carries a kNN answer and its cumulative cost across the
+// expanding-ball iterations.
+type NearestResult struct {
+	Neighbors []Neighbor
+	Lookups   int
+	Rounds    int
+}
+
+// Nearest answers a k-nearest-neighbour query — an extension beyond the
+// paper, built from its primitives the way over-DHT systems do it: an
+// expanding ball of circle-shaped range queries. The initial radius comes
+// from the query point's own leaf cell (one lookup); each unsuccessful
+// iteration doubles the radius. The final ball query at radius equal to the
+// k-th candidate's distance guarantees exactness.
+func (ix *Index) Nearest(p spatial.Point, k int) (*NearestResult, error) {
+	m := ix.opts.Dims
+	if p.Dim() != m {
+		return nil, fmt.Errorf("%w: point has %d dims, index has %d", ErrDimension, p.Dim(), m)
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("core: point %v outside the unit cube", p)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", k)
+	}
+	res := &NearestResult{}
+
+	// Seed the radius from the local leaf: its cell diameter, or the k-th
+	// in-bucket distance when the bucket alone can answer.
+	leaf, trace, err := ix.LookupTraced(p)
+	if err != nil {
+		return nil, err
+	}
+	res.Lookups += trace.Probes
+	res.Rounds += trace.Probes
+	radius := ix.seedRadius(leaf, p, k)
+
+	maxRadius := math.Sqrt(float64(m)) // the unit cube's diameter
+	for iter := 0; iter < 64; iter++ {
+		circle := spatial.Circle{Center: p, Radius: radius}
+		qres, err := ix.ShapeQuery(circle)
+		if err != nil {
+			return nil, err
+		}
+		res.Lookups += qres.Lookups
+		res.Rounds += qres.Rounds // iterations are sequential
+		if len(qres.Records) >= k || radius >= maxRadius {
+			neighbors := nearestOf(qres.Records, p, k)
+			if len(neighbors) == k && neighbors[k-1].Distance > radius {
+				// Defensive: cannot happen since the query ball bounds the
+				// distances, but keep the invariant explicit.
+				radius = neighbors[k-1].Distance
+				continue
+			}
+			if len(neighbors) == k || radius >= maxRadius {
+				res.Neighbors = neighbors
+				return res, nil
+			}
+		}
+		radius = math.Min(radius*2, maxRadius)
+	}
+	return nil, fmt.Errorf("core: nearest(%v, %d) did not converge", p, k)
+}
+
+// seedRadius picks the first ball radius for a kNN query.
+func (ix *Index) seedRadius(leaf Bucket, p spatial.Point, k int) float64 {
+	if len(leaf.Records) >= k {
+		neighbors := nearestOf(leaf.Records, p, k)
+		r := neighbors[len(neighbors)-1].Distance
+		if r > 0 {
+			return r
+		}
+	}
+	g, err := spatial.RegionOf(leaf.Label, ix.opts.Dims)
+	if err == nil {
+		d := 0.0
+		for i := range g.Lo {
+			side := g.Hi[i] - g.Lo[i]
+			d += side * side
+		}
+		if d > 0 {
+			return math.Sqrt(d)
+		}
+	}
+	return 1.0 / 64
+}
+
+// nearestOf sorts records by distance to p and keeps the closest k.
+func nearestOf(records []spatial.Record, p spatial.Point, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(records))
+	for _, r := range records {
+		out = append(out, Neighbor{Record: r, Distance: math.Sqrt(spatial.DistSq(r.Key, p))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Record.Data < out[j].Record.Data
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

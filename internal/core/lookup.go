@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/spatial"
+)
+
+// LookupTrace reports the cost of one lookup operation: the number of DHT
+// probes issued (the paper's bandwidth unit) — which, because the binary
+// search is sequential, also equals its rounds of DHT-lookups.
+type LookupTrace struct {
+	Probes int
+}
+
+// Lookup locates the leaf bucket covering data key δ (paper §5): the
+// candidate set is the prefixes of the root-prefixed interleaved path label
+// of δ, and a binary search over candidate lengths probes fmd(candidate)
+// keys. Each probe either finds the target, proves every candidate at or
+// below some length is absent, or proves every candidate above some length
+// is internal:
+//
+//   - a missing bucket at key fmd(c) means fmd(c) is not an internal node,
+//     so the target is no longer than fmd(c);
+//   - a found bucket whose label extends the probed candidate c proves c is
+//     internal (the bucket is a corner cell of c, Theorem 1), pushing the
+//     search deeper;
+//   - a found bucket diverging from the path at depth cp proves every path
+//     prefix through cp is internal and the candidate c is not, bounding
+//     the search on both sides.
+func (ix *Index) Lookup(key spatial.Point) (Bucket, error) {
+	b, _, err := ix.LookupTraced(key)
+	return b, err
+}
+
+// LookupTraced is Lookup returning probe accounting.
+func (ix *Index) LookupTraced(key spatial.Point) (Bucket, LookupTrace, error) {
+	var trace LookupTrace
+	b, err := ix.lookup(key, &trace)
+	return b, trace, err
+}
+
+func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
+	m := ix.opts.Dims
+	if key.Dim() != m {
+		return Bucket{}, fmt.Errorf("%w: key has %d dims, index has %d", ErrDimension, key.Dim(), m)
+	}
+	if !key.Valid() {
+		return Bucket{}, fmt.Errorf("core: key %v outside the unit cube", key)
+	}
+	path, err := bitlabel.PathLabel(key, ix.opts.MaxDepth)
+	if err != nil {
+		return Bucket{}, fmt.Errorf("core: path label: %w", err)
+	}
+	lo, hi := m+1, path.Len()
+	for iter := 0; iter <= ix.opts.MaxDepth+2 && lo <= hi; iter++ {
+		mid := (lo + hi) / 2
+		cand := path.Prefix(mid)
+		probeKey := bitlabel.Name(cand, m)
+		v, found, err := ix.getBucket(probeKey, trace)
+		if err != nil {
+			return Bucket{}, err
+		}
+		if !found {
+			// probeKey is not internal: the target is at or above it.
+			if probeKey.Len() < lo {
+				return Bucket{}, fmt.Errorf("%w: probe %v contradicts bounds [%d,%d] for %v",
+					ErrNotFound, probeKey, lo, hi, key)
+			}
+			hi = probeKey.Len()
+			continue
+		}
+		if v.Label.IsPrefixOf(path) {
+			// The bucket's cell covers δ: this is the target leaf.
+			return v, nil
+		}
+		cp := v.Label.CommonPrefixLen(path)
+		if cp >= mid {
+			// cand is a prefix of the returned leaf, hence internal
+			// (Theorem 1: the leaf named fmd(cand) is a corner cell of
+			// cand); in fact every path prefix through cp is internal.
+			lo = cp + 1
+		} else {
+			// cand is not internal (otherwise the named leaf would lie
+			// inside it) and is not the target; the target is shorter.
+			hi = mid - 1
+			if cp+1 > lo {
+				lo = cp + 1
+			}
+		}
+	}
+	return Bucket{}, fmt.Errorf("%w: search exhausted for %v", ErrNotFound, key)
+}
+
+// getBucket probes one DHT key, decoding the stored bucket.
+func (ix *Index) getBucket(label bitlabel.Label, trace *LookupTrace) (Bucket, bool, error) {
+	if trace != nil {
+		trace.Probes++
+	}
+	v, found, err := ix.d.Get(labelKey(label))
+	if err != nil {
+		return Bucket{}, false, fmt.Errorf("core: get %v: %w", label, err)
+	}
+	if !found {
+		return Bucket{}, false, nil
+	}
+	b, ok := v.(Bucket)
+	if !ok {
+		return Bucket{}, false, fmt.Errorf("core: key %v holds %T, not a bucket", label, v)
+	}
+	return b, true, nil
+}
+
+// Exact returns all records whose key equals δ exactly — the exact-match
+// query of §5.
+func (ix *Index) Exact(key spatial.Point) ([]spatial.Record, error) {
+	b, err := ix.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	var out []spatial.Record
+	for _, r := range b.Records {
+		if samePoint(r.Key, key) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func samePoint(a, b spatial.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateDepth estimates the index tree's current depth by probing sample
+// random points — the technique §5 cites for choosing the lookup bound D
+// ("estimated by apriori knowledge or by probing certain values before
+// query processing"). It returns the maximum leaf depth observed below the
+// ordinary root; callers typically add a safety margin before using it as
+// MaxDepth elsewhere.
+func (ix *Index) EstimateDepth(samples int, seed int64) (int, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("core: samples must be ≥ 1, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := ix.opts.Dims
+	maxDepth := 0
+	for i := 0; i < samples; i++ {
+		p := make(spatial.Point, m)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		b, err := ix.Lookup(p)
+		if err != nil {
+			return 0, err
+		}
+		if depth := b.Label.Len() - (m + 1); depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	return maxDepth, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlight/internal/spatial"
+)
+
+func TestEstimateDepth(t *testing.T) {
+	ix := newIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5})
+	// Empty index: only the root leaf, depth 0.
+	d, err := ix.EstimateDepth(50, 1)
+	if err != nil || d != 0 {
+		t.Fatalf("empty index depth = %d, %v", d, err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i, p := range randomPoints(rng, 2, 2000) {
+		if err := ix.Insert(spatial.Record{Key: p, Data: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err = ix.EstimateDepth(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 records at θ=10 gives ≥200 leaves: depth at least log2(200) ≈ 8.
+	if d < 8 || d > ix.Options().MaxDepth {
+		t.Errorf("estimated depth = %d, expected within [8, %d]", d, ix.Options().MaxDepth)
+	}
+	// The estimate never exceeds the true maximum over all buckets.
+	buckets, err := ix.Buckets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMax := 0
+	for _, b := range buckets {
+		if depth := b.Label.Len() - 3; depth > trueMax {
+			trueMax = depth
+		}
+	}
+	if d > trueMax {
+		t.Errorf("estimate %d above true max %d", d, trueMax)
+	}
+	if _, err := ix.EstimateDepth(0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}

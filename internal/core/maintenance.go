@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/kdtree"
+	"mlight/internal/spatial"
+)
+
+// Insert adds a record to the index (paper §4): a lookup locates the leaf
+// bucket, the record is applied at the owning peer, and if the bucket's
+// load now warrants it the peer splits locally. Per Theorem 5 exactly one
+// piece of a split keeps the old DHT key, so only the other pieces are
+// re-assigned with DHT puts — the incremental maintenance that halves
+// m-LIGHT's split cost relative to PHT.
+func (ix *Index) Insert(rec spatial.Record) error {
+	m := ix.opts.Dims
+	if rec.Key.Dim() != m {
+		return fmt.Errorf("%w: record has %d dims, index has %d", ErrDimension, rec.Key.Dim(), m)
+	}
+	if !rec.Key.Valid() {
+		return fmt.Errorf("core: record key %v outside the unit cube", rec.Key)
+	}
+	const maxAttempts = 12
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			// Back off briefly: a concurrent split's relocated buckets
+			// become visible within a few put operations.
+			backoff := time.Duration(1<<uint(min(attempt, 6))) * 25 * time.Microsecond
+			time.Sleep(backoff)
+		}
+		b, err := ix.Lookup(rec.Key)
+		if errors.Is(err, ErrNotFound) {
+			// A concurrent split is mid-flight: the bucket moving to its
+			// new key is not yet visible. Retry from a fresh lookup.
+			lastErr = err
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		moved, stale, err := ix.applyInsert(b.Label, rec)
+		if err != nil {
+			return err
+		}
+		if stale {
+			// The bucket split or merged between lookup and apply;
+			// retry from a fresh lookup.
+			continue
+		}
+		// The inserted record itself crossed the DHT to its bucket.
+		ix.stats.RecordsMoved.Inc()
+		if len(moved) > 0 {
+			if err := ix.placeCells(moved); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if lastErr != nil {
+		return fmt.Errorf("core: insert %v: retries exhausted: %w", rec.Key, lastErr)
+	}
+	return fmt.Errorf("core: insert %v: too many conflicting bucket changes", rec.Key)
+}
+
+// applyInsert runs at the owning peer: it appends the record to the bucket
+// stored under fmd(label), decides whether to split, keeps the piece named
+// to the existing key in place, and reports the pieces that must move.
+func (ix *Index) applyInsert(label bitlabel.Label, rec spatial.Record) (moved []kdtree.Cell, stale bool, err error) {
+	m := ix.opts.Dims
+	key := labelKey(bitlabel.Name(label, m))
+	var splitErr error
+	applyErr := ix.d.Apply(key, func(cur any, exists bool) (any, bool) {
+		if !exists {
+			stale = true
+			return nil, false
+		}
+		cb, ok := cur.(Bucket)
+		if !ok || cb.Label != label {
+			stale = true
+			return cur, true
+		}
+		cell, cellErr := ix.cellOf(cb)
+		if cellErr != nil {
+			splitErr = cellErr
+			return cur, true
+		}
+		if !cell.Region.Contains(rec.Key) {
+			// The leaf changed shape since the lookup.
+			stale = true
+			return cur, true
+		}
+		cell.Records = append(append([]spatial.Record{}, cell.Records...), rec)
+		pieces, decideErr := ix.decideSplit(cell)
+		if decideErr != nil {
+			splitErr = decideErr
+			return cur, true
+		}
+		if len(pieces) <= 1 {
+			return Bucket{Label: cell.Label, Records: cell.Records}, true
+		}
+		stay, rest, pickErr := pickStayer(pieces, label, m)
+		if pickErr != nil {
+			splitErr = pickErr
+			return cur, true
+		}
+		moved = rest
+		ix.stats.Splits.Add(int64(len(pieces) - 1))
+		return Bucket{Label: stay.Label, Records: stay.Records}, true
+	})
+	if applyErr != nil {
+		return nil, false, fmt.Errorf("core: insert apply at %v: %w", label, applyErr)
+	}
+	if splitErr != nil {
+		return nil, false, fmt.Errorf("core: insert split at %v: %w", label, splitErr)
+	}
+	return moved, stale, nil
+}
+
+// decideSplit returns the final leaf frontier for a (possibly overfull)
+// cell under the configured strategy. A single-element result means no
+// split.
+func (ix *Index) decideSplit(cell kdtree.Cell) ([]kdtree.Cell, error) {
+	depth := ix.remainingDepth(cell.Label)
+	switch ix.opts.Strategy {
+	case SplitThreshold:
+		if cell.Load() <= ix.opts.ThetaSplit || depth <= 0 {
+			return []kdtree.Cell{cell}, nil
+		}
+		return kdtree.ThresholdSplit(cell, ix.opts.Dims, ix.opts.ThetaSplit, depth)
+	case SplitDataAware:
+		if cell.Load() <= ix.opts.Epsilon || depth <= 0 {
+			return []kdtree.Cell{cell}, nil
+		}
+		cells, improved, err := kdtree.OptimalSplit(cell, ix.opts.Dims, ix.opts.Epsilon, depth)
+		if err != nil {
+			return nil, err
+		}
+		if !improved {
+			return []kdtree.Cell{cell}, nil
+		}
+		return cells, nil
+	default:
+		return nil, fmt.Errorf("core: unknown split strategy %v", ix.opts.Strategy)
+	}
+}
+
+// pickStayer finds the unique frontier piece whose name equals the split
+// leaf's own name — by the subtree naming bijection exactly one exists —
+// so it keeps the old key and peer, while the rest move.
+func pickStayer(pieces []kdtree.Cell, oldLabel bitlabel.Label, m int) (stay kdtree.Cell, moved []kdtree.Cell, err error) {
+	oldName := bitlabel.Name(oldLabel, m)
+	found := false
+	for _, p := range pieces {
+		if bitlabel.Name(p.Label, m) == oldName {
+			if found {
+				return kdtree.Cell{}, nil, fmt.Errorf("core: two pieces named %v splitting %v", oldName, oldLabel)
+			}
+			stay = p
+			found = true
+			continue
+		}
+		moved = append(moved, p)
+	}
+	if !found {
+		return kdtree.Cell{}, nil, fmt.Errorf("core: no piece named %v splitting %v", oldName, oldLabel)
+	}
+	return stay, moved, nil
+}
+
+// placeCells writes relocated buckets to their DHT keys, charging the data
+// movement the transfers cost. Empty cells still become buckets (the
+// bijection requires a bucket per leaf); they move no records.
+func (ix *Index) placeCells(cells []kdtree.Cell) error {
+	m := ix.opts.Dims
+	for _, c := range cells {
+		key := labelKey(bitlabel.Name(c.Label, m))
+		if err := ix.d.Put(key, Bucket{Label: c.Label, Records: c.Records}); err != nil {
+			return fmt.Errorf("core: place bucket %v: %w", c.Label, err)
+		}
+		ix.stats.RecordsMoved.Add(int64(c.Load()))
+	}
+	return nil
+}
+
+// Delete removes one record matching key (and Data when non-empty). It
+// reports whether a record was removed, merging underfull sibling leaves
+// afterwards (§4.1): the merged bucket keeps the key one child already
+// occupies, so only the other child's records cross the DHT.
+func (ix *Index) Delete(key spatial.Point, data string) (bool, error) {
+	m := ix.opts.Dims
+	if key.Dim() != m {
+		return false, fmt.Errorf("%w: key has %d dims, index has %d", ErrDimension, key.Dim(), m)
+	}
+	b, err := ix.Lookup(key)
+	if err != nil {
+		return false, err
+	}
+	removed := false
+	var after Bucket
+	dhtKey := labelKey(bitlabel.Name(b.Label, m))
+	applyErr := ix.d.Apply(dhtKey, func(cur any, exists bool) (any, bool) {
+		if !exists {
+			return nil, false
+		}
+		cb, ok := cur.(Bucket)
+		if !ok || cb.Label != b.Label {
+			return cur, true
+		}
+		for i, r := range cb.Records {
+			if samePoint(r.Key, key) && (data == "" || r.Data == data) {
+				records := append([]spatial.Record{}, cb.Records[:i]...)
+				records = append(records, cb.Records[i+1:]...)
+				cb.Records = records
+				removed = true
+				break
+			}
+		}
+		after = cb
+		return cb, true
+	})
+	if applyErr != nil {
+		return false, fmt.Errorf("core: delete apply at %v: %w", b.Label, applyErr)
+	}
+	if !removed {
+		return false, nil
+	}
+	if err := ix.mergeUpwards(after); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// mergeUpwards merges the bucket with its sibling leaf while the pair
+// jointly holds fewer than θmerge records, cascading towards the root.
+func (ix *Index) mergeUpwards(b Bucket) error {
+	m := ix.opts.Dims
+	for b.Label != bitlabel.Root(m) {
+		sibLabel := b.Label.Sibling()
+		sib, found, err := ix.getBucket(bitlabel.Name(sibLabel, m), nil)
+		if err != nil {
+			return err
+		}
+		if !found || sib.Label != sibLabel {
+			// The sibling is an internal node (its key hosts some deeper
+			// corner leaf) or missing: no merge possible.
+			return nil
+		}
+		if b.Load()+sib.Load() >= ix.opts.ThetaMerge {
+			return nil
+		}
+		parent := b.Label.Parent()
+		parentName := bitlabel.Name(parent, m)
+		merged := Bucket{
+			Label:   parent,
+			Records: append(append([]spatial.Record{}, b.Records...), sib.Records...),
+		}
+		if bitlabel.Name(b.Label, m) == parentName {
+			// We already sit at the merged bucket's key: rewrite locally,
+			// and pull the sibling's bucket across the DHT.
+			if err := ix.raw.Put(labelKey(parentName), merged); err != nil {
+				return fmt.Errorf("core: merge rewrite %v: %w", parent, err)
+			}
+			if err := ix.d.Remove(labelKey(bitlabel.Name(sibLabel, m))); err != nil {
+				return fmt.Errorf("core: merge remove %v: %w", sibLabel, err)
+			}
+			ix.stats.RecordsMoved.Add(int64(sib.Load()))
+		} else {
+			// The sibling sits at the merged key: ship our records there
+			// and retire our own bucket locally.
+			if err := ix.d.Put(labelKey(parentName), merged); err != nil {
+				return fmt.Errorf("core: merge write %v: %w", parent, err)
+			}
+			ix.stats.RecordsMoved.Add(int64(b.Load()))
+			if err := ix.raw.Remove(labelKey(bitlabel.Name(b.Label, m))); err != nil {
+				return fmt.Errorf("core: merge retire %v: %w", b.Label, err)
+			}
+		}
+		ix.stats.Merges.Inc()
+		b = merged
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/spatial"
+)
+
+// QueryResult carries the answer and the cost of one range query, in the
+// paper's units: total DHT-lookups (bandwidth, Fig. 7a) and rounds of
+// DHT-lookups on the critical path (latency, Fig. 7b).
+type QueryResult struct {
+	Records []spatial.Record
+	Lookups int
+	Rounds  int
+}
+
+// queryCtx carries the per-query options through the recursive
+// decomposition: the parallel lookahead h and, for arbitrary-shape queries,
+// the shape used for subtree pruning and final filtering.
+type queryCtx struct {
+	h     int
+	shape spatial.Shape
+}
+
+// RangeQuery answers a multi-dimensional range query with the basic
+// algorithm of §6 (Algorithms 2 and 3): route to the corner cell of the
+// range's lowest common ancestor, then recursively decompose the range over
+// the branch nodes of each reached cell's local tree. Subranges never
+// overlap, so no bucket is visited redundantly.
+func (ix *Index) RangeQuery(q spatial.Rect) (*QueryResult, error) {
+	return ix.rangeQuery(q, queryCtx{h: 1})
+}
+
+// RangeQueryParallel is the parallel variant of §6: at every forwarding
+// step a branch node's subrange is speculatively pre-split into up to h
+// pieces along the (globally known) space partitioning, and all pieces are
+// probed in the same round. Larger h shortens the critical path and spends
+// more DHT-lookups; h = 1 degrades to the basic algorithm.
+func (ix *Index) RangeQueryParallel(q spatial.Rect, h int) (*QueryResult, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("core: lookahead h must be ≥ 1, got %d", h)
+	}
+	return ix.rangeQuery(q, queryCtx{h: h})
+}
+
+// ShapeQuery answers a query over an arbitrarily shaped region (§6 notes
+// the queried region "can be of an arbitrary shape"): the shape's bounding
+// box drives the kd-tree decomposition, subtrees whose cells provably miss
+// the shape are pruned, and records are filtered by exact membership.
+func (ix *Index) ShapeQuery(s spatial.Shape) (*QueryResult, error) {
+	return ix.shapeQuery(s, 1)
+}
+
+// ShapeQueryParallel is ShapeQuery with the parallel lookahead h.
+func (ix *Index) ShapeQueryParallel(s spatial.Shape, h int) (*QueryResult, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("core: lookahead h must be ≥ 1, got %d", h)
+	}
+	return ix.shapeQuery(s, h)
+}
+
+func (ix *Index) shapeQuery(s spatial.Shape, h int) (*QueryResult, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil shape")
+	}
+	bound := s.BoundingBox()
+	clamped := spatial.Rect{Lo: clampPoint(bound.Lo), Hi: clampPoint(bound.Hi)}
+	return ix.rangeQuery(clamped, queryCtx{h: h, shape: s})
+}
+
+func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) {
+	m := ix.opts.Dims
+	if q.Dim() != m {
+		return nil, fmt.Errorf("%w: query has %d dims, index has %d", ErrDimension, q.Dim(), m)
+	}
+	if _, err := spatial.NewRect(q.Lo, q.Hi); err != nil {
+		return nil, fmt.Errorf("core: invalid query rectangle: %w", err)
+	}
+	res := &QueryResult{}
+
+	lca, err := spatial.LCALabel(q, m, ix.opts.MaxDepth)
+	if err != nil {
+		return nil, err
+	}
+	b, found, err := ix.getBucket(bitlabel.Name(lca, m), nil)
+	res.Lookups++
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		// The LCA is not an internal node, so the whole range lies inside
+		// one leaf (Algorithm 2 lines 3–4): find it by looking up a corner
+		// of the range.
+		leaf, trace, err := ix.LookupTraced(clampPoint(q.Lo))
+		if err != nil {
+			return nil, err
+		}
+		res.Lookups += trace.Probes
+		res.Rounds = 1 + trace.Probes
+		res.Records = filterRecords(leaf.Records, q, ctx.shape)
+		return res, nil
+	}
+	recs, rounds, lookups, err := ix.process(q, lca, b, ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Records = append(res.Records, recs...)
+	res.Lookups += lookups
+	res.Rounds = 1 + rounds
+	return res, nil
+}
+
+// process handles a bucket b fetched as the corner cell of node β with
+// (clipped) subrange q: it collects b's matching records and forwards the
+// remainder of q to the branch nodes of b's local tree below β
+// (Algorithm 3). The returned rounds and lookups exclude the fetch of b
+// itself.
+func (ix *Index) process(q spatial.Rect, beta bitlabel.Label, b Bucket, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
+	m := ix.opts.Dims
+	records = filterRecords(b.Records, q, ctx.shape)
+	leafRegion, err := spatial.RegionOf(b.Label, m)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if leafRegion.Covers(q) {
+		return records, 0, 0, nil
+	}
+	// Decompose over the branch nodes of b's local tree strictly below β
+	// (Algorithm 3).
+	local, err := bitlabel.NewLocalTree(b.Label, m)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for _, branch := range local.BranchNodesBelow(beta) {
+		g, regionErr := spatial.RegionOf(branch, m)
+		if regionErr != nil {
+			return nil, 0, 0, regionErr
+		}
+		sub, overlaps := g.Intersect(q)
+		if !overlaps {
+			continue
+		}
+		if ctx.shape != nil && !ctx.shape.IntersectsRect(sub) {
+			continue // the shape provably misses this subtree
+		}
+		recs, r, lk, subErr := ix.subquery(sub, branch, ctx)
+		if subErr != nil {
+			return nil, 0, 0, subErr
+		}
+		records = append(records, recs...)
+		lookups += lk
+		if r > rounds {
+			rounds = r // branch subqueries proceed in parallel
+		}
+	}
+	return records, rounds, lookups, nil
+}
+
+// subquery resolves subrange q against the subtree rooted at node β. With
+// h > 1 the subrange is pre-split into up to h pieces probed in one round.
+// The returned rounds include the round that fetches the pieces' buckets.
+func (ix *Index) subquery(q spatial.Rect, beta bitlabel.Label, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
+	pieces := []piece{{node: beta, base: beta, q: q}}
+	if ctx.h > 1 {
+		pieces = ix.speculate(beta, q, ctx)
+	}
+	for _, p := range pieces {
+		recs, r, lk, pieceErr := ix.resolvePiece(p, ctx)
+		if pieceErr != nil {
+			return nil, 0, 0, pieceErr
+		}
+		records = append(records, recs...)
+		lookups += lk
+		if r > rounds {
+			rounds = r // pieces are probed in parallel
+		}
+	}
+	return records, rounds, lookups, nil
+}
+
+// resolvePiece fetches the bucket named to one piece's node and continues
+// the decomposition there. Speculative nodes may lie below the actual tree:
+// a missing bucket means some leaf between the piece's base node and its
+// speculative node covers the whole piece; that leaf is found by probing
+// the names of all intermediate ancestors in a single parallel round — more
+// bandwidth, no extra latency, exactly the parallel algorithm's trade.
+func (ix *Index) resolvePiece(p piece, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
+	m := ix.opts.Dims
+	b, found, err := ix.getBucket(bitlabel.Name(p.node, m), nil)
+	lookups = 1
+	rounds = 1
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if !found {
+		leaf, extraLookups, extraRounds, fallbackErr := ix.coveringLeaf(p)
+		if fallbackErr != nil {
+			return nil, 0, 0, fallbackErr
+		}
+		lookups += extraLookups
+		rounds += extraRounds
+		return filterRecords(leaf.Records, p.q, ctx.shape), rounds, lookups, nil
+	}
+	if b.Label == p.node {
+		// The node itself is a leaf; it covers the piece entirely.
+		return filterRecords(b.Records, p.q, ctx.shape), rounds, lookups, nil
+	}
+	recs, r, lk, err := ix.process(p.q, p.node, b, ctx)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return recs, rounds + r, lookups + lk, nil
+}
+
+// piece is a speculative (node, subrange) unit of parallel forwarding.
+// base is the real tree node the speculation started from, bounding where
+// the covering leaf can sit when the speculative node overshoots the tree.
+type piece struct {
+	node bitlabel.Label
+	base bitlabel.Label
+	q    spatial.Rect
+}
+
+// coveringLeaf recovers from a speculative overshoot: the leaf covering the
+// piece is one of the labels between the piece's base (inclusive) and its
+// node (exclusive), so probing all their names in one parallel round finds
+// it. Names of nested prefixes can coincide, so probes are deduplicated.
+func (ix *Index) coveringLeaf(p piece) (Bucket, int, int, error) {
+	m := ix.opts.Dims
+	probed := map[bitlabel.Label]bool{bitlabel.Name(p.node, m): true} // already missed
+	lookups := 0
+	for j := p.node.Len() - 1; j >= p.base.Len(); j-- {
+		cand := p.node.Prefix(j)
+		name := bitlabel.Name(cand, m)
+		if probed[name] {
+			continue
+		}
+		probed[name] = true
+		b, found, err := ix.getBucket(name, nil)
+		lookups++
+		if err != nil {
+			return Bucket{}, 0, 0, err
+		}
+		if found && b.Label.IsPrefixOf(p.node) {
+			return b, lookups, 1, nil
+		}
+	}
+	// The parallel probe round failed to surface the leaf (possible only
+	// under concurrent restructuring); fall back to a sequential lookup.
+	leaf, trace, err := ix.LookupTraced(clampPoint(p.q.Lo))
+	if err != nil {
+		return Bucket{}, 0, 0, err
+	}
+	return leaf, lookups + trace.Probes, 1 + trace.Probes, nil
+}
+
+// speculate pre-splits subrange q below node β into up to h pieces by
+// descending the deterministic space partitioning — no DHT traffic is
+// needed because every peer knows the global partitioning rule (§3.2).
+func (ix *Index) speculate(beta bitlabel.Label, q spatial.Rect, ctx queryCtx) []piece {
+	m := ix.opts.Dims
+	queue := []piece{{node: beta, base: beta, q: q}}
+	var done []piece
+	guard := 0
+	for len(queue) > 0 && len(queue)+len(done) < ctx.h && guard < 64*ctx.h {
+		guard++
+		p := queue[0]
+		queue = queue[1:]
+		if ix.remainingDepth(p.node) <= 0 || p.node.Len() >= bitlabel.MaxLen {
+			done = append(done, p)
+			continue
+		}
+		expanded := false
+		for _, bit := range []byte{0, 1} {
+			child := p.node.MustAppend(bit)
+			g, err := spatial.RegionOf(child, m)
+			if err != nil {
+				continue
+			}
+			sub, overlaps := g.Intersect(p.q)
+			if !overlaps {
+				continue
+			}
+			if ctx.shape != nil && !ctx.shape.IntersectsRect(sub) {
+				continue
+			}
+			queue = append(queue, piece{node: child, base: beta, q: sub})
+			expanded = true
+		}
+		if !expanded {
+			done = append(done, p)
+		}
+	}
+	return append(done, queue...)
+}
+
+// filterRecords returns the records inside q (and inside the shape, when
+// one is given).
+func filterRecords(records []spatial.Record, q spatial.Rect, shape spatial.Shape) []spatial.Record {
+	var out []spatial.Record
+	for _, r := range records {
+		if !q.Contains(r.Key) {
+			continue
+		}
+		if shape != nil && !shape.ContainsPoint(r.Key) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// clampPoint nudges a rectangle corner into the unit cube's valid key
+// domain.
+func clampPoint(p spatial.Point) spatial.Point {
+	out := p.Clone()
+	for i, c := range out {
+		if c < 0 {
+			out[i] = 0
+		}
+		if c > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}

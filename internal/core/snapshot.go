@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/dht"
+	"mlight/internal/metrics"
+	"mlight/internal/spatial"
+)
+
+// Snapshot / RestoreInto provide whole-index persistence (an operational
+// extension beyond the paper): every bucket is streamed out in a compact
+// binary framing so an index can be checkpointed to disk and rebuilt on a
+// fresh substrate. The format is self-describing: magic, version,
+// dimensionality, bucket count, then one length-prefixed bucket frame
+// each. Restoration validates the structure — labels must extend the root
+// and form an antichain (no bucket may be an ancestor of another), records
+// must lie inside their bucket's cell — so a corrupted snapshot is
+// rejected rather than silently producing a broken index.
+
+const (
+	snapshotMagic   = "MLIGHTSNAP"
+	snapshotVersion = 1
+	// maxSnapshotBuckets bounds the declared bucket count (DoS guard).
+	maxSnapshotBuckets = 1 << 26
+)
+
+// ErrSnapshot reports a malformed or incompatible snapshot stream.
+var ErrSnapshot = errors.New("core: invalid snapshot")
+
+// Snapshot writes every bucket of the index to w. It requires an
+// enumerable substrate. The snapshot is a consistent copy only if the
+// index is quiescent while it runs.
+func (ix *Index) Snapshot(w io.Writer) error {
+	buckets, err := ix.Buckets()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	header := make([]byte, 0, 16)
+	header = binary.AppendUvarint(header, snapshotVersion)
+	header = binary.AppendUvarint(header, uint64(ix.opts.Dims))
+	header = binary.AppendUvarint(header, uint64(len(buckets)))
+	if _, err := bw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		frame := marshalBucketFrame(b)
+		var size [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(size[:], uint64(len(frame)))
+		if _, err := bw.Write(size[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// RestoreInto rebuilds an index from a snapshot onto the substrate d,
+// which must not already hold index buckets. opts.Dims, if set, must match
+// the snapshot's dimensionality; the remaining options configure the
+// restored index (so a restore may change, say, the splitting strategy).
+func RestoreInto(d dht.DHT, r io.Reader, opts Options) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrSnapshot, version)
+	}
+	dims64, err := binary.ReadUvarint(br)
+	if err != nil || dims64 < 1 || dims64 > 16 {
+		return nil, fmt.Errorf("%w: dimensionality %d", ErrSnapshot, dims64)
+	}
+	dims := int(dims64)
+	if opts.Dims != 0 && opts.Dims != dims {
+		return nil, fmt.Errorf("%w: snapshot is %d-dimensional, options say %d", ErrSnapshot, dims, opts.Dims)
+	}
+	opts.Dims = dims
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil || count > maxSnapshotBuckets {
+		return nil, fmt.Errorf("%w: bucket count", ErrSnapshot)
+	}
+
+	buckets := make([]Bucket, 0, minInt64(count, 1<<16))
+	labels := make(map[bitlabel.Label]bool, minInt64(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		size, err := binary.ReadUvarint(br)
+		if err != nil || size > 1<<30 {
+			return nil, fmt.Errorf("%w: bucket %d frame size", ErrSnapshot, i)
+		}
+		frame := make([]byte, size)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("%w: bucket %d truncated", ErrSnapshot, i)
+		}
+		b, err := unmarshalBucketFrame(frame, dims)
+		if err != nil {
+			return nil, fmt.Errorf("bucket %d: %w", i, err)
+		}
+		if labels[b.Label] {
+			return nil, fmt.Errorf("%w: duplicate bucket label %v", ErrSnapshot, b.Label)
+		}
+		labels[b.Label] = true
+		buckets = append(buckets, b)
+	}
+	// Structural validation: the labels must form an antichain of cells
+	// (no bucket an ancestor of another) so lookups terminate uniquely.
+	for l := range labels {
+		for p := l; p.Len() > dims+1; {
+			p = p.Parent()
+			if labels[p] {
+				return nil, fmt.Errorf("%w: bucket %v is an ancestor of bucket %v", ErrSnapshot, p, l)
+			}
+		}
+	}
+
+	stats := &metrics.IndexStats{}
+	ix := &Index{
+		opts:  opts,
+		raw:   d,
+		d:     dht.NewCounting(d, stats),
+		stats: stats,
+	}
+	if n, err := ix.Size(); err == nil && n > 0 {
+		return nil, fmt.Errorf("core: RestoreInto requires an empty substrate, found %d records", n)
+	}
+	for _, b := range buckets {
+		if err := d.Put(labelKey(bitlabel.Name(b.Label, dims)), b); err != nil {
+			return nil, fmt.Errorf("core: restore bucket %v: %w", b.Label, err)
+		}
+	}
+	if len(buckets) == 0 {
+		// Empty snapshot: bootstrap a fresh root.
+		root := bitlabel.Root(dims)
+		if err := d.Put(labelKey(bitlabel.Name(root, dims)), Bucket{Label: root}); err != nil {
+			return nil, fmt.Errorf("core: restore root: %w", err)
+		}
+	}
+	return ix, nil
+}
+
+// marshalBucketFrame encodes one bucket (label + records) for the
+// snapshot stream.
+func marshalBucketFrame(b Bucket) []byte {
+	buf := make([]byte, 0, 16+len(b.Records)*48)
+	buf = append(buf, byte(b.Label.Len()))
+	buf = binary.LittleEndian.AppendUint64(buf, b.Label.Bits())
+	buf = binary.AppendUvarint(buf, uint64(len(b.Records)))
+	for _, rec := range b.Records {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+		for _, c := range rec.Key {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Data)))
+		buf = append(buf, rec.Data...)
+	}
+	return buf
+}
+
+// unmarshalBucketFrame decodes and validates one bucket frame.
+func unmarshalBucketFrame(frame []byte, dims int) (Bucket, error) {
+	if len(frame) < 9 {
+		return Bucket{}, fmt.Errorf("%w: frame header", ErrSnapshot)
+	}
+	labelLen := int(frame[0])
+	if labelLen > bitlabel.MaxLen {
+		return Bucket{}, fmt.Errorf("%w: label length %d", ErrSnapshot, labelLen)
+	}
+	label := bitlabel.New(binary.LittleEndian.Uint64(frame[1:9]), labelLen)
+	if !bitlabel.Root(dims).IsPrefixOf(label) {
+		return Bucket{}, fmt.Errorf("%w: label %v does not extend the root", ErrSnapshot, label)
+	}
+	region, err := spatial.RegionOf(label, dims)
+	if err != nil {
+		return Bucket{}, fmt.Errorf("%w: label %v: %v", ErrSnapshot, label, err)
+	}
+	rest := frame[9:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) {
+		return Bucket{}, fmt.Errorf("%w: record count", ErrSnapshot)
+	}
+	rest = rest[n:]
+	b := Bucket{Label: label}
+	for i := uint64(0); i < count; i++ {
+		keyLen, n := binary.Uvarint(rest)
+		if n <= 0 || int(keyLen) != dims {
+			return Bucket{}, fmt.Errorf("%w: record %d key dims", ErrSnapshot, i)
+		}
+		rest = rest[n:]
+		if len(rest) < dims*8 {
+			return Bucket{}, fmt.Errorf("%w: record %d truncated", ErrSnapshot, i)
+		}
+		key := make(spatial.Point, dims)
+		for d := 0; d < dims; d++ {
+			key[d] = math.Float64frombits(binary.LittleEndian.Uint64(rest[d*8:]))
+		}
+		rest = rest[dims*8:]
+		dataLen, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < dataLen {
+			return Bucket{}, fmt.Errorf("%w: record %d data", ErrSnapshot, i)
+		}
+		rest = rest[n:]
+		rec := spatial.Record{Key: key, Data: string(rest[:dataLen])}
+		rest = rest[dataLen:]
+		if !rec.Key.Valid() || !region.Contains(rec.Key) {
+			return Bucket{}, fmt.Errorf("%w: record %d outside its bucket cell", ErrSnapshot, i)
+		}
+		b.Records = append(b.Records, rec)
+	}
+	if len(rest) != 0 {
+		return Bucket{}, fmt.Errorf("%w: %d trailing bytes in frame", ErrSnapshot, len(rest))
+	}
+	return b, nil
+}
+
+func minInt64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/spatial"
+)
+
+// FuzzRestoreInto: arbitrary bytes never panic the restorer; anything that
+// restores successfully yields a structurally valid, queryable index.
+func FuzzRestoreInto(f *testing.F) {
+	seedIx, err := New(dht.MustNewLocal(2), Options{ThetaSplit: 4, ThetaMerge: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := spatial.Point{float64(i%5) / 5, float64(i/5) / 4}
+		if err := seedIx.Insert(spatial.Record{Key: p, Data: "s"}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := seedIx.Snapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MLIGHTSNAP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := RestoreInto(dht.MustNewLocal(2), bytes.NewReader(data), Options{})
+		if err != nil {
+			return
+		}
+		// Whatever restored must answer a whole-space query sanely, in its
+		// own dimensionality.
+		m := ix.Dims()
+		lo := make(spatial.Point, m)
+		hi := make(spatial.Point, m)
+		for d := range hi {
+			hi[d] = 1
+		}
+		res, err := ix.RangeQuery(spatial.Rect{Lo: lo, Hi: hi})
+		if err != nil {
+			t.Fatalf("restored index broken: %v", err)
+		}
+		n, err := ix.Size()
+		if err != nil || n != len(res.Records) {
+			t.Fatalf("Size %d vs whole-space query %d (%v)", n, len(res.Records), err)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/spatial"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	src := newIndex(t, Options{ThetaSplit: 15, ThetaMerge: 7})
+	var records []spatial.Record
+	for i, p := range clusteredPoints(rng, 2, 2000) {
+		rec := spatial.Record{Key: p, Data: fmt.Sprintf("r%d", i)}
+		records = append(records, rec)
+		if err := src.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreInto(dht.MustNewLocal(16), bytes.NewReader(buf.Bytes()), Options{
+		ThetaSplit: 15, ThetaMerge: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical structure.
+	srcBuckets, err := src.Buckets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstBuckets, err := restored.Buckets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcBuckets) != len(dstBuckets) {
+		t.Fatalf("restored %d buckets, want %d", len(dstBuckets), len(srcBuckets))
+	}
+	// Identical behaviour: lookups and range queries match.
+	for _, rec := range records[:200] {
+		got, err := restored.Exact(rec.Key)
+		if err != nil || len(got) != 1 || got[0].Data != rec.Data {
+			t.Fatalf("restored Exact(%v) = %v, %v", rec.Key, got, err)
+		}
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := randomRect(rng, 2)
+		a, err := src.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecordSet(a.Records, b.Records) {
+			t.Fatalf("restored RangeQuery(%v) differs: %d vs %d", q, len(b.Records), len(a.Records))
+		}
+	}
+	// The restored index keeps working as a live index.
+	if err := restored.Insert(spatial.Record{Key: spatial.Point{0.123, 0.456}, Data: "post-restore"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEmptyIndex(t *testing.T) {
+	src := newIndex(t, Options{})
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreInto(dht.MustNewLocal(4), bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := restored.Size(); err != nil || n != 0 {
+		t.Fatalf("restored Size = %d, %v", n, err)
+	}
+	// And usable.
+	if err := restored.Insert(spatial.Record{Key: spatial.Point{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	src := newIndex(t, Options{})
+	if err := src.Insert(spatial.Record{Key: spatial.Point{0.2, 0.8}, Data: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte("NOTASNAP??"), good[10:]...)
+	if _, err := RestoreInto(dht.MustNewLocal(2), bytes.NewReader(bad), Options{}); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Dim mismatch against options.
+	if _, err := RestoreInto(dht.MustNewLocal(2), bytes.NewReader(good), Options{Dims: 3}); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("dim mismatch: %v", err)
+	}
+	// Truncations anywhere must error, not panic.
+	for cut := 1; cut < len(good); cut += 3 {
+		if _, err := RestoreInto(dht.MustNewLocal(2), bytes.NewReader(good[:cut]), Options{}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Non-empty substrate refused.
+	d := dht.MustNewLocal(2)
+	if _, err := New(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ix2, _ := New(d, Options{})
+	if err := ix2.Insert(spatial.Record{Key: spatial.Point{0.1, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreInto(d, bytes.NewReader(good), Options{}); err == nil {
+		t.Error("restore onto non-empty substrate accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Package dataset provides the evaluation data for the m-LIGHT
+// reproduction.
+//
+// The paper evaluates on a real dataset of 123,593 postal addresses in the
+// New York, Philadelphia and Boston metropolitan areas
+// (rtreeportal.org/datasets/spatial/US/NE.zip), normalised to [0,1] per
+// dimension. That file is not redistributable here, so SyntheticNE
+// generates a statistical stand-in: a seeded hierarchical Gaussian mixture
+// — three metropolitan clusters of unequal weight, each with town-level
+// subclusters and street-level micro-clusters, over sparse uniform
+// background noise. The experimentally relevant properties (cardinality
+// and heavy multi-scale spatial skew, which drives bucket-split behaviour
+// and load imbalance) are preserved; LoadCSV accepts the real file when
+// available.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"mlight/internal/spatial"
+)
+
+// NESize is the cardinality of the paper's NE dataset.
+const NESize = 123593
+
+// metro describes one metropolitan cluster of the synthetic NE model.
+type metro struct {
+	x, y   float64
+	weight float64 // share of non-noise points
+	spread float64 // town-level standard deviation
+	towns  int
+}
+
+// The three metros roughly follow the relative populations of the paper's
+// areas (New York > Philadelphia > Boston); positions are arbitrary but
+// fixed so every run of the suite sees the same space.
+var metros = []metro{
+	{x: 0.38, y: 0.55, weight: 0.50, spread: 0.060, towns: 14}, // New York
+	{x: 0.18, y: 0.25, weight: 0.28, spread: 0.050, towns: 10}, // Philadelphia
+	{x: 0.72, y: 0.80, weight: 0.22, spread: 0.045, towns: 8},  // Boston
+}
+
+// noiseFraction is the share of points drawn uniformly over the unit
+// square (rural addresses).
+const noiseFraction = 0.03
+
+// streetSpread is the standard deviation of street-level micro-clusters.
+const streetSpread = 0.0035
+
+// SyntheticNE generates the full-size synthetic NE dataset.
+func SyntheticNE(seed int64) []spatial.Record {
+	return Generate(NESize, seed)
+}
+
+// Generate produces n records from the synthetic NE model, deterministically
+// for a given seed. Records carry a sequential id in Data, so duplicates in
+// space remain distinguishable.
+func Generate(n int, seed int64) []spatial.Record {
+	rng := rand.New(rand.NewSource(seed))
+
+	// Lay out towns per metro, then weight towns so a few dominate (a
+	// Zipf-flavoured skew, like real city centres versus suburbs).
+	type town struct {
+		x, y   float64
+		cumulW float64
+	}
+	var towns []town
+	var totalW float64
+	for _, m := range metros {
+		for t := 0; t < m.towns; t++ {
+			w := m.weight / float64(t+1) // harmonic within-metro weights
+			totalW += w
+			towns = append(towns, town{
+				x:      clamp01(m.x + rng.NormFloat64()*m.spread),
+				y:      clamp01(m.y + rng.NormFloat64()*m.spread),
+				cumulW: totalW,
+			})
+		}
+	}
+
+	out := make([]spatial.Record, n)
+	for i := range out {
+		var p spatial.Point
+		if rng.Float64() < noiseFraction {
+			p = spatial.Point{rng.Float64(), rng.Float64()}
+		} else {
+			r := rng.Float64() * totalW
+			tw := towns[len(towns)-1]
+			for _, t := range towns {
+				if r <= t.cumulW {
+					tw = t
+					break
+				}
+			}
+			p = spatial.Point{
+				clamp01(tw.x + rng.NormFloat64()*streetSpread),
+				clamp01(tw.y + rng.NormFloat64()*streetSpread),
+			}
+		}
+		out[i] = spatial.Record{Key: p, Data: strconv.Itoa(i)}
+	}
+	return out
+}
+
+// Uniform produces n records uniformly distributed over the unit m-cube —
+// the skew-free control used by ablation benchmarks.
+func Uniform(n, m int, seed int64) []spatial.Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]spatial.Record, n)
+	for i := range out {
+		p := make(spatial.Point, m)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		out[i] = spatial.Record{Key: p, Data: strconv.Itoa(i)}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// WriteCSV writes records as one "x,y,…" line each.
+func WriteCSV(w io.Writer, records []spatial.Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		for d, c := range r.Key {
+			if d > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(c, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads records from "x,y,…" lines (as in the rtreeportal NE data
+// after normalisation), clamping coordinates to [0,1]. Blank lines and
+// lines starting with '#' are skipped. The dimensionality is taken from the
+// first data line.
+func LoadCSV(r io.Reader) ([]spatial.Record, error) {
+	var out []spatial.Record
+	dims := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if dims == 0 {
+			dims = len(fields)
+			if dims < 1 {
+				return nil, fmt.Errorf("dataset: line %d: no fields", lineNo)
+			}
+		}
+		if len(fields) != dims {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want %d", lineNo, len(fields), dims)
+		}
+		p := make(spatial.Point, dims)
+		for d, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %w", lineNo, d, err)
+			}
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("dataset: line %d field %d: NaN coordinate", lineNo, d)
+			}
+			p[d] = clamp01(v)
+		}
+		out = append(out, spatial.Record{Key: p, Data: strconv.Itoa(len(out))})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(500, 42)
+	b := Generate(500, 42)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("sizes %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key[0] != b[i].Key[0] || a[i].Key[1] != b[i].Key[1] || a[i].Data != b[i].Data {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c := Generate(500, 43)
+	same := 0
+	for i := range a {
+		if a[i].Key[0] == c[i].Key[0] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds produced %d identical coordinates", same)
+	}
+}
+
+func TestGenerateValidAndSkewed(t *testing.T) {
+	recs := Generate(20000, 7)
+	// All in the unit square.
+	for _, r := range recs {
+		if !r.Key.Valid() || r.Key.Dim() != 2 {
+			t.Fatalf("invalid point %v", r.Key)
+		}
+	}
+	// Heavy skew: an 8×8 grid must show a very uneven histogram — the max
+	// cell should hold far more than the uniform expectation.
+	var grid [8][8]int
+	for _, r := range recs {
+		i := int(r.Key[0] * 8)
+		j := int(r.Key[1] * 8)
+		if i == 8 {
+			i = 7
+		}
+		if j == 8 {
+			j = 7
+		}
+		grid[i][j]++
+	}
+	maxCell := 0
+	empties := 0
+	for i := range grid {
+		for j := range grid[i] {
+			if grid[i][j] > maxCell {
+				maxCell = grid[i][j]
+			}
+			if grid[i][j] < 20 {
+				empties++
+			}
+		}
+	}
+	uniform := 20000.0 / 64
+	if float64(maxCell) < 3*uniform {
+		t.Errorf("max cell %d; expected ≥ 3× uniform %f (dataset not skewed)", maxCell, uniform)
+	}
+	if empties < 10 {
+		t.Errorf("only %d near-empty cells; expected sparse countryside", empties)
+	}
+}
+
+func TestSyntheticNESize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation")
+	}
+	recs := SyntheticNE(1)
+	if len(recs) != NESize {
+		t.Fatalf("SyntheticNE produced %d records, want %d", len(recs), NESize)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	recs := Uniform(1000, 3, 5)
+	if len(recs) != 1000 {
+		t.Fatal("size")
+	}
+	var mean [3]float64
+	for _, r := range recs {
+		if r.Key.Dim() != 3 || !r.Key.Valid() {
+			t.Fatalf("bad point %v", r.Key)
+		}
+		for d := 0; d < 3; d++ {
+			mean[d] += r.Key[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		if m := mean[d] / 1000; math.Abs(m-0.5) > 0.05 {
+			t.Errorf("dim %d mean %f, want ≈ 0.5", d, m)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := Generate(200, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip %d of %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Key[0] != recs[i].Key[0] || back[i].Key[1] != recs[i].Key[1] {
+			t.Fatalf("record %d: %v != %v", i, back[i].Key, recs[i].Key)
+		}
+	}
+}
+
+func TestLoadCSVEdgeCases(t *testing.T) {
+	in := "# comment\n\n0.5,0.5\n1.5,-0.25\n"
+	recs, err := LoadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	// Out-of-range values are clamped.
+	if recs[1].Key[0] != 1 || recs[1].Key[1] != 0 {
+		t.Errorf("clamping failed: %v", recs[1].Key)
+	}
+	if _, err := LoadCSV(strings.NewReader("0.1,0.2\n0.3\n")); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("abc,0.2\n")); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}

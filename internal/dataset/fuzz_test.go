@@ -1,0 +1,25 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV: arbitrary text never panics, and whatever loads is valid.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("0.5,0.5\n0.1,0.9\n")
+	f.Add("# comment\n\n1.5,-2\n")
+	f.Add("abc")
+	f.Add("0.1,0.2,0.3\n0.4\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		records, err := LoadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, r := range records {
+			if !r.Key.Valid() {
+				t.Fatalf("loaded invalid point %v", r.Key)
+			}
+		}
+	})
+}

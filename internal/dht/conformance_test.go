@@ -1,0 +1,20 @@
+package dht_test
+
+import (
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/dht/dhttest"
+)
+
+func TestLocalConformance(t *testing.T) {
+	dhttest.RunConformance(t, func(t *testing.T) dht.DHT {
+		return dht.MustNewLocal(8)
+	})
+}
+
+func TestCountingConformance(t *testing.T) {
+	dhttest.RunConformance(t, func(t *testing.T) dht.DHT {
+		return dht.NewCounting(dht.MustNewLocal(8), nil)
+	})
+}

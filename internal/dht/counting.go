@@ -1,0 +1,78 @@
+package dht
+
+import (
+	"errors"
+
+	"mlight/internal/metrics"
+)
+
+// ErrNotEnumerable is returned by Counting.Range when the wrapped substrate
+// does not support enumeration.
+var ErrNotEnumerable = errors.New("dht: substrate cannot enumerate entries")
+
+// Counting decorates a DHT and counts every logical operation in an
+// IndexStats — the measurement point for the paper's "DHT-lookup cost"
+// (Figs. 5a/5c, 7a). Each Put/Get/Remove/Apply is one DHT operation: it
+// begins with a DHT-lookup to locate the owner, which is the unit the paper
+// counts.
+type Counting struct {
+	inner DHT
+	stats *metrics.IndexStats
+}
+
+var _ DHT = (*Counting)(nil)
+
+// NewCounting wraps inner, charging operations to stats. A nil stats
+// allocates a private counter set, retrievable via Stats.
+func NewCounting(inner DHT, stats *metrics.IndexStats) *Counting {
+	if stats == nil {
+		stats = &metrics.IndexStats{}
+	}
+	return &Counting{inner: inner, stats: stats}
+}
+
+// Inner returns the wrapped DHT.
+func (c *Counting) Inner() DHT { return c.inner }
+
+// Stats returns the counter set operations are charged to.
+func (c *Counting) Stats() *metrics.IndexStats { return c.stats }
+
+// Put implements DHT.
+func (c *Counting) Put(key Key, value any) error {
+	c.stats.DHTLookups.Inc()
+	return c.inner.Put(key, value)
+}
+
+// Get implements DHT.
+func (c *Counting) Get(key Key) (any, bool, error) {
+	c.stats.DHTLookups.Inc()
+	return c.inner.Get(key)
+}
+
+// Remove implements DHT.
+func (c *Counting) Remove(key Key) error {
+	c.stats.DHTLookups.Inc()
+	return c.inner.Remove(key)
+}
+
+// Apply implements DHT.
+func (c *Counting) Apply(key Key, fn ApplyFunc) error {
+	c.stats.DHTLookups.Inc()
+	return c.inner.Apply(key, fn)
+}
+
+// Owner implements DHT. Ownership inspection is a measurement aid, not a
+// data-path operation, so it is not counted.
+func (c *Counting) Owner(key Key) (string, error) {
+	return c.inner.Owner(key)
+}
+
+// Range implements Enumerator when the wrapped DHT does; it is a
+// measurement aid and is not counted.
+func (c *Counting) Range(fn func(key Key, value any) bool) error {
+	e, ok := c.inner.(Enumerator)
+	if !ok {
+		return ErrNotEnumerable
+	}
+	return e.Range(fn)
+}

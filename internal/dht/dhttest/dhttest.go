@@ -1,0 +1,154 @@
+// Package dhttest provides a conformance suite that every dht.DHT substrate
+// in this repository must pass. Running the same behavioural checks against
+// the local map DHT, the Chord overlay, and the Pastry overlay backs the
+// paper's claim that m-LIGHT "is adaptable to any DHT substrate": the index
+// only relies on the behaviours pinned here.
+package dhttest
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+)
+
+// Factory builds a fresh, empty substrate for one subtest.
+type Factory func(t *testing.T) dht.DHT
+
+// RunConformance exercises the substrate contract: replacement semantics of
+// Put, absence reporting of Get, idempotent Remove, atomic Apply with
+// create/mutate/delete, stable Owner assignment, and (when supported)
+// complete enumeration via Range.
+func RunConformance(t *testing.T, newDHT Factory) {
+	t.Helper()
+
+	t.Run("PutGetReplace", func(t *testing.T) {
+		d := newDHT(t)
+		if _, ok, err := d.Get("absent"); err != nil || ok {
+			t.Fatalf("Get(absent) = ok=%v err=%v, want absent", ok, err)
+		}
+		if err := d.Put("k", "v1"); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok, err := d.Get("k"); err != nil || !ok || v != "v1" {
+			t.Fatalf("Get(k) = %v, %v, %v", v, ok, err)
+		}
+		if err := d.Put("k", "v2"); err != nil {
+			t.Fatal(err)
+		}
+		if v, _, _ := d.Get("k"); v != "v2" {
+			t.Fatalf("Put did not replace: %v", v)
+		}
+	})
+
+	t.Run("RemoveIdempotent", func(t *testing.T) {
+		d := newDHT(t)
+		if err := d.Put("k", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Remove("k"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := d.Get("k"); ok {
+			t.Fatal("Remove left value")
+		}
+		if err := d.Remove("k"); err != nil {
+			t.Fatalf("second Remove errored: %v", err)
+		}
+	})
+
+	t.Run("ApplyLifecycle", func(t *testing.T) {
+		d := newDHT(t)
+		if err := d.Apply("a", func(cur any, exists bool) (any, bool) {
+			if exists {
+				t.Error("Apply on fresh key saw existing value")
+			}
+			return 10, true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Apply("a", func(cur any, exists bool) (any, bool) {
+			n, _ := cur.(int)
+			if !exists || n != 10 {
+				t.Errorf("Apply saw %v/%v", cur, exists)
+			}
+			return n + 1, true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok, _ := d.Get("a"); !ok || v != 11 {
+			t.Fatalf("after Apply: %v, %v", v, ok)
+		}
+		if err := d.Apply("a", func(any, bool) (any, bool) { return nil, false }); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, _ := d.Get("a"); ok {
+			t.Fatal("Apply(keep=false) left value")
+		}
+	})
+
+	t.Run("OwnerStable", func(t *testing.T) {
+		d := newDHT(t)
+		for i := 0; i < 64; i++ {
+			k := dht.Key(fmt.Sprintf("stable-%d", i))
+			o1, err := d.Owner(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, err := d.Owner(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o1 != o2 || o1 == "" {
+				t.Fatalf("Owner(%q) unstable or empty: %q vs %q", k, o1, o2)
+			}
+		}
+	})
+
+	t.Run("ManyKeys", func(t *testing.T) {
+		d := newDHT(t)
+		const n = 256
+		for i := 0; i < n; i++ {
+			if err := d.Put(dht.Key(fmt.Sprintf("many-%d", i)), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, ok, err := d.Get(dht.Key(fmt.Sprintf("many-%d", i)))
+			if err != nil || !ok || v != i {
+				t.Fatalf("Get(many-%d) = %v, %v, %v", i, v, ok, err)
+			}
+		}
+	})
+
+	t.Run("RangeComplete", func(t *testing.T) {
+		d := newDHT(t)
+		e, ok := d.(dht.Enumerator)
+		if !ok {
+			t.Skip("substrate does not enumerate")
+		}
+		want := map[dht.Key]bool{}
+		for i := 0; i < 100; i++ {
+			k := dht.Key(fmt.Sprintf("enum-%d", i))
+			want[k] = true
+			if err := d.Put(k, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := map[dht.Key]bool{}
+		if err := e.Range(func(k dht.Key, v any) bool {
+			got[k] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Range saw %d entries, want %d", len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("Range missed %q", k)
+			}
+		}
+	})
+}

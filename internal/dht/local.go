@@ -1,0 +1,150 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Local is a single-process DHT: a concurrency-safe key-value store that
+// assigns ownership over a configurable set of virtual peers by consistent
+// hashing, exactly as a ring DHT would. It is the fast substrate for unit
+// tests and the default for the paper's experiments, where the metrics of
+// interest (logical DHT operations, records moved, rounds) are independent
+// of overlay routing.
+type Local struct {
+	mu    sync.RWMutex
+	store map[Key]any
+	// ring holds the virtual peers' positions, sorted; peers[i] names the
+	// peer at ring[i].
+	ring  []ID
+	peers []string
+}
+
+var (
+	_ DHT        = (*Local)(nil)
+	_ Enumerator = (*Local)(nil)
+)
+
+// NewLocal creates a local DHT with numPeers virtual peers named
+// "peer-0" … "peer-N-1", placed on the identifier ring by hashing their
+// names. numPeers must be at least 1.
+func NewLocal(numPeers int) (*Local, error) {
+	if numPeers < 1 {
+		return nil, fmt.Errorf("dht: NewLocal needs at least one peer, got %d", numPeers)
+	}
+	l := &Local{store: make(map[Key]any)}
+	type entry struct {
+		id   ID
+		name string
+	}
+	entries := make([]entry, numPeers)
+	for i := range entries {
+		name := fmt.Sprintf("peer-%d", i)
+		entries[i] = entry{id: HashString(name), name: name}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id.Cmp(entries[j].id) < 0 })
+	l.ring = make([]ID, numPeers)
+	l.peers = make([]string, numPeers)
+	for i, e := range entries {
+		l.ring[i] = e.id
+		l.peers[i] = e.name
+	}
+	return l, nil
+}
+
+// MustNewLocal is NewLocal for trusted constants; it panics on error.
+func MustNewLocal(numPeers int) *Local {
+	l, err := NewLocal(numPeers)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Put implements DHT.
+func (l *Local) Put(key Key, value any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store[key] = value
+	return nil
+}
+
+// Get implements DHT.
+func (l *Local) Get(key Key) (any, bool, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	v, ok := l.store[key]
+	return v, ok, nil
+}
+
+// Remove implements DHT.
+func (l *Local) Remove(key Key) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.store, key)
+	return nil
+}
+
+// Apply implements DHT.
+func (l *Local) Apply(key Key, fn ApplyFunc) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.store[key]
+	next, keep := fn(cur, ok)
+	if keep {
+		l.store[key] = next
+	} else {
+		delete(l.store, key)
+	}
+	return nil
+}
+
+// Owner implements DHT: the peer owning a key is the first peer at or after
+// hash(key) on the ring (the key's successor).
+func (l *Local) Owner(key Key) (string, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	id := HashKey(key)
+	i := sort.Search(len(l.ring), func(i int) bool { return l.ring[i].Cmp(id) >= 0 })
+	if i == len(l.ring) {
+		i = 0
+	}
+	return l.peers[i], nil
+}
+
+// Peers returns the names of all virtual peers.
+func (l *Local) Peers() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]string(nil), l.peers...)
+}
+
+// Range implements Enumerator.
+func (l *Local) Range(fn func(key Key, value any) bool) error {
+	l.mu.RLock()
+	keys := make([]Key, 0, len(l.store))
+	for k := range l.store {
+		keys = append(keys, k)
+	}
+	l.mu.RUnlock()
+	for _, k := range keys {
+		l.mu.RLock()
+		v, ok := l.store[k]
+		l.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored entries.
+func (l *Local) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.store)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mlight/internal/spatial"
+	"mlight/internal/workload"
+)
+
+// Fig7RangeQuery reproduces Figs. 7a and 7b: range-query bandwidth (number
+// of DHT-lookups) and latency (rounds of DHT-lookups) versus range span,
+// for m-LIGHT basic, m-LIGHT parallel with each configured lookahead, PHT,
+// and DST. All schemes are loaded with the same dataset and answer the same
+// query rectangles; y values are per-query averages.
+func Fig7RangeQuery(cfg Config) (bandwidth, latency Table, err error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Table{}, Table{}, err
+	}
+	records := cfg.records()
+	set, err := newSchemeSet(cfg, cfg.ThetaSplit)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	for i, rec := range records {
+		if err := set.mlight.Insert(rec); err != nil {
+			return Table{}, Table{}, fmt.Errorf("experiments: m-LIGHT insert #%d: %w", i, err)
+		}
+		if err := set.pht.Insert(rec); err != nil {
+			return Table{}, Table{}, fmt.Errorf("experiments: PHT insert #%d: %w", i, err)
+		}
+		if err := set.dst.Insert(rec); err != nil {
+			return Table{}, Table{}, fmt.Errorf("experiments: DST insert #%d: %w", i, err)
+		}
+	}
+
+	type scheme struct {
+		name string
+		run  func(q spatial.Rect) (lookups, rounds int, n int, err error)
+	}
+	schemes := []scheme{
+		{name: "m-LIGHT (basic)", run: func(q spatial.Rect) (int, int, int, error) {
+			res, err := set.mlight.RangeQuery(q)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.Lookups, res.Rounds, len(res.Records), nil
+		}},
+	}
+	for _, h := range cfg.Lookaheads {
+		h := h
+		schemes = append(schemes, scheme{
+			name: fmt.Sprintf("m-LIGHT (parallel-%d)", h),
+			run: func(q spatial.Rect) (int, int, int, error) {
+				res, err := set.mlight.RangeQueryParallel(q, h)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				return res.Lookups, res.Rounds, len(res.Records), nil
+			},
+		})
+	}
+	schemes = append(schemes,
+		scheme{name: "PHT", run: func(q spatial.Rect) (int, int, int, error) {
+			res, err := set.pht.RangeQuery(q)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.Lookups, res.Rounds, len(res.Records), nil
+		}},
+		scheme{name: "DST", run: func(q spatial.Rect) (int, int, int, error) {
+			res, err := set.dst.RangeQuery(q)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			return res.Lookups, res.Rounds, len(res.Records), nil
+		}},
+	)
+
+	bwSeries := make([]Series, len(schemes))
+	latSeries := make([]Series, len(schemes))
+	for i, s := range schemes {
+		bwSeries[i].Name = s.name
+		latSeries[i].Name = s.name
+	}
+
+	gen, err := workload.NewRangeGenerator(cfg.Dims, cfg.Seed+100)
+	if err != nil {
+		return Table{}, Table{}, err
+	}
+	for _, span := range cfg.Spans {
+		queries, err := gen.SpanBatch(span, cfg.QueriesPerSpan)
+		if err != nil {
+			return Table{}, Table{}, err
+		}
+		// The first scheme establishes the answer cardinality per query;
+		// every other scheme must match it — a cross-scheme correctness
+		// check built into the harness.
+		baseline := make([]int, len(queries))
+		for si, s := range schemes {
+			totalLookups, totalRounds := 0, 0
+			for qi, q := range queries {
+				lookups, rounds, n, err := s.run(q)
+				if err != nil {
+					return Table{}, Table{}, fmt.Errorf("experiments: %s span %v query %d: %w", s.name, span, qi, err)
+				}
+				totalLookups += lookups
+				totalRounds += rounds
+				if si == 0 {
+					baseline[qi] = n
+				} else if n != baseline[qi] {
+					return Table{}, Table{}, fmt.Errorf(
+						"experiments: %s span %v query %d returned %d records, m-LIGHT returned %d",
+						s.name, span, qi, n, baseline[qi])
+				}
+			}
+			q := float64(len(queries))
+			bwSeries[si].Points = append(bwSeries[si].Points, Point{X: span, Y: float64(totalLookups) / q})
+			latSeries[si].Points = append(latSeries[si].Points, Point{X: span, Y: float64(totalRounds) / q})
+		}
+	}
+	bandwidth = Table{
+		ID: "Fig7a", Title: "Range query: bandwidth vs range span",
+		XLabel: "range span", YLabel: "DHT-lookups per query",
+		Series: bwSeries,
+	}
+	latency = Table{
+		ID: "Fig7b", Title: "Range query: latency vs range span",
+		XLabel: "range span", YLabel: "rounds of DHT-lookups per query",
+		Series: latSeries,
+	}
+	return bandwidth, latency, nil
+}

@@ -1,0 +1,792 @@
+// Package kademlia implements the Kademlia distributed hash table
+// (Maymounkov & Mazières, IPTPS 2002) over the simulated network — the
+// third pluggable substrate beneath the m-LIGHT index, alongside
+// internal/chord and internal/pastry.
+//
+// Kademlia's distinguishing choices, all implemented here:
+//
+//   - the XOR metric: d(a, b) = a ⊕ b, which is symmetric and unifies
+//     "distance to a node" and "distance to a key";
+//   - k-buckets: one bucket of up to k contacts per shared-prefix length,
+//     refreshed opportunistically — every inbound RPC's sender is inserted,
+//     so routing state maintains itself from ordinary traffic;
+//   - iterative lookups with concurrency α: the querier keeps a shortlist
+//     of the closest known contacts and repeatedly asks the α best
+//     unqueried ones for closer nodes until the shortlist converges.
+//
+// A key is owned by the node whose identifier has minimal XOR distance to
+// hash(key). Joins backfill routing tables by looking up the joiner's own
+// identifier; graceful leaves hand keys to the next-closest contact;
+// crashes are repaired by the Overlay's Stabilize rounds (bucket refresh +
+// dead-contact eviction).
+//
+// With Config.Replication = r > 1, writes follow the paper's placement
+// rule — store at the r closest nodes — so reads survive up to r-1 crashed
+// replicas. Replicas are refreshed on every write; this implementation
+// omits the original's TTL-based republishing, so copies left behind by
+// ownership changes persist until overwritten or removed.
+package kademlia
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mlight/internal/dht"
+	"mlight/internal/metrics"
+	"mlight/internal/simnet"
+)
+
+const (
+	// K is the bucket capacity (number of contacts remembered per
+	// shared-prefix length). The original paper uses 20; 8 suits the
+	// simulation scales here.
+	K = 8
+	// Alpha is the lookup concurrency factor.
+	Alpha = 3
+)
+
+// clientAddr is the source address for overlay-initiated RPCs.
+const clientAddr simnet.NodeID = "kademlia-client"
+
+// ErrLookupFailed is returned when an iterative lookup cannot complete.
+var ErrLookupFailed = errors.New("kademlia: lookup failed")
+
+// ref names a remote node.
+type ref struct {
+	Addr simnet.NodeID
+	ID   dht.ID
+}
+
+func (r ref) isZero() bool { return r.Addr == "" }
+
+// xorDist returns the XOR distance between two identifiers.
+func xorDist(a, b dht.ID) dht.ID {
+	var out dht.ID
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// closerTo reports whether a is strictly closer to target than b in the
+// XOR metric, with ties (only possible when a == b) broken false.
+func closerTo(target, a, b dht.ID) bool {
+	return xorDist(a, target).Cmp(xorDist(b, target)) < 0
+}
+
+// Node is one Kademlia peer.
+type Node struct {
+	addr simnet.NodeID
+	id   dht.ID
+	net  *simnet.Network
+
+	mu      sync.Mutex
+	buckets [dht.IDBits][]ref // buckets[i]: contacts sharing exactly i prefix bits
+	store   map[dht.Key]any
+}
+
+// rpc request/response types.
+type (
+	pingReq     struct{ From ref }
+	findNodeReq struct {
+		From   ref
+		Target dht.ID
+	}
+	findNodeResp struct{ Closest []ref }
+	storeReq     struct {
+		From  ref
+		Key   dht.Key
+		Value any
+	}
+	retrieveReq struct {
+		From ref
+		Key  dht.Key
+	}
+	retrieveResp struct {
+		Value any
+		Found bool
+	}
+	removeReq struct {
+		From ref
+		Key  dht.Key
+	}
+	applyReq struct {
+		From ref
+		Key  dht.Key
+		Fn   dht.ApplyFunc
+	}
+	applyResp struct {
+		Value any
+		Keep  bool
+	}
+	claimReq   struct{ Joiner ref }
+	claimResp  struct{ Entries map[dht.Key]any }
+	handoffReq struct{ Entries map[dht.Key]any }
+)
+
+func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
+	n := &Node{
+		addr:  addr,
+		id:    dht.HashString(string(addr)),
+		net:   net,
+		store: make(map[dht.Key]any),
+	}
+	if err := net.Register(addr, n); err != nil {
+		return nil, fmt.Errorf("kademlia: register %q: %w", addr, err)
+	}
+	return n, nil
+}
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.NodeID { return n.addr }
+
+// ID returns the node's identifier.
+func (n *Node) ID() dht.ID { return n.id }
+
+func (n *Node) self() ref { return ref{Addr: n.addr, ID: n.id} }
+
+// HandleRPC implements simnet.Handler. Every request carries its sender,
+// which is opportunistically inserted into the routing table — Kademlia's
+// self-maintaining state.
+func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
+	switch r := req.(type) {
+	case pingReq:
+		n.observe(r.From)
+		return n.self(), nil
+	case findNodeReq:
+		n.observe(r.From)
+		return findNodeResp{Closest: n.closest(r.Target, K)}, nil
+	case storeReq:
+		n.observe(r.From)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.store[r.Key] = r.Value
+		return struct{}{}, nil
+	case retrieveReq:
+		n.observe(r.From)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		v, ok := n.store[r.Key]
+		return retrieveResp{Value: v, Found: ok}, nil
+	case removeReq:
+		n.observe(r.From)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.store, r.Key)
+		return struct{}{}, nil
+	case applyReq:
+		n.observe(r.From)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		cur, ok := n.store[r.Key]
+		next, keep := r.Fn(cur, ok)
+		if keep {
+			n.store[r.Key] = next
+		} else {
+			delete(n.store, r.Key)
+		}
+		return applyResp{Value: next, Keep: keep}, nil
+	case claimReq:
+		return n.handleClaim(r.Joiner), nil
+	case handoffReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for k, v := range r.Entries {
+			n.store[k] = v
+		}
+		return struct{}{}, nil
+	default:
+		return nil, fmt.Errorf("kademlia: %s: unknown request type %T", n.addr, req)
+	}
+}
+
+// observe inserts a contact into its k-bucket (move-to-front on
+// re-observation; drop when full, preferring long-lived contacts, per the
+// paper's LRU policy without the ping-eviction refinement).
+func (n *Node) observe(c ref) {
+	if c.isZero() || c.Addr == n.addr {
+		return
+	}
+	i := n.id.CommonPrefixDigits(c.ID, 1)
+	if i >= dht.IDBits {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bucket := n.buckets[i]
+	for j, existing := range bucket {
+		if existing.Addr == c.Addr {
+			// Move to front (most recently seen).
+			copy(bucket[1:j+1], bucket[:j])
+			bucket[0] = c
+			return
+		}
+	}
+	if len(bucket) < K {
+		n.buckets[i] = append([]ref{c}, bucket...)
+	}
+	// Bucket full: keep the existing (older, more reliable) contacts.
+}
+
+// evict removes a dead contact.
+func (n *Node) evict(c ref) {
+	i := n.id.CommonPrefixDigits(c.ID, 1)
+	if i >= dht.IDBits {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	bucket := n.buckets[i]
+	for j, existing := range bucket {
+		if existing.Addr == c.Addr {
+			n.buckets[i] = append(bucket[:j], bucket[j+1:]...)
+			return
+		}
+	}
+}
+
+// closest returns up to count known contacts closest to target (including
+// the node itself).
+func (n *Node) closest(target dht.ID, count int) []ref {
+	n.mu.Lock()
+	cands := []ref{n.self()}
+	for i := range n.buckets {
+		cands = append(cands, n.buckets[i]...)
+	}
+	n.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		return closerTo(target, cands[i].ID, cands[j].ID)
+	})
+	if len(cands) > count {
+		cands = cands[:count]
+	}
+	return cands
+}
+
+// handleClaim yields the keys a joining peer now owns.
+func (n *Node) handleClaim(joiner ref) claimResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[dht.Key]any)
+	for k, v := range n.store {
+		h := dht.HashKey(k)
+		if closerTo(h, joiner.ID, n.id) {
+			out[k] = v
+			delete(n.store, k)
+		}
+	}
+	return claimResp{Entries: out}
+}
+
+func (n *Node) storeSnapshot() map[dht.Key]any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[dht.Key]any, len(n.store))
+	for k, v := range n.store {
+		out[k] = v
+	}
+	return out
+}
+
+// StoreLen returns the number of entries stored on the node.
+func (n *Node) StoreLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// knownContacts returns every routing-table contact.
+func (n *Node) knownContacts() []ref {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []ref
+	for i := range n.buckets {
+		out = append(out, n.buckets[i]...)
+	}
+	return out
+}
+
+// Config tunes an Overlay.
+type Config struct {
+	// MaxRounds bounds one iterative lookup; 0 means a generous default.
+	MaxRounds int
+	// Seed drives entry-point selection.
+	Seed int64
+	// Replication stores each key at the first Replication closest live
+	// nodes — the original paper's "store at the k closest" rule. 0 or 1
+	// means a single copy; the cap is K.
+	Replication int
+}
+
+// Overlay manages a set of Kademlia nodes and exposes them as one dht.DHT.
+type Overlay struct {
+	net         *simnet.Network
+	maxRounds   int
+	replication int
+
+	mu    sync.Mutex
+	nodes map[simnet.NodeID]*Node
+	order []simnet.NodeID
+	rng   *rand.Rand
+
+	// Lookups counts iterative lookups; Hops counts FIND_NODE RPCs issued.
+	Lookups metrics.Counter
+	Hops    metrics.Counter
+}
+
+var (
+	_ dht.DHT        = (*Overlay)(nil)
+	_ dht.Enumerator = (*Overlay)(nil)
+)
+
+// NewOverlay creates an empty overlay on net.
+func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	replication := cfg.Replication
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > K {
+		replication = K
+	}
+	return &Overlay{
+		net:         net,
+		maxRounds:   maxRounds,
+		replication: replication,
+		nodes:       make(map[simnet.NodeID]*Node),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// AddNode creates and joins a node at addr: it seeds its routing table
+// from a bootstrap contact, looks up its own identifier (backfilling
+// buckets along the way), and claims the keys it now owns from its closest
+// neighbours.
+func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
+	o.mu.Lock()
+	if _, dup := o.nodes[addr]; dup {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("kademlia: node %q already in overlay", addr)
+	}
+	var bootstrap *Node
+	for _, a := range o.order {
+		bootstrap = o.nodes[a]
+		break
+	}
+	o.mu.Unlock()
+
+	n, err := newNode(o.net, addr)
+	if err != nil {
+		return nil, err
+	}
+	if bootstrap != nil {
+		n.observe(bootstrap.self())
+		// Self-lookup populates the routing table and announces us.
+		closest, err := o.iterativeFindNode(n.self(), n.id)
+		if err != nil {
+			o.net.Deregister(addr)
+			return nil, fmt.Errorf("kademlia: join %q: %w", addr, err)
+		}
+		for _, c := range closest {
+			n.observe(c)
+			claimAny, err := o.net.Call(n.addr, c.Addr, claimReq{Joiner: n.self()})
+			if err != nil {
+				continue
+			}
+			if claim, ok := claimAny.(claimResp); ok && len(claim.Entries) > 0 {
+				n.mu.Lock()
+				for k, v := range claim.Entries {
+					n.store[k] = v
+				}
+				n.mu.Unlock()
+			}
+		}
+	}
+	o.mu.Lock()
+	o.nodes[addr] = n
+	o.order = append(o.order, addr)
+	sort.Slice(o.order, func(i, j int) bool { return o.order[i] < o.order[j] })
+	o.mu.Unlock()
+	return n, nil
+}
+
+// RemoveNode gracefully departs a node, handing each key to the closest
+// remaining contact.
+func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
+	o.mu.Lock()
+	n, ok := o.nodes[addr]
+	if ok {
+		delete(o.nodes, addr)
+		o.order = removeAddr(o.order, addr)
+	}
+	last := len(o.nodes) == 0
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("kademlia: node %q not in overlay", addr)
+	}
+	defer o.net.Deregister(addr)
+	if last {
+		return nil
+	}
+	entries := n.storeSnapshot()
+	if len(entries) == 0 {
+		return nil
+	}
+	batches := make(map[simnet.NodeID]map[dht.Key]any)
+	for k, v := range entries {
+		// The key's next owner is the closest *remaining* node: run the
+		// iterative lookup and skip ourselves in the result.
+		closest, err := o.iterativeFindNode(n.self(), dht.HashKey(k))
+		if err != nil {
+			continue
+		}
+		var owner ref
+		for _, c := range closest {
+			if c.Addr == addr {
+				continue
+			}
+			if _, err := o.net.Call(addr, c.Addr, pingReq{From: n.self()}); err == nil {
+				owner = c
+				break
+			}
+		}
+		if owner.isZero() {
+			continue
+		}
+		if batches[owner.Addr] == nil {
+			batches[owner.Addr] = make(map[dht.Key]any)
+		}
+		batches[owner.Addr][k] = v
+	}
+	for dst, batch := range batches {
+		if _, err := o.net.Call(addr, dst, handoffReq{Entries: batch}); err != nil {
+			return fmt.Errorf("kademlia: leave %q: handoff to %q: %w", addr, dst, err)
+		}
+	}
+	return nil
+}
+
+// CrashNode fails a node abruptly; its keys are lost and its contacts are
+// evicted during Stabilize.
+func (o *Overlay) CrashNode(addr simnet.NodeID) error {
+	o.mu.Lock()
+	_, ok := o.nodes[addr]
+	if ok {
+		delete(o.nodes, addr)
+		o.order = removeAddr(o.order, addr)
+	}
+	o.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("kademlia: node %q not in overlay", addr)
+	}
+	o.net.SetDown(addr, true)
+	return nil
+}
+
+func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
+	out := order[:0]
+	for _, a := range order {
+		if a != addr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Stabilize runs bucket-refresh rounds: every node pings its contacts,
+// evicts the dead, and re-looks-up its own identifier to heal coverage.
+func (o *Overlay) Stabilize(rounds int) {
+	for i := 0; i < rounds; i++ {
+		for _, addr := range o.Nodes() {
+			n, ok := o.nodeAt(addr)
+			if !ok {
+				continue
+			}
+			for _, c := range n.knownContacts() {
+				if _, err := o.net.Call(n.addr, c.Addr, pingReq{From: n.self()}); err != nil {
+					n.evict(c)
+				}
+			}
+			_, _ = o.iterativeFindNode(n.self(), n.id)
+		}
+	}
+}
+
+// Nodes returns the managed node addresses in sorted order.
+func (o *Overlay) Nodes() []simnet.NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]simnet.NodeID(nil), o.order...)
+}
+
+// NumNodes returns the number of managed nodes.
+func (o *Overlay) NumNodes() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.nodes)
+}
+
+func (o *Overlay) nodeAt(addr simnet.NodeID) (*Node, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n, ok := o.nodes[addr]
+	return n, ok
+}
+
+func (o *Overlay) pickEntry() (*Node, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.order) == 0 {
+		return nil, dht.ErrNoPeers
+	}
+	return o.nodes[o.order[o.rng.Intn(len(o.order))]], nil
+}
+
+// iterativeFindNode runs Kademlia's iterative node lookup from the given
+// origin, returning the K closest live contacts to target.
+func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
+	type candidate struct {
+		ref     ref
+		queried bool
+	}
+	shortlist := map[simnet.NodeID]*candidate{
+		origin.Addr: {ref: origin},
+	}
+	sortedList := func() []*candidate {
+		out := make([]*candidate, 0, len(shortlist))
+		for _, c := range shortlist {
+			out = append(out, c)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return closerTo(target, out[i].ref.ID, out[j].ref.ID)
+		})
+		return out
+	}
+	for round := 0; round < o.maxRounds; round++ {
+		// Termination rule (per the paper): stop once the K closest known
+		// candidates have all been queried — not merely when a round adds
+		// nothing new, since an unqueried near candidate can still reveal
+		// closer nodes.
+		batch := make([]*candidate, 0, Alpha)
+		top := sortedList()
+		if len(top) > K {
+			top = top[:K]
+		}
+		for _, c := range top {
+			if len(batch) >= Alpha {
+				break
+			}
+			if !c.queried {
+				batch = append(batch, c)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, c := range batch {
+			c.queried = true
+			respAny, err := o.net.Call(clientAddr, c.ref.Addr, findNodeReq{From: origin, Target: target})
+			o.Hops.Inc()
+			if err != nil {
+				delete(shortlist, c.ref.Addr)
+				continue
+			}
+			resp, ok := respAny.(findNodeResp)
+			if !ok {
+				continue
+			}
+			for _, found := range resp.Closest {
+				if _, seen := shortlist[found.Addr]; !seen {
+					shortlist[found.Addr] = &candidate{ref: found}
+				}
+			}
+		}
+	}
+	out := make([]ref, 0, K)
+	for _, c := range sortedList() {
+		if len(out) >= K {
+			break
+		}
+		out = append(out, c.ref)
+	}
+	if len(out) == 0 {
+		return nil, ErrLookupFailed
+	}
+	return out, nil
+}
+
+// ownersOf returns the first count live nodes closest to the target.
+func (o *Overlay) ownersOf(target dht.ID, count int) ([]ref, error) {
+	entry, err := o.pickEntry()
+	if err != nil {
+		return nil, err
+	}
+	closest, err := o.iterativeFindNode(entry.self(), target)
+	if err != nil {
+		return nil, err
+	}
+	o.Lookups.Inc()
+	out := make([]ref, 0, count)
+	for _, c := range closest {
+		if len(out) >= count {
+			break
+		}
+		if _, err := o.net.Call(clientAddr, c.Addr, pingReq{From: entry.self()}); err == nil {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
+	}
+	return out, nil
+}
+
+// route resolves the live owner (closest node) of a target identifier.
+// origin, when non-nil, supplies the starting shortlist; otherwise a random
+// managed node is used.
+func (o *Overlay) route(target dht.ID, origin *Node) (ref, error) {
+	entry := origin
+	if entry == nil {
+		var err error
+		entry, err = o.pickEntry()
+		if err != nil {
+			return ref{}, err
+		}
+	}
+	closest, err := o.iterativeFindNode(entry.self(), target)
+	if err != nil {
+		return ref{}, err
+	}
+	o.Lookups.Inc()
+	for _, c := range closest {
+		if _, err := o.net.Call(clientAddr, c.Addr, pingReq{From: entry.self()}); err == nil {
+			return c, nil
+		}
+	}
+	return ref{}, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
+}
+
+// Put implements dht.DHT: the value is stored at the Replication closest
+// live nodes (the paper's placement rule).
+func (o *Overlay) Put(key dht.Key, value any) error {
+	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
+	if err != nil {
+		return err
+	}
+	for _, owner := range owners {
+		if _, err := o.net.Call(clientAddr, owner.Addr, storeReq{Key: key, Value: value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get implements dht.DHT: replicas are consulted closest-first, so a value
+// survives as long as any of its copies does.
+func (o *Overlay) Get(key dht.Key) (any, bool, error) {
+	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, owner := range owners {
+		respAny, err := o.net.Call(clientAddr, owner.Addr, retrieveReq{Key: key})
+		if err != nil {
+			continue
+		}
+		resp, ok := respAny.(retrieveResp)
+		if !ok {
+			return nil, false, fmt.Errorf("kademlia: bad retrieve response %T", respAny)
+		}
+		if resp.Found {
+			return resp.Value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Remove implements dht.DHT: the key is removed from every replica.
+func (o *Overlay) Remove(key dht.Key) error {
+	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
+	if err != nil {
+		return err
+	}
+	for _, owner := range owners {
+		if _, err := o.net.Call(clientAddr, owner.Addr, removeReq{Key: key}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply implements dht.DHT: the transform runs at the closest live node
+// and its result is pushed to the remaining replicas.
+func (o *Overlay) Apply(key dht.Key, fn dht.ApplyFunc) error {
+	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
+	if err != nil {
+		return err
+	}
+	respAny, err := o.net.Call(clientAddr, owners[0].Addr, applyReq{Key: key, Fn: fn})
+	if err != nil {
+		return err
+	}
+	resp, ok := respAny.(applyResp)
+	if !ok {
+		return fmt.Errorf("kademlia: bad apply response %T", respAny)
+	}
+	for _, owner := range owners[1:] {
+		if resp.Keep {
+			if _, err := o.net.Call(clientAddr, owner.Addr, storeReq{Key: key, Value: resp.Value}); err != nil {
+				return err
+			}
+		} else if _, err := o.net.Call(clientAddr, owner.Addr, removeReq{Key: key}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Owner implements dht.DHT.
+func (o *Overlay) Owner(key dht.Key) (string, error) {
+	owner, err := o.route(dht.HashKey(key), nil)
+	if err != nil {
+		return "", err
+	}
+	return string(owner.Addr), nil
+}
+
+// Range implements dht.Enumerator. With replication enabled the same key
+// exists on several nodes; each key is reported once.
+func (o *Overlay) Range(fn func(key dht.Key, value any) bool) error {
+	seen := make(map[dht.Key]bool)
+	for _, addr := range o.Nodes() {
+		n, ok := o.nodeAt(addr)
+		if !ok {
+			continue
+		}
+		for k, v := range n.storeSnapshot() {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !fn(k, v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// MeanRouteLength returns the average FIND_NODE RPCs per completed lookup.
+func (o *Overlay) MeanRouteLength() float64 {
+	lookups := o.Lookups.Load()
+	if lookups == 0 {
+		return 0
+	}
+	return float64(o.Hops.Load()) / float64(lookups)
+}

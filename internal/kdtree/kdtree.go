@@ -1,0 +1,146 @@
+// Package kdtree implements the space kd-tree of m-LIGHT §3.2 — recursive
+// bisection of the unit cube along dimensions 0,1,…,m-1 cyclically — plus
+// the two index splitting strategies of §4:
+//
+//   - threshold splitting: a leaf holding more than θsplit records divides
+//     at its spatial midpoint (SplitOnce), recursively until every leaf is
+//     within threshold (ThresholdSplit);
+//   - data-aware splitting: Algorithm 1 (OptimalSplit) computes the split
+//     subtree that minimises Σ(load-ε)² over its leaves, the strategy
+//     Theorem 6 proves optimal for peer load balance.
+//
+// The package also provides Tree, an in-memory global space kd-tree. The
+// distributed index never materialises this structure — it exists as the
+// reference model ("what the paper's Figure 1 draws") and as the oracle in
+// integration tests: the union of a distributed index's leaf buckets must
+// equal the reference tree's leaves.
+package kdtree
+
+import (
+	"fmt"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/spatial"
+)
+
+// Cell is one leaf of a (sub)tree: an absolute kd-tree label, its region,
+// and the records that fall in it.
+type Cell struct {
+	Label   bitlabel.Label
+	Region  spatial.Region
+	Records []spatial.Record
+}
+
+// Load returns the number of records in the cell.
+func (c Cell) Load() int { return len(c.Records) }
+
+// PartitionRecords splits records between the two halves of region g along
+// dim. Records on the midpoint boundary go to the upper half, matching the
+// half-open region convention.
+func PartitionRecords(records []spatial.Record, g spatial.Region, dim int) (lower, upper []spatial.Record) {
+	mid := (g.Lo[dim] + g.Hi[dim]) / 2
+	for _, r := range records {
+		if r.Key[dim] < mid {
+			lower = append(lower, r)
+		} else {
+			upper = append(upper, r)
+		}
+	}
+	return lower, upper
+}
+
+// SplitOnce divides a leaf cell into its two children along the dimension
+// its depth dictates. It fails if the label cannot grow.
+func SplitOnce(c Cell, m int) (left, right Cell, err error) {
+	if c.Label.Len() >= bitlabel.MaxLen {
+		return Cell{}, Cell{}, fmt.Errorf("kdtree: cell %v at maximum depth: %w", c.Label, bitlabel.ErrTooLong)
+	}
+	dim := spatial.SplitDim(c.Label.Len()-(m+1), m)
+	lowRegion, highRegion := c.Region.Halves(dim)
+	lowRecs, highRecs := PartitionRecords(c.Records, c.Region, dim)
+	left = Cell{Label: c.Label.MustAppend(0), Region: lowRegion, Records: lowRecs}
+	right = Cell{Label: c.Label.MustAppend(1), Region: highRegion, Records: highRecs}
+	return left, right, nil
+}
+
+// ThresholdSplit recursively divides the cell until every resulting leaf
+// holds at most thetaSplit records or maxDepth additional levels have been
+// used (overfull leaves at the depth limit are returned as-is, the standard
+// escape for duplicate-heavy data). The input cell must be over threshold;
+// callers check that, so a within-threshold cell is returned unchanged.
+func ThresholdSplit(c Cell, m, thetaSplit, maxDepth int) ([]Cell, error) {
+	if thetaSplit < 1 {
+		return nil, fmt.Errorf("kdtree: thetaSplit must be positive, got %d", thetaSplit)
+	}
+	if c.Load() <= thetaSplit || maxDepth <= 0 || c.Label.Len() >= bitlabel.MaxLen {
+		return []Cell{c}, nil
+	}
+	left, right, err := SplitOnce(c, m)
+	if err != nil {
+		return nil, err
+	}
+	lcells, err := ThresholdSplit(left, m, thetaSplit, maxDepth-1)
+	if err != nil {
+		return nil, err
+	}
+	rcells, err := ThresholdSplit(right, m, thetaSplit, maxDepth-1)
+	if err != nil {
+		return nil, err
+	}
+	return append(lcells, rcells...), nil
+}
+
+// OptimalSplit is Algorithm 1 (local-split) of the paper: it computes the
+// virtual subtree rooted at the cell that minimises the total squared
+// deviation Σ (load(leaf) - ε)² over its leaves, recursing while a cell
+// holds more than ε records (and depth remains). It returns the leaves of
+// the optimal subtree and whether splitting strictly improves on keeping
+// the bucket whole; when improved is false the returned slice is the input
+// cell alone.
+func OptimalSplit(c Cell, m, epsilon, maxDepth int) (leaves []Cell, improved bool, err error) {
+	if epsilon < 1 {
+		return nil, false, fmt.Errorf("kdtree: epsilon must be positive, got %d", epsilon)
+	}
+	cost, cells, err := optimalSplitRec(c, m, epsilon, maxDepth)
+	if err != nil {
+		return nil, false, err
+	}
+	if localCost(c.Load(), epsilon) <= cost {
+		// Keeping the bucket whole is at least as good: no split (the
+		// comparison in Algorithm 1 line 8 keeps s_local on ties).
+		return []Cell{c}, false, nil
+	}
+	return cells, true, nil
+}
+
+// localCost is (l-ε)² in exact integer arithmetic.
+func localCost(load, epsilon int) int64 {
+	d := int64(load - epsilon)
+	return d * d
+}
+
+// optimalSplitRec returns the minimal cost achievable for the cell and the
+// leaf set realising it (which is the cell itself when not splitting wins).
+func optimalSplitRec(c Cell, m, epsilon, maxDepth int) (int64, []Cell, error) {
+	slocal := localCost(c.Load(), epsilon)
+	if c.Load() <= epsilon || maxDepth <= 0 || c.Label.Len() >= bitlabel.MaxLen {
+		return slocal, []Cell{c}, nil
+	}
+	left, right, err := SplitOnce(c, m)
+	if err != nil {
+		return 0, nil, err
+	}
+	lcost, lcells, err := optimalSplitRec(left, m, epsilon, maxDepth-1)
+	if err != nil {
+		return 0, nil, err
+	}
+	rcost, rcells, err := optimalSplitRec(right, m, epsilon, maxDepth-1)
+	if err != nil {
+		return 0, nil, err
+	}
+	snonlocal := lcost + rcost
+	if slocal <= snonlocal {
+		return slocal, []Cell{c}, nil
+	}
+	return snonlocal, append(lcells, rcells...), nil
+}

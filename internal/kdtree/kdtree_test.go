@@ -1,0 +1,314 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/spatial"
+)
+
+func rootCell(m int, recs []spatial.Record) Cell {
+	return Cell{
+		Label:   bitlabel.Root(m),
+		Region:  spatial.UnitCube(m),
+		Records: recs,
+	}
+}
+
+func recs(points ...spatial.Point) []spatial.Record {
+	out := make([]spatial.Record, len(points))
+	for i, p := range points {
+		out[i] = spatial.Record{Key: p}
+	}
+	return out
+}
+
+func randomRecords(rng *rand.Rand, m, n int) []spatial.Record {
+	out := make([]spatial.Record, n)
+	for i := range out {
+		p := make(spatial.Point, m)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		out[i] = spatial.Record{Key: p}
+	}
+	return out
+}
+
+func TestPartitionRecords(t *testing.T) {
+	g := spatial.UnitCube(1)
+	rs := recs(spatial.Point{0.2}, spatial.Point{0.5}, spatial.Point{0.7}, spatial.Point{0.49})
+	lower, upper := PartitionRecords(rs, g, 0)
+	if len(lower) != 2 || len(upper) != 2 {
+		t.Fatalf("partition = %d/%d, want 2/2", len(lower), len(upper))
+	}
+	// The midpoint itself goes up (half-open cells).
+	for _, r := range upper {
+		if r.Key[0] < 0.5 {
+			t.Errorf("record %v in upper half", r.Key)
+		}
+	}
+}
+
+func TestSplitOnce(t *testing.T) {
+	m := 2
+	c := rootCell(m, recs(spatial.Point{0.1, 0.9}, spatial.Point{0.9, 0.1}))
+	left, right, err := SplitOnce(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := left.Label.Pretty(m); got != "#0" {
+		t.Errorf("left label = %s", got)
+	}
+	if got := right.Label.Pretty(m); got != "#1" {
+		t.Errorf("right label = %s", got)
+	}
+	if left.Region.Hi[0] != 0.5 || right.Region.Lo[0] != 0.5 {
+		t.Errorf("regions: %v / %v", left.Region, right.Region)
+	}
+	if left.Load() != 1 || right.Load() != 1 {
+		t.Errorf("loads: %d / %d", left.Load(), right.Load())
+	}
+	// Second-level split goes along dim 1.
+	ll, lr, err := SplitOnce(left, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Region.Hi[1] != 0.5 || lr.Region.Lo[1] != 0.5 {
+		t.Errorf("second-level regions: %v / %v", ll.Region, lr.Region)
+	}
+}
+
+func TestSplitOnceAtMaxDepth(t *testing.T) {
+	c := Cell{Label: bitlabel.New(0, bitlabel.MaxLen), Region: spatial.UnitCube(1)}
+	if _, _, err := SplitOnce(c, 1); err == nil {
+		t.Error("SplitOnce at max depth succeeded")
+	}
+}
+
+func TestThresholdSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := 2
+	c := rootCell(m, randomRecords(rng, m, 500))
+	cells, err := ThresholdSplit(c, m, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cell := range cells {
+		if cell.Load() > 20 {
+			t.Errorf("cell %v load %d exceeds threshold", cell.Label, cell.Load())
+		}
+		total += cell.Load()
+	}
+	if total != 500 {
+		t.Errorf("records lost: %d of 500", total)
+	}
+	assertTiling(t, cells, m)
+	// Invalid threshold.
+	if _, err := ThresholdSplit(c, m, 0, 10); err == nil {
+		t.Error("thetaSplit=0 accepted")
+	}
+	// Depth cap stops recursion even when overfull.
+	dup := rootCell(1, recs(spatial.Point{0.3}, spatial.Point{0.3}, spatial.Point{0.3}))
+	capped, err := ThresholdSplit(dup, 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, cell := range capped {
+		sum += cell.Load()
+	}
+	if sum != 3 {
+		t.Errorf("depth-capped split lost records: %d", sum)
+	}
+}
+
+// assertTiling checks the cells form an antichain of labels whose regions
+// are pairwise disjoint, i.e. a valid kd-subtree frontier.
+func assertTiling(t *testing.T, cells []Cell, m int) {
+	t.Helper()
+	for i := range cells {
+		for j := range cells {
+			if i == j {
+				continue
+			}
+			if cells[i].Label.IsPrefixOf(cells[j].Label) {
+				t.Fatalf("cell %v is ancestor of %v", cells[i].Label, cells[j].Label)
+			}
+		}
+	}
+	// Every cell's region must match its label.
+	for _, c := range cells {
+		g, err := spatial.RegionOf(c.Label, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.String() != c.Region.String() {
+			t.Fatalf("cell %v region %v, label says %v", c.Label, c.Region, g)
+		}
+		for _, r := range c.Records {
+			if !c.Region.Contains(r.Key) {
+				t.Fatalf("record %v outside its cell %v", r.Key, c.Label)
+			}
+		}
+	}
+}
+
+// TestOptimalSplitPaperExample reproduces Fig. 3 (ε = 2): four points
+// arranged two per quarter-cell with an empty half have split cost equal to
+// the unsplit cost (4), so no split happens; a fifth point landing in the
+// empty half drops the split cost to 1 and triggers a 3-cell split with
+// loads {2, 2, 1}.
+func TestOptimalSplitPaperExample(t *testing.T) {
+	m := 2
+	before := recs(
+		spatial.Point{0.1, 0.8}, spatial.Point{0.2, 0.9}, // upper quarter of the left half
+		spatial.Point{0.3, 0.2}, spatial.Point{0.4, 0.3}, // lower quarter of the left half
+	)
+	cells, improved, err := OptimalSplit(rootCell(m, before), m, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved || len(cells) != 1 {
+		t.Fatalf("before insertion: improved=%v cells=%d, want no split", improved, len(cells))
+	}
+
+	after := append(append([]spatial.Record{}, before...),
+		spatial.Record{Key: spatial.Point{0.7, 0.2}}) // the empty right half
+	cells, improved, err = OptimalSplit(rootCell(m, after), m, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !improved {
+		t.Fatal("after insertion: split not triggered")
+	}
+	if len(cells) != 3 {
+		t.Fatalf("after insertion: %d cells, want 3", len(cells))
+	}
+	loads := map[int]int{}
+	var cost int64
+	for _, c := range cells {
+		loads[c.Load()]++
+		cost += localCost(c.Load(), 2)
+	}
+	if loads[2] != 2 || loads[1] != 1 {
+		t.Errorf("loads = %v, want {2:2, 1:1}", loads)
+	}
+	if cost != 1 {
+		t.Errorf("total cost = %d, want 1", cost)
+	}
+	assertTiling(t, cells, m)
+}
+
+func TestOptimalSplitNoSplitWhenSmall(t *testing.T) {
+	m := 2
+	c := rootCell(m, recs(spatial.Point{0.1, 0.1}))
+	cells, improved, err := OptimalSplit(c, m, 2, 30)
+	if err != nil || improved || len(cells) != 1 {
+		t.Fatalf("OptimalSplit on tiny bucket: %v/%v/%v", cells, improved, err)
+	}
+	if _, _, err := OptimalSplit(c, m, 0, 30); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+}
+
+// TestOptimalSplitInvariants: on random data the result preserves records,
+// tiles the cell, achieves cost Σ(l-ε)² no worse than the unsplit cost and
+// no worse than the threshold-split frontier, and improved is consistent.
+func TestOptimalSplitInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(120)
+		epsilon := 1 + rng.Intn(20)
+		c := rootCell(m, randomRecords(rng, m, n))
+		cells, improved, err := OptimalSplit(c, m, epsilon, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		var cost int64
+		for _, cell := range cells {
+			total += cell.Load()
+			cost += localCost(cell.Load(), epsilon)
+		}
+		if total != n {
+			t.Fatalf("records lost: %d of %d", total, n)
+		}
+		assertTiling(t, cells, m)
+		unsplit := localCost(n, epsilon)
+		if improved != (cost < unsplit) {
+			t.Fatalf("improved=%v but cost=%d vs unsplit=%d", improved, cost, unsplit)
+		}
+		if !improved && len(cells) != 1 {
+			t.Fatalf("no improvement but %d cells", len(cells))
+		}
+		// The optimum can't be beaten by the threshold frontier at θ=ε.
+		frontier, err := ThresholdSplit(c, m, epsilon, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frontierCost int64
+		for _, cell := range frontier {
+			frontierCost += localCost(cell.Load(), epsilon)
+		}
+		if cost > frontierCost && cost > unsplit {
+			t.Fatalf("optimal cost %d beaten by frontier %d (unsplit %d)", cost, frontierCost, unsplit)
+		}
+		if cost > unsplit {
+			t.Fatalf("optimal cost %d worse than not splitting %d", cost, unsplit)
+		}
+	}
+}
+
+// TestOptimalSplitBeatsThresholdVariance: the headline of §4.2 — for
+// clustered data the data-aware frontier has load variance no worse than
+// the θ-threshold frontier at matched expected load.
+func TestOptimalSplitBeatsThresholdVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := 2
+	// Clustered data: one dense blob plus sparse noise.
+	var rs []spatial.Record
+	for i := 0; i < 300; i++ {
+		rs = append(rs, spatial.Record{Key: spatial.Point{
+			clamp01(0.2 + rng.NormFloat64()*0.03),
+			clamp01(0.7 + rng.NormFloat64()*0.03),
+		}})
+	}
+	for i := 0; i < 30; i++ {
+		rs = append(rs, spatial.Record{Key: spatial.Point{rng.Float64(), rng.Float64()}})
+	}
+	c := rootCell(m, rs)
+	optimal, _, err := OptimalSplit(c, m, 20, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier, err := ThresholdSplit(c, m, 28, 40) // roughly matched leaf count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviation(optimal, 20) > deviation(frontier, 20) {
+		t.Errorf("data-aware deviation %d worse than threshold %d",
+			deviation(optimal, 20), deviation(frontier, 20))
+	}
+}
+
+func deviation(cells []Cell, epsilon int) int64 {
+	var s int64
+	for _, c := range cells {
+		s += localCost(c.Load(), epsilon)
+	}
+	return s
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,168 @@
+// Package metrics provides the counters and statistical helpers used by the
+// m-LIGHT evaluation: DHT-operation counts, record-movement counts, and
+// per-peer load statistics (paper §7).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, concurrency-safe counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// IndexStats aggregates the maintenance metrics the paper reports for an
+// over-DHT index (Figs. 5a–5d): every logical DHT operation issued and every
+// data record transferred across the DHT.
+type IndexStats struct {
+	// DHTLookups counts logical DHT operations (lookup/get/put/remove/
+	// apply), the unit of Fig. 5a/5c and Fig. 7a.
+	DHTLookups Counter
+	// RecordsMoved counts data records shipped across the DHT: initial
+	// placement of inserted records, bucket halves transferred at splits,
+	// buckets transferred at merges, and replica fan-out (DST). The unit of
+	// Fig. 5b/5d.
+	RecordsMoved Counter
+	// Splits and Merges count structural index adjustments.
+	Splits Counter
+	Merges Counter
+}
+
+// Snapshot is a point-in-time copy of IndexStats.
+type Snapshot struct {
+	DHTLookups   int64
+	RecordsMoved int64
+	Splits       int64
+	Merges       int64
+}
+
+// Snapshot copies the current counter values.
+func (s *IndexStats) Snapshot() Snapshot {
+	return Snapshot{
+		DHTLookups:   s.DHTLookups.Load(),
+		RecordsMoved: s.RecordsMoved.Load(),
+		Splits:       s.Splits.Load(),
+		Merges:       s.Merges.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *IndexStats) Reset() {
+	s.DHTLookups.Reset()
+	s.RecordsMoved.Reset()
+	s.Splits.Reset()
+	s.Merges.Reset()
+}
+
+// Sub returns the delta between two snapshots (s - older).
+func (s Snapshot) Sub(older Snapshot) Snapshot {
+	return Snapshot{
+		DHTLookups:   s.DHTLookups - older.DHTLookups,
+		RecordsMoved: s.RecordsMoved - older.RecordsMoved,
+		Splits:       s.Splits - older.Splits,
+		Merges:       s.Merges - older.Merges,
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("lookups=%d moved=%d splits=%d merges=%d",
+		s.DHTLookups, s.RecordsMoved, s.Splits, s.Merges)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mu := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mu
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// NormalizedVariance returns the variance of xs/mean(xs) — the squared
+// coefficient of variation. This is the load-variance measure of Fig. 6a: it
+// is scale-free, so runs with different data sizes are comparable.
+func NormalizedVariance(xs []float64) float64 {
+	mu := Mean(xs)
+	if mu == 0 {
+		return 0
+	}
+	return Variance(xs) / (mu * mu)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation. It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Gini returns the Gini coefficient of the (non-negative) values — an
+// auxiliary imbalance measure used in the extended load-balance experiments.
+func Gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for i, x := range sorted {
+		cum += x * float64(2*(i+1)-n-1)
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}

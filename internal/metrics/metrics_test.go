@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Load = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Errorf("after Reset = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 10000 {
+		t.Errorf("Load = %d, want 10000", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var s IndexStats
+	s.DHTLookups.Add(10)
+	s.RecordsMoved.Add(5)
+	before := s.Snapshot()
+	s.DHTLookups.Add(7)
+	s.Splits.Inc()
+	delta := s.Snapshot().Sub(before)
+	if delta.DHTLookups != 7 || delta.RecordsMoved != 0 || delta.Splits != 1 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if delta.String() == "" {
+		t.Error("empty String")
+	}
+	s.Reset()
+	if got := s.Snapshot(); got != (Snapshot{}) {
+		t.Errorf("after Reset = %+v", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance(single) = %v", got)
+	}
+	if got := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+}
+
+func TestNormalizedVarianceScaleFree(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	scaled := []float64{100, 200, 300, 400}
+	a, b := NormalizedVariance(xs), NormalizedVariance(scaled)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("NormalizedVariance not scale-free: %v vs %v", a, b)
+	}
+	if got := NormalizedVariance([]float64{0, 0}); got != 0 {
+		t.Errorf("NormalizedVariance of zeros = %v", got)
+	}
+	uniform := []float64{7, 7, 7, 7}
+	if got := NormalizedVariance(uniform); got != 0 {
+		t.Errorf("NormalizedVariance of uniform = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestQuantileMonotonicQuick(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if got := Gini([]float64{5, 5, 5, 5}); math.Abs(got) > 1e-12 {
+		t.Errorf("Gini(uniform) = %v, want 0", got)
+	}
+	// All load on one peer of n approaches 1 - 1/n.
+	xs := make([]float64, 100)
+	xs[0] = 1
+	if got := Gini(xs); math.Abs(got-0.99) > 1e-9 {
+		t.Errorf("Gini(concentrated) = %v, want 0.99", got)
+	}
+	if got := Gini(nil); got != 0 {
+		t.Errorf("Gini(nil) = %v", got)
+	}
+	if got := Gini([]float64{0, 0}); got != 0 {
+		t.Errorf("Gini(zeros) = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package pastry
+
+import (
+	"sort"
+
+	"mlight/internal/dht"
+)
+
+// Leaf-set replication, Bamboo/PAST style (and therefore the mechanism the
+// m-LIGHT paper's own deployment platform used): with Config.Replication =
+// r > 1, every key is copied to the owner's r-1 nearest leaf-set members.
+// Replicas live in a separate store so enumeration and ownership transfers
+// never confuse copies with primaries. Repair is periodic: each Stabilize
+// round a node re-pushes its primary entries to its current nearest
+// neighbours, and a read that misses the primary store falls back to the
+// replica store — which is exactly where the data sits on the next-closest
+// node after its owner crashes.
+
+// replicateReq pushes replica copies to a leaf-set member.
+type replicateReq struct{ Entries map[dht.Key]any }
+
+// dropReplicaReq removes a replica after a delete.
+type dropReplicaReq struct{ Key dht.Key }
+
+// handleReplicate stores pushed replica copies.
+func (n *Node) handleReplicate(entries map[dht.Key]any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.replicas == nil {
+		n.replicas = make(map[dht.Key]any, len(entries))
+	}
+	for k, v := range entries {
+		n.replicas[k] = v
+	}
+}
+
+// ReplicaLen returns the number of replica entries held (for tests).
+func (n *Node) ReplicaLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.replicas)
+}
+
+// replicaTargets returns the owner's r-1 nearest live leaf-set members on
+// the ring.
+func (o *Overlay) replicaTargets(owner ref) []ref {
+	if o.replication <= 1 {
+		return nil
+	}
+	n, ok := o.nodeAt(owner.Addr)
+	if !ok {
+		return nil
+	}
+	n.mu.Lock()
+	cands := make([]ref, 0, len(n.leaves))
+	for _, c := range n.leaves {
+		cands = append(cands, c)
+	}
+	n.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		return dht.CircularDistance(cands[i].ID, owner.ID).Cmp(
+			dht.CircularDistance(cands[j].ID, owner.ID)) < 0
+	})
+	out := make([]ref, 0, o.replication-1)
+	for _, c := range cands {
+		if len(out) >= o.replication-1 {
+			break
+		}
+		if _, err := o.net.Call(owner.Addr, c.Addr, pingReq{}); err == nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// replicate pushes one key's value to the owner's replica targets.
+func (o *Overlay) replicate(owner ref, key dht.Key, value any) {
+	for _, t := range o.replicaTargets(owner) {
+		_, _ = o.net.Call(owner.Addr, t.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
+	}
+}
+
+// dropReplicas removes the key's replicas after a Remove.
+func (o *Overlay) dropReplicas(owner ref, key dht.Key) {
+	for _, t := range o.replicaTargets(owner) {
+		_, _ = o.net.Call(owner.Addr, t.Addr, dropReplicaReq{Key: key})
+	}
+}
+
+// reReplicate pushes a node's whole primary store to its current replica
+// targets — the periodic repair of one stabilization round.
+func (o *Overlay) reReplicate(n *Node) {
+	if o.replication <= 1 {
+		return
+	}
+	entries := n.storeSnapshot()
+	if len(entries) == 0 {
+		return
+	}
+	for _, t := range o.replicaTargets(n.self()) {
+		_, _ = o.net.Call(n.addr, t.Addr, replicateReq{Entries: entries})
+	}
+}

@@ -1,0 +1,135 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
+
+func buildReplicatedOverlay(t *testing.T, n, replication int) *Overlay {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	o := NewOverlay(net, Config{Seed: 1, Replication: replication})
+	for i := 0; i < n; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(2)
+	return o
+}
+
+func TestLeafSetReplicationSurvivesCrash(t *testing.T) {
+	o := buildReplicatedOverlay(t, 14, 3)
+	for i := 0; i < 250; i++ {
+		if err := o.Put(dht.Key(fmt.Sprintf("rk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(1) // settle replica placement
+	for _, victim := range []simnet.NodeID{"node-2", "node-11"} {
+		if err := o.CrashNode(victim); err != nil {
+			t.Fatal(err)
+		}
+		o.Stabilize(2)
+	}
+	lost := 0
+	for i := 0; i < 250; i++ {
+		v, ok, err := o.Get(dht.Key(fmt.Sprintf("rk%d", i)))
+		if err != nil || !ok || v != i {
+			lost++
+		}
+	}
+	if lost != 0 {
+		t.Errorf("%d of 250 keys lost after two crashes with r=3", lost)
+	}
+}
+
+func TestLeafSetReplicationApply(t *testing.T) {
+	o := buildReplicatedOverlay(t, 10, 2)
+	inc := func(cur any, ok bool) (any, bool) {
+		if !ok {
+			return 1, true
+		}
+		n, _ := cur.(int)
+		return n + 1, true
+	}
+	for i := 0; i < 6; i++ {
+		if err := o.Apply("ctr", inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(1)
+	owner, err := o.Owner("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CrashNode(simnet.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+	o.Stabilize(2)
+	v, ok, err := o.Get("ctr")
+	if err != nil || !ok || v != 6 {
+		t.Fatalf("counter after owner crash = %v, %v, %v", v, ok, err)
+	}
+	// Post-crash writes promote the replica and keep counting.
+	if err := o.Apply("ctr", inc); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := o.Get("ctr"); v != 7 {
+		t.Fatalf("counter after post-crash apply = %v", v)
+	}
+}
+
+func TestLeafSetReplicationRemoveDropsReplicas(t *testing.T) {
+	o := buildReplicatedOverlay(t, 8, 3)
+	if err := o.Put("gone", "x"); err != nil {
+		t.Fatal(err)
+	}
+	o.Stabilize(1)
+	if err := o.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := o.Owner("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CrashNode(simnet.NodeID(owner)); err != nil {
+		t.Fatal(err)
+	}
+	o.Stabilize(2)
+	if _, ok, _ := o.Get("gone"); ok {
+		t.Error("removed key resurrected from a replica")
+	}
+}
+
+func TestReplicationClamped(t *testing.T) {
+	o := NewOverlay(simnet.New(simnet.Options{}), Config{Replication: 99})
+	if o.replication != leafHalf {
+		t.Errorf("replication = %d, want clamp at %d", o.replication, leafHalf)
+	}
+}
+
+func TestReplicasHeldOnNeighbours(t *testing.T) {
+	o := buildReplicatedOverlay(t, 10, 3)
+	for i := 0; i < 100; i++ {
+		if err := o.Put(dht.Key(fmt.Sprintf("hk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(1)
+	primaries, replicas := 0, 0
+	for _, addr := range o.Nodes() {
+		n, _ := o.nodeAt(addr)
+		primaries += n.StoreLen()
+		replicas += n.ReplicaLen()
+	}
+	if primaries != 100 {
+		t.Errorf("primary copies = %d, want 100", primaries)
+	}
+	if replicas < 150 || replicas > 200 {
+		t.Errorf("replica copies = %d, want ≈ 200 for r=3", replicas)
+	}
+}

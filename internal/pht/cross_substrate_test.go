@@ -1,0 +1,102 @@
+package pht_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/chord"
+	"mlight/internal/dataset"
+	"mlight/internal/dht"
+	"mlight/internal/kademlia"
+	"mlight/internal/pastry"
+	"mlight/internal/pht"
+	"mlight/internal/simnet"
+	"mlight/internal/spatial"
+	"mlight/internal/workload"
+)
+
+// TestPHTOverEveryOverlay: the PHT baseline is as substrate-agnostic as
+// m-LIGHT — identical answers over all four substrates.
+func TestPHTOverEveryOverlay(t *testing.T) {
+	substrates := map[string]func(t *testing.T) dht.DHT{
+		"local": func(t *testing.T) dht.DHT { return dht.MustNewLocal(12) },
+		"chord": func(t *testing.T) dht.DHT {
+			net := simnet.New(simnet.Options{})
+			ring := chord.NewRing(net, chord.Config{Seed: 1})
+			for i := 0; i < 10; i++ {
+				if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ring.Stabilize(2)
+			return ring
+		},
+		"pastry": func(t *testing.T) dht.DHT {
+			net := simnet.New(simnet.Options{})
+			o := pastry.NewOverlay(net, pastry.Config{Seed: 1})
+			for i := 0; i < 10; i++ {
+				if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			o.Stabilize(2)
+			return o
+		},
+		"kademlia": func(t *testing.T) dht.DHT {
+			net := simnet.New(simnet.Options{})
+			o := kademlia.NewOverlay(net, kademlia.Config{Seed: 1})
+			for i := 0; i < 10; i++ {
+				if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			o.Stabilize(2)
+			return o
+		},
+	}
+	records := dataset.Generate(800, 11)
+	gen, err := workload.NewRangeGenerator(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]spatial.Rect, 12)
+	for i := range queries {
+		q, err := gen.Span(0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+	var baseline []int
+	for _, name := range []string{"local", "chord", "pastry", "kademlia"} {
+		t.Run(name, func(t *testing.T) {
+			ix, err := pht.New(substrates[name](t), pht.Options{LeafCapacity: 25, MergeThreshold: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, rec := range records {
+				if err := ix.Insert(rec); err != nil {
+					t.Fatalf("insert #%d: %v", i, err)
+				}
+			}
+			counts := make([]int, len(queries))
+			for qi, q := range queries {
+				res, err := ix.RangeQuery(q)
+				if err != nil {
+					t.Fatalf("query %d: %v", qi, err)
+				}
+				counts[qi] = len(res.Records)
+			}
+			if baseline == nil {
+				baseline = counts
+				return
+			}
+			for qi := range counts {
+				if counts[qi] != baseline[qi] {
+					t.Fatalf("query %d over %s = %d records, local = %d",
+						qi, name, counts[qi], baseline[qi])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+// Package simnet is a deterministic in-process network simulator for the
+// DHT overlays in this repository. Logical peers register a request handler
+// under a node identifier; other peers reach them through synchronous RPCs
+// that the network counts, delays according to a latency model, and can be
+// told to fail (node down, link loss) for fault-injection tests.
+//
+// The simulator is intentionally synchronous: an RPC executes the remote
+// handler on the caller's goroutine. This keeps multi-peer tests
+// deterministic and fast while still exercising the real routing logic of
+// the overlays. The paper's own evaluation ran logical peers in one LAN
+// process group and measured logical DHT operations, which this reproduces.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mlight/internal/metrics"
+)
+
+// NodeID identifies a logical peer on the simulated network.
+type NodeID string
+
+// Handler processes one inbound RPC on a peer. Implementations must be safe
+// for concurrent use if the network is driven from multiple goroutines.
+type Handler interface {
+	HandleRPC(from NodeID, req any) (any, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, req any) (any, error)
+
+// HandleRPC implements Handler.
+func (f HandlerFunc) HandleRPC(from NodeID, req any) (any, error) { return f(from, req) }
+
+var (
+	// ErrUnreachable is returned when the destination peer is down,
+	// unregistered, or the link dropped the message.
+	ErrUnreachable = errors.New("simnet: peer unreachable")
+	// ErrDuplicateNode is returned when registering an already registered
+	// node identifier.
+	ErrDuplicateNode = errors.New("simnet: node already registered")
+)
+
+// LatencyModel returns the one-way delay between two peers. Models must be
+// deterministic for a given pair to keep simulations reproducible.
+type LatencyModel func(from, to NodeID) time.Duration
+
+// ConstantLatency returns a model with a fixed one-way delay.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(from, to NodeID) time.Duration { return d }
+}
+
+// Options configures a Network.
+type Options struct {
+	// Latency is the one-way delay model; nil means zero latency.
+	Latency LatencyModel
+	// DropRate is the probability in [0,1) that an RPC is lost.
+	DropRate float64
+	// Seed seeds the drop-decision generator.
+	Seed int64
+}
+
+// Network is the simulated message fabric. The zero value is not usable;
+// construct with New.
+type Network struct {
+	mu      sync.Mutex
+	nodes   map[NodeID]Handler
+	down    map[NodeID]bool
+	latency LatencyModel
+	drop    float64
+	rng     *rand.Rand
+
+	// RPCs counts attempted remote procedure calls (including failed ones).
+	RPCs metrics.Counter
+	// Dropped counts RPCs lost to injected link failure.
+	Dropped metrics.Counter
+	// simTime accumulates the modeled round-trip delay of every delivered
+	// RPC, in nanoseconds. It is a bandwidth-style aggregate, not a
+	// critical-path clock.
+	simTime metrics.Counter
+}
+
+// New creates an empty network.
+func New(opts Options) *Network {
+	lat := opts.Latency
+	if lat == nil {
+		lat = ConstantLatency(0)
+	}
+	return &Network{
+		nodes:   make(map[NodeID]Handler),
+		down:    make(map[NodeID]bool),
+		latency: lat,
+		drop:    opts.DropRate,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Register attaches a handler under id. It fails if id is already present.
+func (n *Network) Register(id NodeID, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for %q", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// Deregister removes a node entirely (a departed peer).
+func (n *Network) Deregister(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+	delete(n.down, id)
+}
+
+// SetDown marks a node as crashed (true) or recovered (false) without
+// removing its registration. RPCs to a down node fail with ErrUnreachable.
+func (n *Network) SetDown(id NodeID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// IsDown reports whether the node is currently marked crashed.
+func (n *Network) IsDown(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
+}
+
+// Nodes returns the identifiers of all registered nodes (up or down).
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NumNodes returns the number of registered nodes.
+func (n *Network) NumNodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+// OneWayLatency returns the modeled one-way delay between two peers —
+// exposed so application layers can account critical-path time.
+func (n *Network) OneWayLatency(from, to NodeID) time.Duration {
+	if from == to {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.latency(from, to)
+}
+
+// SimulatedRTT returns the total modeled round-trip time accumulated over
+// all delivered RPCs.
+func (n *Network) SimulatedRTT() time.Duration {
+	return time.Duration(n.simTime.Load())
+}
+
+// Call performs a synchronous RPC from one peer to another. The handler
+// executes on the calling goroutine. Self-calls are delivered without
+// counting as network traffic, mirroring local processing on a peer.
+func (n *Network) Call(from, to NodeID, req any) (any, error) {
+	n.mu.Lock()
+	h, ok := n.nodes[to]
+	isDown := n.down[to] || n.down[from]
+	dropped := false
+	if ok && !isDown && n.drop > 0 && from != to {
+		dropped = n.rng.Float64() < n.drop
+	}
+	var rtt time.Duration
+	if from != to {
+		rtt = n.latency(from, to) + n.latency(to, from)
+	}
+	n.mu.Unlock()
+
+	if from != to {
+		n.RPCs.Inc()
+	}
+	if !ok || isDown {
+		return nil, fmt.Errorf("%w: %q", ErrUnreachable, to)
+	}
+	if dropped {
+		n.Dropped.Inc()
+		return nil, fmt.Errorf("%w: link %q→%q dropped message", ErrUnreachable, from, to)
+	}
+	if from != to {
+		n.simTime.Add(int64(rtt))
+	}
+	return h.HandleRPC(from, req)
+}

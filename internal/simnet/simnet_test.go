@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(from NodeID, req any) (any, error) {
+		return req, nil
+	})
+}
+
+func TestRegisterAndCall(t *testing.T) {
+	n := New(Options{})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Call("a", "b", "ping")
+	if err != nil || resp != "ping" {
+		t.Fatalf("Call = %v, %v", resp, err)
+	}
+	if got := n.RPCs.Load(); got != 1 {
+		t.Errorf("RPCs = %d, want 1", got)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	n := New(Options{})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a", echoHandler()); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate Register = %v, want ErrDuplicateNode", err)
+	}
+	if err := n.Register("x", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestSelfCallUncounted(t *testing.T) {
+	n := New(Options{})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RPCs.Load(); got != 0 {
+		t.Errorf("self-call counted as RPC: %d", got)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New(Options{})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", "ghost", 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Call to unknown = %v, want ErrUnreachable", err)
+	}
+
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true)
+	if !n.IsDown("b") {
+		t.Error("IsDown(b) = false after SetDown")
+	}
+	if _, err := n.Call("a", "b", 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Call to down node = %v, want ErrUnreachable", err)
+	}
+	n.SetDown("b", false)
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Errorf("Call after recovery = %v", err)
+	}
+
+	n.Deregister("b")
+	if _, err := n.Call("a", "b", 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Call after Deregister = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDownCallerCannotSend(t *testing.T) {
+	n := New(Options{})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("a", true)
+	if _, err := n.Call("a", "b", 1); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("down caller Call = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Options{DropRate: 1.0, Seed: 1})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := n.Call("a", "b", i); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("lossy Call %d = %v, want ErrUnreachable", i, err)
+		}
+	}
+	if got := n.Dropped.Load(); got != 10 {
+		t.Errorf("Dropped = %d, want 10", got)
+	}
+	// Self-calls are never dropped.
+	if _, err := n.Call("a", "a", 0); err != nil {
+		t.Errorf("self-call dropped: %v", err)
+	}
+}
+
+func TestLatencyAccumulates(t *testing.T) {
+	n := New(Options{Latency: ConstantLatency(5 * time.Millisecond)})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := n.Call("a", "b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := n.SimulatedRTT(), 3*10*time.Millisecond; got != want {
+		t.Errorf("SimulatedRTT = %v, want %v", got, want)
+	}
+}
+
+func TestNodesListing(t *testing.T) {
+	n := New(Options{})
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := n.Register(id, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.NumNodes(); got != 3 {
+		t.Errorf("NumNodes = %d, want 3", got)
+	}
+	seen := make(map[NodeID]bool)
+	for _, id := range n.Nodes() {
+		seen[id] = true
+	}
+	if len(seen) != 3 || !seen["a"] || !seen["b"] || !seen["c"] {
+		t.Errorf("Nodes = %v", seen)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	n := New(Options{})
+	want := errors.New("handler failure")
+	err := n.Register("a", HandlerFunc(func(NodeID, any) (any, error) { return nil, want }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("b", "a", 1); !errors.Is(err, want) {
+		t.Errorf("Call = %v, want handler error", err)
+	}
+}

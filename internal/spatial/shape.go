@@ -1,0 +1,121 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape is an arbitrary query region (paper §6: "the queried region can be
+// of an arbitrary shape"). Queries route with the bounding box, prune
+// subtrees whose cells the shape provably misses, and filter records with
+// exact point membership.
+type Shape interface {
+	// BoundingBox returns a closed rectangle containing the shape.
+	BoundingBox() Rect
+	// ContainsPoint reports whether the shape contains p.
+	ContainsPoint(p Point) bool
+	// IntersectsRect reports whether the shape intersects the closed
+	// rectangle. False positives cost extra traffic; false negatives lose
+	// answers, so implementations must be conservative.
+	IntersectsRect(r Rect) bool
+}
+
+// Circle is a Euclidean ball, the canonical non-rectangular query shape
+// ("all restaurants within 2 km").
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+var _ Shape = Circle{}
+
+// NewCircle validates and builds a circle query.
+func NewCircle(center Point, radius float64) (Circle, error) {
+	if len(center) == 0 {
+		return Circle{}, fmt.Errorf("spatial: circle needs a centre point")
+	}
+	if math.IsNaN(radius) || radius < 0 {
+		return Circle{}, fmt.Errorf("spatial: invalid radius %v", radius)
+	}
+	return Circle{Center: center.Clone(), Radius: radius}, nil
+}
+
+// BoundingBox implements Shape, clipped to the unit cube.
+func (c Circle) BoundingBox() Rect {
+	lo := make(Point, len(c.Center))
+	hi := make(Point, len(c.Center))
+	for i, x := range c.Center {
+		lo[i] = math.Max(0, x-c.Radius)
+		hi[i] = math.Min(1, x+c.Radius)
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// ContainsPoint implements Shape (closed ball).
+func (c Circle) ContainsPoint(p Point) bool {
+	if len(p) != len(c.Center) {
+		return false
+	}
+	return c.distSqTo(p) <= c.Radius*c.Radius
+}
+
+// IntersectsRect implements Shape: the ball meets a rectangle iff the
+// rectangle's closest point to the centre is within the radius.
+func (c Circle) IntersectsRect(r Rect) bool {
+	if len(r.Lo) != len(c.Center) {
+		return false
+	}
+	sum := 0.0
+	for i, x := range c.Center {
+		closest := math.Min(math.Max(x, r.Lo[i]), r.Hi[i])
+		d := x - closest
+		sum += d * d
+	}
+	return sum <= c.Radius*c.Radius
+}
+
+func (c Circle) distSqTo(p Point) float64 {
+	sum := 0.0
+	for i := range c.Center {
+		d := c.Center[i] - p[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// RectShape adapts a plain rectangle to the Shape interface.
+type RectShape struct {
+	R Rect
+}
+
+var _ Shape = RectShape{}
+
+// BoundingBox implements Shape.
+func (s RectShape) BoundingBox() Rect { return s.R }
+
+// ContainsPoint implements Shape.
+func (s RectShape) ContainsPoint(p Point) bool { return s.R.Contains(p) }
+
+// IntersectsRect implements Shape.
+func (s RectShape) IntersectsRect(r Rect) bool {
+	if len(r.Lo) != len(s.R.Lo) {
+		return false
+	}
+	for i := range r.Lo {
+		if r.Hi[i] < s.R.Lo[i] || r.Lo[i] > s.R.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistSq returns the squared Euclidean distance between two points of equal
+// dimensionality.
+func DistSq(a, b Point) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

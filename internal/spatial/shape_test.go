@@ -1,0 +1,136 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewCircleValidation(t *testing.T) {
+	if _, err := NewCircle(nil, 0.1); err == nil {
+		t.Error("empty centre accepted")
+	}
+	if _, err := NewCircle(Point{0.5, 0.5}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := NewCircle(Point{0.5, 0.5}, math.NaN()); err == nil {
+		t.Error("NaN radius accepted")
+	}
+	c, err := NewCircle(Point{0.5, 0.5}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constructor must not alias the caller's point.
+	center := Point{0.5, 0.5}
+	c2, _ := NewCircle(center, 0.1)
+	center[0] = 0.9
+	if c2.Center[0] != 0.5 {
+		t.Error("NewCircle aliases its argument")
+	}
+	_ = c
+}
+
+func TestCircleContainsPoint(t *testing.T) {
+	c := Circle{Center: Point{0.5, 0.5}, Radius: 0.2}
+	if !c.ContainsPoint(Point{0.5, 0.5}) || !c.ContainsPoint(Point{0.5, 0.7}) {
+		t.Error("circle misses its centre or boundary")
+	}
+	if c.ContainsPoint(Point{0.5, 0.71}) || c.ContainsPoint(Point{0.8, 0.8}) {
+		t.Error("circle contains outside point")
+	}
+	if c.ContainsPoint(Point{0.5}) {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestCircleBoundingBoxClipped(t *testing.T) {
+	c := Circle{Center: Point{0.05, 0.95}, Radius: 0.2}
+	bb := c.BoundingBox()
+	if bb.Lo[0] != 0 || bb.Hi[1] != 1 {
+		t.Errorf("bounding box not clipped: %v", bb)
+	}
+	if math.Abs(bb.Hi[0]-0.25) > 1e-12 || math.Abs(bb.Lo[1]-0.75) > 1e-12 {
+		t.Errorf("bounding box wrong: %v", bb)
+	}
+}
+
+// TestCircleIntersectsRectProperty: IntersectsRect must be exact for the
+// closest-point criterion — cross-checked against dense point sampling.
+func TestCircleIntersectsRectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 2000; trial++ {
+		c := Circle{
+			Center: Point{rng.Float64(), rng.Float64()},
+			Radius: rng.Float64() * 0.3,
+		}
+		lo := Point{rng.Float64() * 0.8, rng.Float64() * 0.8}
+		hi := Point{lo[0] + rng.Float64()*0.2, lo[1] + rng.Float64()*0.2}
+		r := Rect{Lo: lo, Hi: hi}
+		got := c.IntersectsRect(r)
+		// Oracle: closest point on the rect to the centre.
+		cx := math.Min(math.Max(c.Center[0], lo[0]), hi[0])
+		cy := math.Min(math.Max(c.Center[1], lo[1]), hi[1])
+		want := DistSq(Point{cx, cy}, c.Center) <= c.Radius*c.Radius
+		if got != want {
+			t.Fatalf("IntersectsRect(%+v, %v) = %v, want %v", c, r, got, want)
+		}
+	}
+	c := Circle{Center: Point{0.5, 0.5}, Radius: 0.1}
+	if c.IntersectsRect(Rect{Lo: Point{0.1}, Hi: Point{0.2}}) {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestCircleShapeConsistency: every point the shape contains lies in its
+// bounding box, and every rect containing such a point intersects.
+func TestCircleShapeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		c := Circle{
+			Center: Point{rng.Float64(), rng.Float64()},
+			Radius: rng.Float64() * 0.3,
+		}
+		p := Point{rng.Float64(), rng.Float64()}
+		if !c.ContainsPoint(p) {
+			continue
+		}
+		if !c.BoundingBox().Contains(p) {
+			t.Fatalf("point %v in circle %+v but outside bounding box", p, c)
+		}
+		tiny := Rect{Lo: p.Clone(), Hi: p.Clone()}
+		if !c.IntersectsRect(tiny) {
+			t.Fatalf("degenerate rect at contained point %v reported disjoint", p)
+		}
+	}
+}
+
+func TestRectShape(t *testing.T) {
+	r, _ := NewRect(Point{0.2, 0.2}, Point{0.6, 0.6})
+	s := RectShape{R: r}
+	if s.BoundingBox().Lo[0] != 0.2 {
+		t.Error("bounding box wrong")
+	}
+	if !s.ContainsPoint(Point{0.4, 0.4}) || s.ContainsPoint(Point{0.1, 0.4}) {
+		t.Error("membership wrong")
+	}
+	touch, _ := NewRect(Point{0.6, 0.6}, Point{0.8, 0.8})
+	if !s.IntersectsRect(touch) {
+		t.Error("touching rect reported disjoint")
+	}
+	far, _ := NewRect(Point{0.7, 0.7}, Point{0.8, 0.8})
+	if s.IntersectsRect(far) {
+		t.Error("disjoint rect reported intersecting")
+	}
+	if s.IntersectsRect(Rect{Lo: Point{0.1}, Hi: Point{0.2}}) {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestDistSq(t *testing.T) {
+	if d := DistSq(Point{0, 0}, Point{3.0 / 5, 4.0 / 5}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("DistSq = %v, want 1", d)
+	}
+	if d := DistSq(Point{0.5}, Point{0.5}); d != 0 {
+		t.Errorf("DistSq self = %v", d)
+	}
+}

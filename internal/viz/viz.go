@@ -1,0 +1,229 @@
+// Package viz renders an m-LIGHT index's space partition as a standalone
+// SVG: one rectangle per leaf bucket, filled on a sequential (single-hue,
+// light→dark) ramp by record count — a heatmap of the storage distribution
+// that makes split behaviour and load skew visible at a glance.
+//
+// Visual rules follow the data-viz method: magnitude uses one blue ramp
+// with the lightest step meaning "near zero"; cells are separated by a 2px
+// surface-colored gap; all text uses ink tokens, never series color; a
+// legend with the ramp and its extent is always present; every cell carries
+// a native SVG <title> tooltip. Light and dark modes are separately stepped
+// ramps on their own surfaces, not an automatic flip.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mlight/internal/core"
+	"mlight/internal/spatial"
+)
+
+// Mode selects the rendering surface.
+type Mode int
+
+const (
+	// Light renders on the light chart surface.
+	Light Mode = iota + 1
+	// Dark renders on the dark chart surface with the dark-stepped ramp.
+	Dark
+)
+
+// theme carries the per-mode colors (from the validated reference palette).
+type theme struct {
+	surface   string
+	inkStrong string // text-primary
+	inkSoft   string // text-secondary
+	ramp      []string
+}
+
+var themes = map[Mode]theme{
+	Light: {
+		surface:   "#fcfcfb",
+		inkStrong: "#0b0b0b",
+		inkSoft:   "#52514e",
+		// Sequential blue, steps 100→700 (light mode): lightest ≈ zero.
+		ramp: []string{"#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5", "#256abf", "#184f95", "#0d366b"},
+	},
+	Dark: {
+		surface:   "#1a1a19",
+		inkStrong: "#ffffff",
+		inkSoft:   "#c3c2b7",
+		// The same hue stepped for the dark surface, darkest ≈ zero
+		// reversed so larger loads read brighter against dark.
+		ramp: []string{"#0d366b", "#184f95", "#1c5cab", "#256abf", "#3987e5", "#6da7ec", "#9ec5f4"},
+	},
+}
+
+// Options configures a rendering.
+type Options struct {
+	// Width is the plot width in pixels (height follows the aspect).
+	// Default 720.
+	Width int
+	// Mode selects light or dark. Default Light.
+	Mode Mode
+	// Title is drawn above the plot. Default "m-LIGHT space partition".
+	Title string
+	// Query, if non-nil, is drawn as a dashed ink annotation rectangle.
+	Query *spatial.Rect
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 720
+	}
+	if o.Mode == 0 {
+		o.Mode = Light
+	}
+	if o.Title == "" {
+		o.Title = "m-LIGHT space partition"
+	}
+	return o
+}
+
+// RenderPartition renders the index's current leaf buckets. Only 2-D
+// indexes can be drawn.
+func RenderPartition(ix *core.Index, opts Options) (string, error) {
+	if ix.Dims() != 2 {
+		return "", fmt.Errorf("viz: can only render 2-D indexes, got %d dims", ix.Dims())
+	}
+	buckets, err := ix.Buckets()
+	if err != nil {
+		return "", err
+	}
+	return renderBuckets(buckets, opts)
+}
+
+// cell is one positioned, styled rectangle.
+type cell struct {
+	region spatial.Region
+	label  string
+	load   int
+}
+
+func renderBuckets(buckets []core.Bucket, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	th, ok := themes[opts.Mode]
+	if !ok {
+		return "", fmt.Errorf("viz: unknown mode %d", opts.Mode)
+	}
+	cells := make([]cell, 0, len(buckets))
+	maxLoad := 0
+	total := 0
+	for _, b := range buckets {
+		g, err := spatial.RegionOf(b.Label, 2)
+		if err != nil {
+			return "", err
+		}
+		cells = append(cells, cell{region: g, label: b.Label.Pretty(2), load: b.Load()})
+		if b.Load() > maxLoad {
+			maxLoad = b.Load()
+		}
+		total += b.Load()
+	}
+	// Deterministic output order.
+	sort.Slice(cells, func(i, j int) bool { return cells[i].label < cells[j].label })
+
+	const (
+		margin  = 16
+		titleH  = 28
+		legendH = 44
+		gap     = 2 // surface gap between fills
+		swatchW = 26
+		swatchH = 10
+	)
+	plotW := opts.Width - 2*margin
+	plotH := plotW // unit square
+	width := opts.Width
+	height := titleH + plotH + legendH + 2*margin
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="%s">`,
+		width, height, width, height, xmlEscape(opts.Title))
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="%s"/>`, width, height, th.surface)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="system-ui, sans-serif" font-size="15" font-weight="600" fill="%s">%s</text>`,
+		margin, margin+12, th.inkStrong, xmlEscape(opts.Title))
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="system-ui, sans-serif" font-size="11" fill="%s">%d buckets · %d records</text>`,
+		width-margin-150, margin+12, th.inkSoft, len(cells), total)
+	sb.WriteString("\n")
+
+	// Cells: fill by sequential bin of load; 2px surface gap via stroke.
+	plotY := margin + titleH
+	for _, c := range cells {
+		x := margin + c.region.Lo[0]*float64(plotW)
+		y := float64(plotY) + (1-c.region.Hi[1])*float64(plotH) // y grows downward
+		w := (c.region.Hi[0] - c.region.Lo[0]) * float64(plotW)
+		h := (c.region.Hi[1] - c.region.Lo[1]) * float64(plotH)
+		fill := th.ramp[rampBin(c.load, maxLoad, len(th.ramp))]
+		fmt.Fprintf(&sb,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="%s" stroke-width="%d"><title>%s — %d records</title></rect>`,
+			x, y, w, h, fill, th.surface, gap, xmlEscape(c.label), c.load)
+		sb.WriteString("\n")
+	}
+
+	// Optional query annotation: dashed ink rectangle (an annotation, not a
+	// series, so it wears ink rather than a palette hue).
+	if opts.Query != nil {
+		q := *opts.Query
+		x := margin + q.Lo[0]*float64(plotW)
+		y := float64(plotY) + (1-q.Hi[1])*float64(plotH)
+		w := (q.Hi[0] - q.Lo[0]) * float64(plotW)
+		h := (q.Hi[1] - q.Lo[1]) * float64(plotH)
+		fmt.Fprintf(&sb,
+			`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="2" stroke-dasharray="6 4"><title>query %s</title></rect>`,
+			x, y, w, h, th.inkStrong, xmlEscape(q.String()))
+		sb.WriteString("\n")
+	}
+
+	// Legend: the ramp with its extent, labelled in ink.
+	legendY := plotY + plotH + 14
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="system-ui, sans-serif" font-size="11" fill="%s">records per bucket</text>`,
+		margin, legendY+9, th.inkSoft)
+	sb.WriteString("\n")
+	legendX := margin + 120
+	for i, hex := range th.ramp {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`,
+			legendX+i*(swatchW+gap), legendY, swatchW, swatchH, hex)
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="system-ui, sans-serif" font-size="10" fill="%s">0</text>`,
+		legendX, legendY+swatchH+12, th.inkSoft)
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="system-ui, sans-serif" font-size="10" fill="%s" text-anchor="end">%d</text>`,
+		legendX+len(th.ramp)*(swatchW+gap), legendY+swatchH+12, th.inkSoft, maxLoad)
+	sb.WriteString("\n</svg>\n")
+	return sb.String(), nil
+}
+
+// rampBin maps a load to a ramp step with a square-root scale, so the
+// heavy-tailed bucket-load distribution doesn't wash every cell into the
+// first bin. Zero always takes the "near zero" end.
+func rampBin(load, maxLoad, steps int) int {
+	if load <= 0 || maxLoad <= 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(load) / float64(maxLoad))
+	bin := int(frac * float64(steps))
+	if bin >= steps {
+		bin = steps - 1
+	}
+	if bin < 1 {
+		bin = 1 // non-zero load never shares the zero bin
+	}
+	return bin
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;",
+		"<", "&lt;",
+		">", "&gt;",
+		`"`, "&quot;",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"testing"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/core"
+	"mlight/internal/spatial"
+)
+
+// FuzzUnmarshalBucket: arbitrary bytes never panic; anything that decodes
+// re-encodes to a value that decodes to the same bucket (canonical form).
+func FuzzUnmarshalBucket(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalBucket(core.Bucket{Label: bitlabel.Root(2)}))
+	f.Add(MarshalBucket(core.Bucket{
+		Label: bitlabel.MustParse("0011011"),
+		Records: []spatial.Record{
+			{Key: spatial.Point{0.25, 0.75}, Data: "x"},
+			{Key: spatial.Point{0.5, 0.5}, Data: ""},
+		},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBucket(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalBucket(MarshalBucket(b))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Label != b.Label || len(again.Records) != len(b.Records) {
+			t.Fatal("re-decode differs")
+		}
+	})
+}
+
+// FuzzDecodeRecord: arbitrary bytes never panic.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(AppendRecord(nil, spatial.Record{Key: spatial.Point{0.1, 0.9}, Data: "abc"}))
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, rest, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data) {
+			t.Fatal("rest grew")
+		}
+		_ = rec
+	})
+}

@@ -1,0 +1,265 @@
+// Package wire provides the byte-level encoding of the index's stored
+// values. Real DHT services (OpenDHT, the paper's deployment target) store
+// opaque byte strings, not in-process objects; an over-DHT index therefore
+// has to serialise its buckets at the DHT boundary. ByteDHT wraps any
+// substrate and round-trips every stored value through this package's
+// compact binary format, proving the index depends on nothing but bytes.
+//
+// Format (all integers little-endian; lengths as uvarint):
+//
+//	point   = uvarint dims, dims × float64 bits
+//	record  = point, uvarint len(data), data bytes
+//	bucket  = byte labelLen, uint64 labelBits, uvarint count, count × record
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/core"
+	"mlight/internal/dht"
+	"mlight/internal/spatial"
+)
+
+// ErrMalformed reports undecodable bytes.
+var ErrMalformed = errors.New("wire: malformed encoding")
+
+// AppendPoint appends the encoding of p to buf.
+func AppendPoint(buf []byte, p spatial.Point) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	for _, c := range p {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
+	}
+	return buf
+}
+
+// DecodePoint decodes a point, returning the remaining bytes.
+func DecodePoint(buf []byte) (spatial.Point, []byte, error) {
+	dims, n := binary.Uvarint(buf)
+	if n <= 0 || dims > 1<<16 {
+		return nil, nil, fmt.Errorf("%w: point dims", ErrMalformed)
+	}
+	buf = buf[n:]
+	if len(buf) < int(dims)*8 {
+		return nil, nil, fmt.Errorf("%w: point truncated", ErrMalformed)
+	}
+	p := make(spatial.Point, dims)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return p, buf[dims*8:], nil
+}
+
+// AppendRecord appends the encoding of r to buf.
+func AppendRecord(buf []byte, r spatial.Record) []byte {
+	buf = AppendPoint(buf, r.Key)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	return append(buf, r.Data...)
+}
+
+// DecodeRecord decodes a record, returning the remaining bytes.
+func DecodeRecord(buf []byte) (spatial.Record, []byte, error) {
+	key, rest, err := DecodePoint(buf)
+	if err != nil {
+		return spatial.Record{}, nil, err
+	}
+	size, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < size {
+		return spatial.Record{}, nil, fmt.Errorf("%w: record data", ErrMalformed)
+	}
+	rest = rest[n:]
+	return spatial.Record{Key: key, Data: string(rest[:size])}, rest[size:], nil
+}
+
+// MarshalBucket encodes a core bucket.
+func MarshalBucket(b core.Bucket) []byte {
+	buf := make([]byte, 0, 16+len(b.Records)*40)
+	buf = append(buf, byte(b.Label.Len()))
+	buf = binary.LittleEndian.AppendUint64(buf, b.Label.Bits())
+	buf = binary.AppendUvarint(buf, uint64(len(b.Records)))
+	for _, r := range b.Records {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+// UnmarshalBucket decodes a core bucket.
+func UnmarshalBucket(buf []byte) (core.Bucket, error) {
+	if len(buf) < 9 {
+		return core.Bucket{}, fmt.Errorf("%w: bucket header", ErrMalformed)
+	}
+	labelLen := int(buf[0])
+	if labelLen > bitlabel.MaxLen {
+		return core.Bucket{}, fmt.Errorf("%w: label length %d", ErrMalformed, labelLen)
+	}
+	bits := binary.LittleEndian.Uint64(buf[1:9])
+	label := bitlabel.New(bits, labelLen)
+	rest := buf[9:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return core.Bucket{}, fmt.Errorf("%w: record count", ErrMalformed)
+	}
+	rest = rest[n:]
+	// A record encodes to at least two bytes, so a count beyond len(rest)/2
+	// cannot be satisfied — reject it up front rather than trusting an
+	// attacker-controlled length for allocation (found by fuzzing).
+	if count > uint64(len(rest)/2)+1 {
+		return core.Bucket{}, fmt.Errorf("%w: record count %d exceeds payload", ErrMalformed, count)
+	}
+	out := core.Bucket{Label: label}
+	if count > 0 {
+		out.Records = make([]spatial.Record, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var rec spatial.Record
+		var err error
+		rec, rest, err = DecodeRecord(rest)
+		if err != nil {
+			return core.Bucket{}, fmt.Errorf("record %d: %w", i, err)
+		}
+		out.Records = append(out.Records, rec)
+	}
+	if len(rest) != 0 {
+		return core.Bucket{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))
+	}
+	return out, nil
+}
+
+// BucketCodec is the Codec for core buckets.
+type BucketCodec struct{}
+
+var _ Codec = BucketCodec{}
+
+// Marshal implements Codec.
+func (BucketCodec) Marshal(v any) ([]byte, error) {
+	b, ok := v.(core.Bucket)
+	if !ok {
+		return nil, fmt.Errorf("wire: BucketCodec cannot encode %T", v)
+	}
+	return MarshalBucket(b), nil
+}
+
+// Unmarshal implements Codec.
+func (BucketCodec) Unmarshal(data []byte) (any, error) {
+	return UnmarshalBucket(data)
+}
+
+// Codec converts between in-process values and bytes.
+type Codec interface {
+	Marshal(v any) ([]byte, error)
+	Unmarshal(data []byte) (any, error)
+}
+
+// ByteDHT wraps a substrate so that every stored value crosses the
+// interface as bytes, the way a real deployment over OpenDHT would work.
+type ByteDHT struct {
+	inner dht.DHT
+	codec Codec
+}
+
+var _ dht.DHT = (*ByteDHT)(nil)
+
+// NewByteDHT builds the adapter.
+func NewByteDHT(inner dht.DHT, codec Codec) *ByteDHT {
+	return &ByteDHT{inner: inner, codec: codec}
+}
+
+// Put implements dht.DHT.
+func (b *ByteDHT) Put(key dht.Key, value any) error {
+	data, err := b.codec.Marshal(value)
+	if err != nil {
+		return err
+	}
+	return b.inner.Put(key, data)
+}
+
+// Get implements dht.DHT.
+func (b *ByteDHT) Get(key dht.Key) (any, bool, error) {
+	v, found, err := b.inner.Get(key)
+	if err != nil || !found {
+		return nil, found, err
+	}
+	data, ok := v.([]byte)
+	if !ok {
+		return nil, false, fmt.Errorf("wire: substrate returned %T, want bytes", v)
+	}
+	out, err := b.codec.Unmarshal(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Remove implements dht.DHT.
+func (b *ByteDHT) Remove(key dht.Key) error {
+	return b.inner.Remove(key)
+}
+
+// Apply implements dht.DHT: the stored bytes are decoded for the transform
+// and its result re-encoded, all at the owning peer.
+func (b *ByteDHT) Apply(key dht.Key, fn dht.ApplyFunc) error {
+	var codecErr error
+	err := b.inner.Apply(key, func(cur any, exists bool) (any, bool) {
+		var decoded any
+		if exists {
+			data, ok := cur.([]byte)
+			if !ok {
+				codecErr = fmt.Errorf("wire: substrate holds %T, want bytes", cur)
+				return cur, true
+			}
+			decoded, codecErr = b.codec.Unmarshal(data)
+			if codecErr != nil {
+				return cur, true
+			}
+		}
+		next, keep := fn(decoded, exists)
+		if !keep {
+			return nil, false
+		}
+		encoded, err := b.codec.Marshal(next)
+		if err != nil {
+			codecErr = err
+			return cur, exists
+		}
+		return encoded, true
+	})
+	if err != nil {
+		return err
+	}
+	return codecErr
+}
+
+// Owner implements dht.DHT.
+func (b *ByteDHT) Owner(key dht.Key) (string, error) {
+	return b.inner.Owner(key)
+}
+
+// Range implements dht.Enumerator when the substrate does, decoding each
+// value.
+func (b *ByteDHT) Range(fn func(key dht.Key, value any) bool) error {
+	e, ok := b.inner.(dht.Enumerator)
+	if !ok {
+		return dht.ErrNotEnumerable
+	}
+	var decodeErr error
+	err := e.Range(func(k dht.Key, v any) bool {
+		data, isBytes := v.([]byte)
+		if !isBytes {
+			decodeErr = fmt.Errorf("wire: substrate holds %T, want bytes", v)
+			return false
+		}
+		decoded, err := b.codec.Unmarshal(data)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(k, decoded)
+	})
+	if err != nil {
+		return err
+	}
+	return decodeErr
+}

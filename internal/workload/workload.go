@@ -1,0 +1,104 @@
+// Package workload generates the query and update workloads of the m-LIGHT
+// evaluation: range-query rectangles of a chosen span uniformly placed in
+// the data space (§7.4), plus insertion/deletion streams for maintenance
+// experiments.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mlight/internal/spatial"
+)
+
+// RangeGenerator produces random query rectangles.
+type RangeGenerator struct {
+	rng  *rand.Rand
+	dims int
+}
+
+// NewRangeGenerator creates a generator for m-dimensional rectangles.
+func NewRangeGenerator(dims int, seed int64) (*RangeGenerator, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("workload: dims must be ≥ 1, got %d", dims)
+	}
+	return &RangeGenerator{rng: rand.New(rand.NewSource(seed)), dims: dims}, nil
+}
+
+// Span generates a hyper-square rectangle of the given span — the paper's
+// range-span parameter, the area (volume) of the rectangle — placed
+// uniformly at random so the whole rectangle stays inside the unit cube.
+func (g *RangeGenerator) Span(span float64) (spatial.Rect, error) {
+	if span <= 0 || span > 1 {
+		return spatial.Rect{}, fmt.Errorf("workload: span %v outside (0, 1]", span)
+	}
+	side := math.Pow(span, 1/float64(g.dims))
+	lo := make(spatial.Point, g.dims)
+	hi := make(spatial.Point, g.dims)
+	for d := 0; d < g.dims; d++ {
+		start := g.rng.Float64() * (1 - side)
+		lo[d] = start
+		hi[d] = start + side
+	}
+	return spatial.NewRect(lo, hi)
+}
+
+// SpanBatch generates count rectangles of one span.
+func (g *RangeGenerator) SpanBatch(span float64, count int) ([]spatial.Rect, error) {
+	out := make([]spatial.Rect, count)
+	for i := range out {
+		q, err := g.Span(span)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// Uniform generates a rectangle with corners drawn independently and
+// uniformly (arbitrary aspect ratio and span).
+func (g *RangeGenerator) Uniform() spatial.Rect {
+	lo := make(spatial.Point, g.dims)
+	hi := make(spatial.Point, g.dims)
+	for d := 0; d < g.dims; d++ {
+		a, b := g.rng.Float64(), g.rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[d], hi[d] = a, b
+	}
+	return spatial.Rect{Lo: lo, Hi: hi}
+}
+
+// Mixed is one operation of an update stream.
+type Mixed struct {
+	// Insert is the record to insert when Delete is false.
+	Insert spatial.Record
+	// Delete marks a deletion of DeleteKey/DeleteData.
+	Delete     bool
+	DeleteKey  spatial.Point
+	DeleteData string
+}
+
+// MixedStream builds an insert/delete stream over the given records:
+// every record is inserted, and with probability deleteFraction a
+// previously inserted record is deleted right after some later insert.
+// The stream is deterministic for a seed.
+func MixedStream(records []spatial.Record, deleteFraction float64, seed int64) []Mixed {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Mixed, 0, len(records)+int(float64(len(records))*deleteFraction)+1)
+	var live []spatial.Record
+	for _, r := range records {
+		out = append(out, Mixed{Insert: r})
+		live = append(live, r)
+		if len(live) > 1 && rng.Float64() < deleteFraction {
+			i := rng.Intn(len(live))
+			victim := live[i]
+			live = append(live[:i], live[i+1:]...)
+			out = append(out, Mixed{Delete: true, DeleteKey: victim.Key, DeleteData: victim.Data})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"mlight/internal/spatial"
+)
+
+func TestNewRangeGenerator(t *testing.T) {
+	if _, err := NewRangeGenerator(0, 1); err == nil {
+		t.Error("dims=0 accepted")
+	}
+}
+
+func TestSpanAreaAndBounds(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		g, err := NewRangeGenerator(dims, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, span := range []float64{0.01, 0.1, 0.36, 1.0} {
+			for i := 0; i < 200; i++ {
+				q, err := g.Span(span)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(q.Area()-span) > 1e-9 {
+					t.Fatalf("dims=%d span=%v: area %v", dims, span, q.Area())
+				}
+				for d := 0; d < dims; d++ {
+					if q.Lo[d] < 0 || q.Hi[d] > 1 {
+						t.Fatalf("rect escapes unit cube: %v", q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpanValidation(t *testing.T) {
+	g, _ := NewRangeGenerator(2, 1)
+	if _, err := g.Span(0); err == nil {
+		t.Error("span=0 accepted")
+	}
+	if _, err := g.Span(1.5); err == nil {
+		t.Error("span>1 accepted")
+	}
+}
+
+func TestSpanBatch(t *testing.T) {
+	g, _ := NewRangeGenerator(2, 2)
+	qs, err := g.SpanBatch(0.25, 50)
+	if err != nil || len(qs) != 50 {
+		t.Fatalf("%d rects, %v", len(qs), err)
+	}
+	// Placement varies.
+	distinct := map[float64]bool{}
+	for _, q := range qs {
+		distinct[q.Lo[0]] = true
+	}
+	if len(distinct) < 40 {
+		t.Errorf("only %d distinct placements", len(distinct))
+	}
+}
+
+func TestUniformRects(t *testing.T) {
+	g, _ := NewRangeGenerator(3, 3)
+	for i := 0; i < 100; i++ {
+		q := g.Uniform()
+		if _, err := spatial.NewRect(q.Lo, q.Hi); err != nil {
+			t.Fatalf("invalid rect %v: %v", q, err)
+		}
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	recs := make([]spatial.Record, 500)
+	for i := range recs {
+		recs[i] = spatial.Record{Key: spatial.Point{float64(i) / 500, 0.5}, Data: "x"}
+	}
+	stream := MixedStream(recs, 0.3, 9)
+	inserts, deletes := 0, 0
+	liveSet := map[string]int{}
+	for _, op := range stream {
+		if op.Delete {
+			deletes++
+			k := op.DeleteKey.String()
+			if liveSet[k] == 0 {
+				t.Fatalf("delete of never-inserted key %v", op.DeleteKey)
+			}
+			liveSet[k]--
+		} else {
+			inserts++
+			liveSet[op.Insert.Key.String()]++
+		}
+	}
+	if inserts != 500 {
+		t.Errorf("inserts = %d", inserts)
+	}
+	if deletes < 100 || deletes >= 500 {
+		t.Errorf("deletes = %d, want ≈ 30%% of 500", deletes)
+	}
+	// Deterministic.
+	again := MixedStream(recs, 0.3, 9)
+	if len(again) != len(stream) {
+		t.Error("stream not deterministic")
+	}
+}

@@ -1,0 +1,133 @@
+// Package mlight is the public API of this repository: a from-scratch Go
+// implementation of m-LIGHT (multi-dimensional Lightweight Hash Tree over a
+// DHT; Tang, Xu, Zhou, Lee — ICDCS 2009), an over-DHT index for
+// multi-dimensional range queries, together with the substrates it runs on
+// and the baselines it was evaluated against.
+//
+// # Quick start
+//
+//	d := mlight.NewLocalDHT(128)                  // or a Chord/Pastry cluster
+//	ix, err := mlight.New(d, mlight.Options{})    // 2-D index, paper defaults
+//	...
+//	err = ix.Insert(mlight.Record{Key: mlight.Point{0.41, 0.73}, Data: "pizza"})
+//	q, err := mlight.NewRect(mlight.Point{0.4, 0.7}, mlight.Point{0.5, 0.8})
+//	res, err := ix.RangeQuery(q)
+//	for _, r := range res.Records { ... }
+//
+// # Architecture
+//
+// The index is strictly layered over the generic DHT interface (put / get /
+// remove / apply / owner), so any substrate plugs in unchanged:
+//
+//	index:      m-LIGHT (core), PHT and DST baselines
+//	interface:  DHT (this package's DHT type)
+//	substrates: LocalDHT (in-process), Chord ring, Pastry/Bamboo overlay
+//	network:    deterministic message-level simulator
+//
+// The paper's three mechanisms live in the index layer: the space kd-tree
+// decomposition into leaf buckets, the m-dimensional naming function that
+// maps leaf λ to DHT key fmd(λ) (a bijection onto the internal nodes, which
+// is what makes maintenance incremental), and the data-aware splitting
+// strategy that optimises peer load balance.
+//
+// Everything is pure Go standard library. See DESIGN.md for the full system
+// inventory and EXPERIMENTS.md for the reproduced evaluation.
+package mlight
+
+import (
+	"mlight/internal/core"
+	"mlight/internal/dht"
+	"mlight/internal/metrics"
+	"mlight/internal/spatial"
+	"mlight/internal/wire"
+)
+
+// Core data types, aliased from the implementation packages so callers need
+// only this import.
+type (
+	// Point is a data key: an m-dimensional vector in the unit cube.
+	Point = spatial.Point
+	// Rect is a closed query rectangle.
+	Rect = spatial.Rect
+	// Record is one indexed data record.
+	Record = spatial.Record
+	// Region is a half-open kd-tree cell.
+	Region = spatial.Region
+
+	// Index is the m-LIGHT index client.
+	Index = core.Index
+	// Options configures an Index.
+	Options = core.Options
+	// Bucket is one leaf bucket (label store + record store).
+	Bucket = core.Bucket
+	// QueryResult is a range-query answer with its bandwidth and latency
+	// cost.
+	QueryResult = core.QueryResult
+	// SplitStrategy selects threshold-based or data-aware splitting.
+	SplitStrategy = core.SplitStrategy
+	// Stats is a snapshot of maintenance counters.
+	Stats = metrics.Snapshot
+
+	// Shape is an arbitrary query region (bounding box + membership +
+	// rectangle-intersection pruning).
+	Shape = spatial.Shape
+	// Circle is a Euclidean ball query shape.
+	Circle = spatial.Circle
+	// Neighbor is one k-nearest-neighbour result.
+	Neighbor = core.Neighbor
+	// NearestResult is a kNN answer with its cost.
+	NearestResult = core.NearestResult
+
+	// DHT is the substrate interface the index runs over.
+	DHT = dht.DHT
+	// Key is a DHT key.
+	Key = dht.Key
+	// LocalDHT is the in-process substrate.
+	LocalDHT = dht.Local
+)
+
+// Split strategies (paper §4).
+const (
+	// SplitThreshold is the conventional θsplit/θmerge strategy.
+	SplitThreshold = core.SplitThreshold
+	// SplitDataAware is the optimal-balance strategy of Algorithm 1.
+	SplitDataAware = core.SplitDataAware
+)
+
+// Index errors.
+var (
+	// ErrNotFound reports that no bucket covers a key.
+	ErrNotFound = core.ErrNotFound
+	// ErrDimension reports a dimensionality mismatch.
+	ErrDimension = core.ErrDimension
+)
+
+// New creates an m-LIGHT index client over any DHT substrate, bootstrapping
+// the root bucket if the index does not exist yet.
+func New(d DHT, opts Options) (*Index, error) {
+	return core.New(d, opts)
+}
+
+// NewLocalDHT creates the in-process substrate with the given number of
+// virtual peers (key ownership follows consistent hashing, as on a real
+// ring). It panics only on non-positive peer counts.
+func NewLocalDHT(peers int) *LocalDHT {
+	return dht.MustNewLocal(peers)
+}
+
+// NewRect validates and builds a closed query rectangle.
+func NewRect(lo, hi Point) (Rect, error) {
+	return spatial.NewRect(lo, hi)
+}
+
+// NewCircle validates and builds a circle query shape.
+func NewCircle(center Point, radius float64) (Circle, error) {
+	return spatial.NewCircle(center, radius)
+}
+
+// NewByteDHT wraps a substrate so every stored bucket crosses the DHT
+// boundary as bytes in the compact wire format — how the index would run
+// over a real byte-oriented DHT service such as OpenDHT.
+func NewByteDHT(inner DHT) DHT {
+	return wire.NewByteDHT(inner, wire.BucketCodec{})
+}

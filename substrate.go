@@ -1,0 +1,143 @@
+package mlight
+
+import (
+	"fmt"
+
+	"mlight/internal/chord"
+	"mlight/internal/kademlia"
+	"mlight/internal/pastry"
+	"mlight/internal/peerquery"
+	"mlight/internal/simnet"
+)
+
+// Substrate types, aliased so applications can manage overlays through the
+// public API.
+type (
+	// Network is the deterministic message-level network simulator.
+	Network = simnet.Network
+	// NodeID identifies a peer on the simulated network.
+	NodeID = simnet.NodeID
+	// ChordRing is a managed Chord overlay (implements DHT).
+	ChordRing = chord.Ring
+	// PastryOverlay is a managed Pastry/Bamboo-style overlay (implements
+	// DHT).
+	PastryOverlay = pastry.Overlay
+	// KademliaOverlay is a managed Kademlia overlay (implements DHT).
+	KademliaOverlay = kademlia.Overlay
+	// PeerQueryService executes range queries on the peers themselves
+	// (Algorithm 3 as installed application handlers) and measures true
+	// critical-path latency under the network's latency model.
+	PeerQueryService = peerquery.Service
+	// PeerQueryResult is a peer-executed query answer with simulated-time
+	// latency.
+	PeerQueryResult = peerquery.Result
+)
+
+// NewNetwork creates an empty simulated network with zero latency and no
+// loss. Use the simnet package directly for latency/loss models.
+func NewNetwork() *Network {
+	return simnet.New(simnet.Options{})
+}
+
+// NewChordCluster builds a ready-to-use Chord DHT: a fresh simulated
+// network with n joined, stabilized peers named "node-0" … "node-(n-1)".
+func NewChordCluster(n int, seed int64) (*ChordRing, *Network, error) {
+	return NewReplicatedChordCluster(n, 1, seed)
+}
+
+// NewReplicatedChordCluster is NewChordCluster with a replication factor:
+// every key is copied to the next replication-1 successors, so the ring
+// tolerates up to replication-1 crashes between stabilization rounds with
+// no data loss.
+func NewReplicatedChordCluster(n, replication int, seed int64) (*ChordRing, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{})
+	ring := chord.NewRing(net, chord.Config{Seed: seed, Replication: replication})
+	for i := 0; i < n; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: chord cluster: %w", err)
+		}
+	}
+	ring.Stabilize(2)
+	return ring, net, nil
+}
+
+// NewPastryCluster builds a ready-to-use Pastry/Bamboo-style DHT: a fresh
+// simulated network with n joined, stabilized peers.
+func NewPastryCluster(n int, seed int64) (*PastryOverlay, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{})
+	o := pastry.NewOverlay(net, pastry.Config{Seed: seed})
+	for i := 0; i < n; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: pastry cluster: %w", err)
+		}
+	}
+	o.Stabilize(2)
+	return o, net, nil
+}
+
+// NewKademliaCluster builds a ready-to-use Kademlia DHT: a fresh simulated
+// network with n joined, stabilized peers.
+func NewKademliaCluster(n int, seed int64) (*KademliaOverlay, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{})
+	o := kademlia.NewOverlay(net, kademlia.Config{Seed: seed})
+	for i := 0; i < n; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: kademlia cluster: %w", err)
+		}
+	}
+	o.Stabilize(2)
+	return o, net, nil
+}
+
+// NewPeerQueryService installs peer-side range-query execution on a Chord
+// ring holding an m-LIGHT index with the given dimensionality and depth
+// bound. Queries then run peer-to-peer, and results report critical-path
+// latency in simulated time.
+func NewPeerQueryService(ring *ChordRing, net *Network, dims, maxDepth int) (*PeerQueryService, error) {
+	return peerquery.New(ring, net, dims, maxDepth)
+}
+
+// NewReplicatedPastryCluster is NewPastryCluster with PAST/Bamboo-style
+// leaf-set replication: each key is copied to the owner's replication-1
+// nearest neighbours.
+func NewReplicatedPastryCluster(n, replication int, seed int64) (*PastryOverlay, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{})
+	o := pastry.NewOverlay(net, pastry.Config{Seed: seed, Replication: replication})
+	for i := 0; i < n; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: pastry cluster: %w", err)
+		}
+	}
+	o.Stabilize(2)
+	return o, net, nil
+}
+
+// NewReplicatedKademliaCluster is NewKademliaCluster with the original
+// paper's placement rule: every key is stored at the replication closest
+// nodes.
+func NewReplicatedKademliaCluster(n, replication int, seed int64) (*KademliaOverlay, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{})
+	o := kademlia.NewOverlay(net, kademlia.Config{Seed: seed, Replication: replication})
+	for i := 0; i < n; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: kademlia cluster: %w", err)
+		}
+	}
+	o.Stabilize(2)
+	return o, net, nil
+}
