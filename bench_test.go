@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"mlight"
 	"mlight/internal/experiments"
@@ -285,6 +286,109 @@ func BenchmarkRangeQueryParallel4(b *testing.B) {
 	}
 	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
 	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
+}
+
+// latencyChordIndex builds a Chord-backed index over a simnet whose RPCs
+// really sleep for their modeled delays. The overlay joins and the bulk
+// load run with delays suppressed; only the measured queries pay them.
+func latencyChordIndex(b *testing.B, maxInFlight int) *mlight.Index {
+	b.Helper()
+	ring, net, err := mlight.NewChordClusterWithLatency(24, 1, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetRealDelay(false)
+	ix, err := mlight.New(ring, mlight.Options{
+		ThetaSplit:  50,
+		ThetaMerge:  25,
+		MaxInFlight: maxInFlight,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range mlight.GenerateNE(2000, 1) {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.SetRealDelay(true)
+	return ix
+}
+
+// BenchmarkRangeQueryConcurrent measures the parallel range query (h = 4)
+// over Chord with 1ms per-hop latency and the engine's full worker pool:
+// each round's probes overlap in real time. Compare wall time per op with
+// BenchmarkRangeQuerySequentialBaseline — same index, same queries, same
+// Lookups and Rounds — to see what concurrency buys on the critical path.
+func BenchmarkRangeQueryConcurrent(b *testing.B) {
+	ix := latencyChordIndex(b, 16)
+	queries := benchQueries(16, 0.4)
+	b.ResetTimer()
+	lookups, rounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.RangeQueryParallel(queries[i%len(queries)], 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookups += res.Lookups
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
+}
+
+// BenchmarkRangeQuerySequentialBaseline is BenchmarkRangeQueryConcurrent
+// with MaxInFlight = 1: identical probes, paid back to back.
+func BenchmarkRangeQuerySequentialBaseline(b *testing.B) {
+	ix := latencyChordIndex(b, 1)
+	queries := benchQueries(16, 0.4)
+	b.ResetTimer()
+	lookups, rounds := 0, 0
+	for i := 0; i < b.N; i++ {
+		res, err := ix.RangeQueryParallel(queries[i%len(queries)], 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lookups += res.Lookups
+		rounds += res.Rounds
+	}
+	b.ReportMetric(float64(lookups)/float64(b.N), "lookups/query")
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
+}
+
+// BenchmarkLookupCached measures repeat point lookups with the leaf-label
+// cache enabled: after the first resolution of a point, a repeat lookup
+// verifies the cached leaf with a single DHT probe (probes/lookup → 1).
+func BenchmarkLookupCached(b *testing.B) {
+	ix, err := mlight.New(mlight.NewLocalDHT(64), mlight.Options{
+		ThetaSplit: 100,
+		ThetaMerge: 50,
+		CacheSize:  4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range mlight.GenerateNE(20000, 1) {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	points := mlight.GenerateNE(1000, 3)
+	for _, p := range points {
+		if _, _, err := ix.LookupTraced(p.Key); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		_, trace, err := ix.LookupTraced(points[i%len(points)].Key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes += trace.Probes
+	}
+	b.ReportMetric(float64(probes)/float64(b.N), "probes/lookup")
 }
 
 func BenchmarkDelete(b *testing.B) {

@@ -11,9 +11,17 @@
 //	mlight-bench -figs fig5,fig7 -n 50000
 //	mlight-bench -csvdir out/
 //	mlight-bench -dataset ne.csv         # use the real NE data
+//
+// The concurrency section (not part of "all": its RPCs sleep for their
+// modeled delays, so it runs in real time) measures the wall-clock effect
+// of the concurrent query engine and the leaf-label lookup cache, writing
+// a machine-readable summary:
+//
+//	mlight-bench -figs concurrency -quick -concjson BENCH_concurrency.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,17 +44,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mlight-bench", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", dataset.NESize, "number of records to index")
-		peers   = fs.Int("peers", 128, "number of logical DHT peers")
-		theta   = fs.Int("theta", 100, "θsplit (leaf/node capacity for all schemes)")
-		epsilon = fs.Int("epsilon", 70, "data-aware expected load ε")
-		depth   = fs.Int("depth", 28, "index depth bound D")
-		seed    = fs.Int64("seed", 1, "random seed for data and queries")
-		queries = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs    = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions or all")
-		quick   = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
-		csvDir  = fs.String("csvdir", "", "directory to also write per-panel CSV files")
-		dataCSV = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
+		n        = fs.Int("n", dataset.NESize, "number of records to index")
+		peers    = fs.Int("peers", 128, "number of logical DHT peers")
+		theta    = fs.Int("theta", 100, "θsplit (leaf/node capacity for all schemes)")
+		epsilon  = fs.Int("epsilon", 70, "data-aware expected load ε")
+		depth    = fs.Int("depth", 28, "index depth bound D")
+		seed     = fs.Int64("seed", 1, "random seed for data and queries")
+		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency or all (all excludes concurrency)")
+		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
+		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
+		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
+		concJSON = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
+		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,6 +185,38 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "(ablations took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["concurrency"] {
+		if *hopDelay <= 0 {
+			return fmt.Errorf("-hopdelay must be positive, got %v (a zero-delay network would make the wall-clock comparison meaningless)", *hopDelay)
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "== Concurrency: wall-clock query execution (beyond the paper) ==")
+		ccfg := experiments.ConcurrencyConfig{Config: cfg, HopDelay: *hopDelay}
+		if *quick {
+			ccfg.DataSize = 2000
+		}
+		res, err := experiments.Concurrency(ccfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "sequential %.1fms, concurrent %.1fms → %.2fx speedup\n",
+			res.SequentialWallMS, res.ConcurrentWallMS, res.Speedup)
+		fmt.Fprintf(out, "%d queries (h=%d, span %.2f): %d records, %d lookups, %d rounds — identical in both modes\n",
+			res.Queries, res.Lookahead, res.Span, res.Records, res.Lookups, res.Rounds)
+		fmt.Fprintf(out, "cached lookups: %.2f cold / %.2f warm probes per lookup (%d hits, %d misses, %d stale)\n",
+			res.ColdProbesPerLookup, res.WarmProbesPerLookup, res.CacheHits, res.CacheMisses, res.CacheStale)
+		if *concJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*concJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *concJSON)
+		}
+		fmt.Fprintf(out, "(concurrency took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

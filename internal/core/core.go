@@ -85,6 +85,21 @@ type Options struct {
 	// Epsilon is the expected per-bucket load ε for SplitDataAware.
 	// Default 70, the paper's Fig. 6 setting.
 	Epsilon int
+	// MaxInFlight caps the number of concurrently outstanding DHT probes
+	// per query round. 1 forces fully sequential execution (every probe on
+	// the calling goroutine); larger values let each round's frontier —
+	// branch subqueries plus the h lookahead pieces — overlap, so measured
+	// latency tracks Rounds instead of Lookups. The cap changes only
+	// execution, never the Lookups/Rounds accounting. Default 16.
+	MaxInFlight int
+	// CacheSize enables the client-side leaf-label lookup cache: an LRU of
+	// recently resolved leaves that seeds the §5 binary search, resolving a
+	// repeat lookup on an unchanged index with a single verification probe.
+	// Entries observed stale (the leaf split or merged) are evicted and the
+	// search falls back to the standard bounds, so the cache never serves
+	// stale buckets. 0 disables the cache (the default, preserving the
+	// paper experiments' probe accounting).
+	CacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +121,9 @@ func (o Options) withDefaults() Options {
 	if o.Epsilon == 0 {
 		o.Epsilon = 70
 	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = dht.DefaultMaxInFlight
+	}
 	return o
 }
 
@@ -122,6 +140,12 @@ func (o Options) validate() error {
 	}
 	if o.ThetaMerge < 0 || o.ThetaMerge >= o.ThetaSplit {
 		return fmt.Errorf("core: need 0 ≤ ThetaMerge < ThetaSplit, got %d, %d", o.ThetaMerge, o.ThetaSplit)
+	}
+	if o.MaxInFlight < 1 {
+		return fmt.Errorf("core: MaxInFlight must be ≥ 1, got %d", o.MaxInFlight)
+	}
+	if o.CacheSize < 0 {
+		return fmt.Errorf("core: CacheSize must be ≥ 0, got %d", o.CacheSize)
 	}
 	switch o.Strategy {
 	case SplitThreshold:
@@ -176,6 +200,8 @@ type Index struct {
 	raw   dht.DHT       // uncounted: local rewrites on the owning peer
 	d     *dht.Counting // counted: operations that cross the DHT
 	stats *metrics.IndexStats
+	// cache is the client-side leaf-label lookup cache; nil when disabled.
+	cache *leafCache
 }
 
 // New creates an index client over d and bootstraps the root bucket if the
@@ -192,6 +218,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 		raw:   d,
 		d:     dht.NewCounting(d, stats),
 		stats: stats,
+	}
+	if opts.CacheSize > 0 {
+		ix.cache = newLeafCache(opts.CacheSize)
 	}
 	root := bitlabel.Root(opts.Dims)
 	// Bootstrap idempotently: create the root bucket only when absent.

@@ -55,8 +55,27 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 		return Bucket{}, fmt.Errorf("core: path label: %w", err)
 	}
 	lo, hi := m+1, path.Len()
-	for iter := 0; iter <= ix.opts.MaxDepth+2 && lo <= hi; iter++ {
+	// The leaf-label cache seeds the binary search: when a cached leaf
+	// covers δ (its label is a prefix of δ's path label), the first probe
+	// targets that leaf's length directly. On an unchanged index the probe
+	// verifies the leaf and the lookup completes with a single DHT get; a
+	// stale entry (the leaf split or merged since) is evicted, and the
+	// probe's outcome still tightens the bounds by the standard §5 rules —
+	// the cache can mis-seed the search but can never serve a stale bucket.
+	hint := 0
+	if ix.cache != nil {
+		if cached, ok := ix.cache.find(path, lo); ok {
+			hint = cached.Len()
+		} else {
+			ix.stats.CacheMisses.Inc()
+		}
+	}
+	for iter := 0; iter <= ix.opts.MaxDepth+3 && lo <= hi; iter++ {
 		mid := (lo + hi) / 2
+		hinted := iter == 0 && hint >= lo && hint <= hi
+		if hinted {
+			mid = hint
+		}
 		cand := path.Prefix(mid)
 		probeKey := bitlabel.Name(cand, m)
 		v, found, err := ix.getBucket(probeKey, trace)
@@ -64,6 +83,10 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 			return Bucket{}, err
 		}
 		if !found {
+			if hinted {
+				ix.stats.CacheStale.Inc()
+				ix.invalidateLeaf(cand)
+			}
 			// probeKey is not internal: the target is at or above it.
 			if probeKey.Len() < lo {
 				return Bucket{}, fmt.Errorf("%w: probe %v contradicts bounds [%d,%d] for %v",
@@ -74,7 +97,17 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 		}
 		if v.Label.IsPrefixOf(path) {
 			// The bucket's cell covers δ: this is the target leaf.
+			if hinted {
+				ix.stats.CacheHits.Inc()
+			}
+			ix.cacheLeaf(v)
 			return v, nil
+		}
+		if hinted {
+			// The cached leaf's key now hosts a different, non-covering
+			// bucket: the leaf was restructured. Evict, keep searching.
+			ix.stats.CacheStale.Inc()
+			ix.invalidateLeaf(cand)
 		}
 		cp := v.Label.CommonPrefixLen(path)
 		if cp >= mid {

@@ -50,7 +50,18 @@ func (ix *Index) Insert(rec spatial.Record) error {
 		if stale {
 			// The bucket split or merged between lookup and apply;
 			// retry from a fresh lookup.
+			ix.invalidateLeaf(b.Label)
 			continue
+		}
+		if len(moved) > 0 {
+			// The leaf split: the old label no longer names a leaf, and the
+			// relocated pieces are fresh leaves this client just observed.
+			ix.invalidateLeaf(b.Label)
+			if ix.cache != nil {
+				for _, c := range moved {
+					ix.cache.add(c.Label)
+				}
+			}
 		}
 		// The inserted record itself crossed the DHT to its bucket.
 		ix.stats.RecordsMoved.Inc()
@@ -281,6 +292,11 @@ func (ix *Index) mergeUpwards(b Bucket) error {
 			}
 		}
 		ix.stats.Merges.Inc()
+		// Both children are gone; the parent is the leaf this client just
+		// wrote.
+		ix.invalidateLeaf(b.Label)
+		ix.invalidateLeaf(sibLabel)
+		ix.cacheLeaf(merged)
 		b = merged
 	}
 	return nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"mlight/internal/bitlabel"
 	"mlight/internal/spatial"
@@ -16,9 +17,9 @@ type QueryResult struct {
 	Rounds  int
 }
 
-// queryCtx carries the per-query options through the recursive
-// decomposition: the parallel lookahead h and, for arbitrary-shape queries,
-// the shape used for subtree pruning and final filtering.
+// queryCtx carries the per-query options through the decomposition: the
+// parallel lookahead h and, for arbitrary-shape queries, the shape used for
+// subtree pruning and final filtering.
 type queryCtx struct {
 	h     int
 	shape spatial.Shape
@@ -70,6 +71,15 @@ func (ix *Index) shapeQuery(s spatial.Shape, h int) (*QueryResult, error) {
 	return ix.rangeQuery(clamped, queryCtx{h: h, shape: s})
 }
 
+// rangeQuery drives the round-synchronous execution engine: every round the
+// current frontier of independent DHT probes is issued as one concurrent
+// batch (bounded by Options.MaxInFlight), a barrier waits for the whole
+// batch, and the results generate the next frontier. Rounds therefore
+// equals the number of synchronous batch barriers — the paper's latency
+// unit — and wall-clock latency over a latency-bearing substrate scales
+// with Rounds, not Lookups. MaxInFlight = 1 degrades to fully sequential
+// execution with identical Records, Lookups, and Rounds: the cap changes
+// only how probes overlap, never what is probed.
 func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) {
 	m := ix.opts.Dims
 	if q.Dim() != m {
@@ -78,14 +88,15 @@ func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) 
 	if _, err := spatial.NewRect(q.Lo, q.Hi); err != nil {
 		return nil, fmt.Errorf("core: invalid query rectangle: %w", err)
 	}
-	res := &QueryResult{}
 
 	lca, err := spatial.LCALabel(q, m, ix.opts.MaxDepth)
 	if err != nil {
 		return nil, err
 	}
+	res := &QueryResult{}
 	b, found, err := ix.getBucket(bitlabel.Name(lca, m), nil)
 	res.Lookups++
+	res.Rounds++
 	if err != nil {
 		return nil, err
 	}
@@ -98,120 +109,352 @@ func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) 
 			return nil, err
 		}
 		res.Lookups += trace.Probes
-		res.Rounds = 1 + trace.Probes
+		res.Rounds += trace.Probes
 		res.Records = filterRecords(leaf.Records, q, ctx.shape)
 		return res, nil
 	}
-	recs, rounds, lookups, err := ix.process(q, lca, b, ctx)
+
+	eng := &rangeEngine{ix: ix, ctx: ctx}
+	root := &execNode{}
+	frontier, err := eng.expand(q, lca, b, root)
 	if err != nil {
 		return nil, err
 	}
-	res.Records = append(res.Records, recs...)
-	res.Lookups += lookups
-	res.Rounds = 1 + rounds
+	if err := eng.run(frontier); err != nil {
+		return nil, err
+	}
+	res.Lookups += eng.lookups
+	res.Rounds += eng.barriers + eng.extraRounds
+	res.Records = root.collect(res.Records)
 	return res, nil
 }
 
-// process handles a bucket b fetched as the corner cell of node β with
-// (clipped) subrange q: it collects b's matching records and forwards the
-// remainder of q to the branch nodes of b's local tree below β
-// (Algorithm 3). The returned rounds and lookups exclude the fetch of b
-// itself.
-func (ix *Index) process(q spatial.Rect, beta bitlabel.Label, b Bucket, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
-	m := ix.opts.Dims
-	records = filterRecords(b.Records, q, ctx.shape)
+// rangeEngine executes one query's decomposition as synchronized rounds of
+// concurrent probes, accumulating the cost accounting.
+type rangeEngine struct {
+	ix  *Index
+	ctx queryCtx
+
+	// lookups counts every DHT probe issued; barriers counts completed
+	// batch rounds. extraRounds accounts the rare sequential recovery
+	// lookup (possible only under concurrent restructuring), whose probes
+	// are serial rounds the barrier count cannot see.
+	lookups     int
+	barriers    int
+	extraRounds int
+}
+
+// execNode is one node of the query's execution tree. Each frontier item
+// owns exactly one node and writes only to it, so concurrent workers never
+// share state; the tree's depth-first order reproduces the deterministic
+// result ordering of the sequential decomposition regardless of probe
+// completion order.
+type execNode struct {
+	records  []spatial.Record
+	children []*execNode
+}
+
+// collect appends the subtree's records in depth-first order.
+func (n *execNode) collect(out []spatial.Record) []spatial.Record {
+	out = append(out, n.records...)
+	for _, c := range n.children {
+		out = c.collect(out)
+	}
+	return out
+}
+
+// itemKind discriminates frontier work items.
+type itemKind int
+
+const (
+	// itemProbe fetches the bucket named to a piece's node and expands the
+	// decomposition there.
+	itemProbe itemKind = iota
+	// itemCand probes one covering-leaf candidate of an overshot piece; all
+	// of a piece's candidates run in the same round and are adjudicated
+	// together at the barrier.
+	itemCand
+	// itemFallback runs the sequential recovery lookup after the candidate
+	// round failed to surface the covering leaf (possible only under
+	// concurrent restructuring).
+	itemFallback
+)
+
+// frontierItem is one unit of work inside a round.
+type frontierItem struct {
+	kind itemKind
+	p    piece
+	node *execNode
+	// group links itemCand items of the same overshot piece; slot is this
+	// candidate's priority position inside it.
+	group *coverGroup
+	slot  int
+}
+
+// coverGroup gathers the covering-leaf candidate probes of one overshot
+// piece. Candidates are ordered deepest-first, matching the priority the
+// paper's parallel recovery implies: the first candidate (in that order)
+// whose bucket is a prefix of the overshot node is the covering leaf.
+type coverGroup struct {
+	p     piece
+	node  *execNode
+	names []bitlabel.Label
+	found []bucketProbe
+}
+
+// bucketProbe is one completed probe's outcome.
+type bucketProbe struct {
+	b     Bucket
+	found bool
+}
+
+// itemResult is what executing one frontier item produces: the next round's
+// items it generated, plus accounting adjustments.
+type itemResult struct {
+	next        []frontierItem
+	lookups     int
+	extraRounds int
+	err         error
+}
+
+// run executes rounds until the frontier drains. Each round is one
+// synchronous batch barrier: all items are issued through a bounded worker
+// pool, the barrier waits for every probe, and the (deterministically
+// ordered) results build the next frontier.
+func (e *rangeEngine) run(frontier []frontierItem) error {
+	for len(frontier) > 0 {
+		e.barriers++
+		e.ix.stats.BatchRounds.Inc()
+		e.ix.stats.BatchProbes.Add(int64(len(frontier)))
+		inFlight := len(frontier)
+		if e.ix.opts.MaxInFlight < inFlight {
+			inFlight = e.ix.opts.MaxInFlight
+		}
+		e.ix.stats.MaxInFlight.Observe(int64(inFlight))
+
+		results := e.runBatch(frontier)
+
+		var next []frontierItem
+		resolved := map[*coverGroup]bool{}
+		for i := range frontier {
+			r := &results[i]
+			e.lookups += r.lookups
+			if r.err != nil {
+				return r.err
+			}
+			if r.extraRounds > e.extraRounds {
+				e.extraRounds = r.extraRounds
+			}
+			next = append(next, r.next...)
+			// All candidate probes of a group live in this same round, so
+			// the group is adjudicable as soon as its first member is
+			// reached in order.
+			if g := frontier[i].group; g != nil && !resolved[g] {
+				resolved[g] = true
+				item, done := e.adjudicate(g)
+				if !done {
+					next = append(next, item)
+				}
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// runBatch executes one round's items concurrently, bounded by
+// Options.MaxInFlight. Results are positional. With a single worker (or a
+// single item) everything runs inline on the calling goroutine, which keeps
+// the sequential execution mode allocation-light and exactly ordered.
+func (e *rangeEngine) runBatch(items []frontierItem) []itemResult {
+	results := make([]itemResult, len(items))
+	workers := e.ix.opts.MaxInFlight
+	if workers == 1 || len(items) == 1 {
+		for i := range items {
+			results[i] = e.execute(items[i])
+		}
+		return results
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range items {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = e.execute(items[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// execute runs one frontier item. It touches only the item's own execNode
+// (and, for candidates, the item's own group slot), so items of a round
+// never race.
+func (e *rangeEngine) execute(it frontierItem) itemResult {
+	switch it.kind {
+	case itemProbe:
+		return e.executeProbe(it)
+	case itemCand:
+		return e.executeCand(it)
+	case itemFallback:
+		return e.executeFallback(it)
+	default:
+		return itemResult{err: fmt.Errorf("core: unknown frontier item kind %d", it.kind)}
+	}
+}
+
+// executeProbe fetches the bucket named to the piece's node and continues
+// the decomposition there. Speculative nodes may lie below the actual tree:
+// a missing bucket means some leaf between the piece's base node and its
+// speculative node covers the whole piece; that leaf is found by probing
+// the names of all intermediate ancestors in the next round's batch — more
+// bandwidth, no extra latency, exactly the parallel algorithm's trade.
+func (e *rangeEngine) executeProbe(it frontierItem) itemResult {
+	m := e.ix.opts.Dims
+	res := itemResult{lookups: 1}
+	b, found, err := e.ix.getBucket(bitlabel.Name(it.p.node, m), nil)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if !found {
+		names := coverCandidates(it.p, m)
+		if len(names) == 0 {
+			// No intermediate ancestors to try: go straight to the
+			// sequential recovery lookup next round.
+			res.next = []frontierItem{{kind: itemFallback, p: it.p, node: it.node}}
+			return res
+		}
+		g := &coverGroup{p: it.p, node: it.node, names: names, found: make([]bucketProbe, len(names))}
+		for slot := range names {
+			res.next = append(res.next, frontierItem{kind: itemCand, p: it.p, group: g, slot: slot})
+		}
+		return res
+	}
+	e.ix.cacheLeaf(b)
+	if b.Label == it.p.node {
+		// The node itself is a leaf; it covers the piece entirely.
+		it.node.records = filterRecords(b.Records, it.p.q, e.ctx.shape)
+		return res
+	}
+	next, err := e.expand(it.p.q, it.p.node, b, it.node)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.next = next
+	return res
+}
+
+// executeCand probes one covering-leaf candidate, recording the outcome in
+// its group slot for adjudication at the barrier.
+func (e *rangeEngine) executeCand(it frontierItem) itemResult {
+	res := itemResult{lookups: 1}
+	b, found, err := e.ix.getBucket(it.group.names[it.slot], nil)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	it.group.found[it.slot] = bucketProbe{b: b, found: found}
+	return res
+}
+
+// executeFallback recovers with a sequential lookup at a corner of the
+// piece. Its probes run serially on this worker, so they are charged as
+// extra rounds beyond the barrier the item occupies.
+func (e *rangeEngine) executeFallback(it frontierItem) itemResult {
+	leaf, trace, err := e.ix.LookupTraced(clampPoint(it.p.q.Lo))
+	if err != nil {
+		return itemResult{err: err}
+	}
+	it.node.records = filterRecords(leaf.Records, it.p.q, e.ctx.shape)
+	return itemResult{lookups: trace.Probes, extraRounds: trace.Probes - 1}
+}
+
+// adjudicate resolves a completed candidate round: the first candidate (in
+// the group's deepest-first priority order) holding a bucket whose label is
+// a prefix of the overshot node is the covering leaf. When no candidate
+// qualifies (possible only under concurrent restructuring) a sequential
+// fallback item is scheduled; done reports whether the group completed.
+func (e *rangeEngine) adjudicate(g *coverGroup) (item frontierItem, done bool) {
+	for _, pr := range g.found {
+		if pr.found && pr.b.Label.IsPrefixOf(g.p.node) {
+			e.ix.cacheLeaf(pr.b)
+			g.node.records = filterRecords(pr.b.Records, g.p.q, e.ctx.shape)
+			return frontierItem{}, true
+		}
+	}
+	return frontierItem{kind: itemFallback, p: g.p, node: g.node}, false
+}
+
+// coverCandidates returns the DHT names to probe when a speculative piece
+// overshoots the tree: the covering leaf is one of the labels between the
+// piece's base (inclusive) and its node (exclusive), deepest first. Names
+// of nested prefixes can coincide, so probes are deduplicated; the name
+// that already missed is excluded.
+func coverCandidates(p piece, m int) []bitlabel.Label {
+	probed := map[bitlabel.Label]bool{bitlabel.Name(p.node, m): true} // already missed
+	var names []bitlabel.Label
+	for j := p.node.Len() - 1; j >= p.base.Len(); j-- {
+		name := bitlabel.Name(p.node.Prefix(j), m)
+		if probed[name] {
+			continue
+		}
+		probed[name] = true
+		names = append(names, name)
+	}
+	return names
+}
+
+// expand handles a bucket b fetched as the corner cell of node β with
+// (clipped) subrange q: it collects b's matching records into the execution
+// node and forwards the remainder of q to the branch nodes of b's local
+// tree below β (Algorithm 3), emitting one next-round probe per piece. All
+// emitted probes join the same batch barrier, so sibling subqueries — and,
+// with h > 1, their speculative pieces — genuinely overlap.
+func (e *rangeEngine) expand(q spatial.Rect, beta bitlabel.Label, b Bucket, node *execNode) ([]frontierItem, error) {
+	m := e.ix.opts.Dims
+	node.records = filterRecords(b.Records, q, e.ctx.shape)
 	leafRegion, err := spatial.RegionOf(b.Label, m)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
 	if leafRegion.Covers(q) {
-		return records, 0, 0, nil
+		return nil, nil
 	}
 	// Decompose over the branch nodes of b's local tree strictly below β
 	// (Algorithm 3).
 	local, err := bitlabel.NewLocalTree(b.Label, m)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
+	var items []frontierItem
 	for _, branch := range local.BranchNodesBelow(beta) {
 		g, regionErr := spatial.RegionOf(branch, m)
 		if regionErr != nil {
-			return nil, 0, 0, regionErr
+			return nil, regionErr
 		}
 		sub, overlaps := g.Intersect(q)
 		if !overlaps {
 			continue
 		}
-		if ctx.shape != nil && !ctx.shape.IntersectsRect(sub) {
+		if e.ctx.shape != nil && !e.ctx.shape.IntersectsRect(sub) {
 			continue // the shape provably misses this subtree
 		}
-		recs, r, lk, subErr := ix.subquery(sub, branch, ctx)
-		if subErr != nil {
-			return nil, 0, 0, subErr
+		pieces := []piece{{node: branch, base: branch, q: sub}}
+		if e.ctx.h > 1 {
+			pieces = e.ix.speculate(branch, sub, e.ctx)
 		}
-		records = append(records, recs...)
-		lookups += lk
-		if r > rounds {
-			rounds = r // branch subqueries proceed in parallel
-		}
-	}
-	return records, rounds, lookups, nil
-}
-
-// subquery resolves subrange q against the subtree rooted at node β. With
-// h > 1 the subrange is pre-split into up to h pieces probed in one round.
-// The returned rounds include the round that fetches the pieces' buckets.
-func (ix *Index) subquery(q spatial.Rect, beta bitlabel.Label, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
-	pieces := []piece{{node: beta, base: beta, q: q}}
-	if ctx.h > 1 {
-		pieces = ix.speculate(beta, q, ctx)
-	}
-	for _, p := range pieces {
-		recs, r, lk, pieceErr := ix.resolvePiece(p, ctx)
-		if pieceErr != nil {
-			return nil, 0, 0, pieceErr
-		}
-		records = append(records, recs...)
-		lookups += lk
-		if r > rounds {
-			rounds = r // pieces are probed in parallel
+		for _, p := range pieces {
+			child := &execNode{}
+			node.children = append(node.children, child)
+			items = append(items, frontierItem{kind: itemProbe, p: p, node: child})
 		}
 	}
-	return records, rounds, lookups, nil
-}
-
-// resolvePiece fetches the bucket named to one piece's node and continues
-// the decomposition there. Speculative nodes may lie below the actual tree:
-// a missing bucket means some leaf between the piece's base node and its
-// speculative node covers the whole piece; that leaf is found by probing
-// the names of all intermediate ancestors in a single parallel round — more
-// bandwidth, no extra latency, exactly the parallel algorithm's trade.
-func (ix *Index) resolvePiece(p piece, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
-	m := ix.opts.Dims
-	b, found, err := ix.getBucket(bitlabel.Name(p.node, m), nil)
-	lookups = 1
-	rounds = 1
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	if !found {
-		leaf, extraLookups, extraRounds, fallbackErr := ix.coveringLeaf(p)
-		if fallbackErr != nil {
-			return nil, 0, 0, fallbackErr
-		}
-		lookups += extraLookups
-		rounds += extraRounds
-		return filterRecords(leaf.Records, p.q, ctx.shape), rounds, lookups, nil
-	}
-	if b.Label == p.node {
-		// The node itself is a leaf; it covers the piece entirely.
-		return filterRecords(b.Records, p.q, ctx.shape), rounds, lookups, nil
-	}
-	recs, r, lk, err := ix.process(p.q, p.node, b, ctx)
-	if err != nil {
-		return nil, 0, 0, err
-	}
-	return recs, rounds + r, lookups + lk, nil
+	return items, nil
 }
 
 // piece is a speculative (node, subrange) unit of parallel forwarding.
@@ -221,39 +464,6 @@ type piece struct {
 	node bitlabel.Label
 	base bitlabel.Label
 	q    spatial.Rect
-}
-
-// coveringLeaf recovers from a speculative overshoot: the leaf covering the
-// piece is one of the labels between the piece's base (inclusive) and its
-// node (exclusive), so probing all their names in one parallel round finds
-// it. Names of nested prefixes can coincide, so probes are deduplicated.
-func (ix *Index) coveringLeaf(p piece) (Bucket, int, int, error) {
-	m := ix.opts.Dims
-	probed := map[bitlabel.Label]bool{bitlabel.Name(p.node, m): true} // already missed
-	lookups := 0
-	for j := p.node.Len() - 1; j >= p.base.Len(); j-- {
-		cand := p.node.Prefix(j)
-		name := bitlabel.Name(cand, m)
-		if probed[name] {
-			continue
-		}
-		probed[name] = true
-		b, found, err := ix.getBucket(name, nil)
-		lookups++
-		if err != nil {
-			return Bucket{}, 0, 0, err
-		}
-		if found && b.Label.IsPrefixOf(p.node) {
-			return b, lookups, 1, nil
-		}
-	}
-	// The parallel probe round failed to surface the leaf (possible only
-	// under concurrent restructuring); fall back to a sequential lookup.
-	leaf, trace, err := ix.LookupTraced(clampPoint(p.q.Lo))
-	if err != nil {
-		return Bucket{}, 0, 0, err
-	}
-	return leaf, lookups + trace.Probes, 1 + trace.Probes, nil
 }
 
 // speculate pre-splits subrange q below node β into up to h pieces by

@@ -20,7 +20,10 @@ type Counting struct {
 	stats *metrics.IndexStats
 }
 
-var _ DHT = (*Counting)(nil)
+var (
+	_ DHT     = (*Counting)(nil)
+	_ Batcher = (*Counting)(nil)
+)
 
 // NewCounting wraps inner, charging operations to stats. A nil stats
 // allocates a private counter set, retrievable via Stats.
@@ -47,6 +50,23 @@ func (c *Counting) Put(key Key, value any) error {
 func (c *Counting) Get(key Key) (any, bool, error) {
 	c.stats.DHTLookups.Inc()
 	return c.inner.Get(key)
+}
+
+// GetBatch implements Batcher: every probe in the batch is one logical DHT
+// operation, charged exactly as len(keys) sequential Gets would be —
+// batching overlaps execution, it does not change the paper's bandwidth
+// accounting. The batch itself and its high-water concurrency are metered
+// separately.
+func (c *Counting) GetBatch(keys []Key, maxInFlight int) []BatchResult {
+	c.stats.DHTLookups.Add(int64(len(keys)))
+	c.stats.BatchProbes.Add(int64(len(keys)))
+	c.stats.BatchRounds.Inc()
+	inFlight := len(keys)
+	if maxInFlight >= 1 && maxInFlight < inFlight {
+		inFlight = maxInFlight
+	}
+	c.stats.MaxInFlight.Observe(int64(inFlight))
+	return GetBatch(c.inner, keys, maxInFlight)
 }
 
 // Remove implements DHT.

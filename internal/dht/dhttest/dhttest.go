@@ -7,6 +7,7 @@ package dhttest
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"mlight/internal/dht"
@@ -118,6 +119,71 @@ func RunConformance(t *testing.T, newDHT Factory) {
 			if err != nil || !ok || v != i {
 				t.Fatalf("Get(many-%d) = %v, %v, %v", i, v, ok, err)
 			}
+		}
+	})
+
+	t.Run("ConcurrentOverlap", func(t *testing.T) {
+		// The concurrent query engine issues Gets from worker goroutines
+		// while other clients mutate the same keys with Apply. Every
+		// substrate must keep Apply atomic (no lost increments) and keep
+		// concurrent Get/GetBatch free of torn reads under the race
+		// detector.
+		d := newDHT(t)
+		const (
+			goroutines = 8
+			increments = 25
+			keys       = 4
+		)
+		key := func(i int) dht.Key { return dht.Key(fmt.Sprintf("overlap-%d", i%keys)) }
+		for i := 0; i < keys; i++ {
+			if err := d.Put(key(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < increments; i++ {
+					k := key(g + i)
+					if err := d.Apply(k, func(cur any, exists bool) (any, bool) {
+						n, _ := cur.(int)
+						return n + 1, true
+					}); err != nil {
+						errs <- fmt.Errorf("Apply(%q): %w", k, err)
+						return
+					}
+					if _, _, err := d.Get(key(g + i + 1)); err != nil {
+						errs <- fmt.Errorf("Get: %w", err)
+						return
+					}
+					batch := []dht.Key{key(0), key(1), key(2), key(3)}
+					for _, r := range dht.GetBatch(d, batch, 4) {
+						if r.Err != nil {
+							errs <- fmt.Errorf("GetBatch: %w", r.Err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		total := 0
+		for i := 0; i < keys; i++ {
+			v, ok, err := d.Get(key(i))
+			if err != nil || !ok {
+				t.Fatalf("Get(%q) = ok=%v err=%v", key(i), ok, err)
+			}
+			total += v.(int)
+		}
+		if want := goroutines * increments; total != want {
+			t.Fatalf("lost updates: counted %d increments, want %d", total, want)
 		}
 	})
 

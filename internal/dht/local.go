@@ -24,6 +24,7 @@ type Local struct {
 var (
 	_ DHT        = (*Local)(nil)
 	_ Enumerator = (*Local)(nil)
+	_ Batcher    = (*Local)(nil)
 )
 
 // NewLocal creates a local DHT with numPeers virtual peers named
@@ -76,6 +77,20 @@ func (l *Local) Get(key Key) (any, bool, error) {
 	defer l.mu.RUnlock()
 	v, ok := l.store[key]
 	return v, ok, nil
+}
+
+// GetBatch implements Batcher natively: all keys are read under one shared
+// lock, so a batch costs the same as a single Get regardless of size. The
+// maxInFlight cap is irrelevant here — nothing blocks.
+func (l *Local) GetBatch(keys []Key, maxInFlight int) []BatchResult {
+	results := make([]BatchResult, len(keys))
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for i, k := range keys {
+		v, ok := l.store[k]
+		results[i] = BatchResult{Value: v, Found: ok}
+	}
+	return results
 }
 
 // Remove implements DHT.

@@ -1,0 +1,76 @@
+package dht
+
+import "sync"
+
+// BatchResult is the outcome of one key's Get inside a batch. Results are
+// positional: result i always corresponds to keys[i], whatever order the
+// probes actually completed in.
+type BatchResult struct {
+	Value any
+	Found bool
+	Err   error
+}
+
+// Batcher is an optional substrate interface: resolve several independent
+// Gets in one call. Substrates with a cheap shared read path (the local map
+// DHT) implement it natively; for everything else GetBatch falls back to a
+// bounded worker pool over the plain Get method, so the caller's latency is
+// one round instead of len(keys) sequential round trips.
+//
+// maxInFlight caps the number of concurrently outstanding probes; values
+// below 1 select a sensible default. Implementations must preserve the
+// positional correspondence between keys and results.
+type Batcher interface {
+	GetBatch(keys []Key, maxInFlight int) []BatchResult
+}
+
+// DefaultMaxInFlight is the probe-concurrency cap used when a caller does
+// not specify one.
+const DefaultMaxInFlight = 16
+
+// GetBatch resolves every key against d in one logical round. When d
+// implements Batcher the native implementation is used; otherwise up to
+// maxInFlight concurrent Gets are issued through a bounded worker pool
+// (stdlib only: WaitGroup + semaphore channel). The returned slice is
+// positional and always has len(keys) entries.
+//
+// All implementations of DHT in this repository are safe for concurrent
+// use, which is what makes the fallback sound; see the ConcurrentOverlap
+// conformance case in dhttest.
+func GetBatch(d DHT, keys []Key, maxInFlight int) []BatchResult {
+	if b, ok := d.(Batcher); ok {
+		return b.GetBatch(keys, maxInFlight)
+	}
+	return poolGetBatch(d, keys, maxInFlight)
+}
+
+// poolGetBatch is the generic bounded-worker fallback.
+func poolGetBatch(d DHT, keys []Key, maxInFlight int) []BatchResult {
+	if maxInFlight < 1 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	results := make([]BatchResult, len(keys))
+	switch {
+	case len(keys) == 0:
+		return results
+	case len(keys) == 1 || maxInFlight == 1:
+		// Nothing to overlap: run inline and skip the goroutine overhead.
+		for i, k := range keys {
+			results[i].Value, results[i].Found, results[i].Err = d.Get(k)
+		}
+		return results
+	}
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	for i := range keys {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i].Value, results[i].Found, results[i].Err = d.Get(keys[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

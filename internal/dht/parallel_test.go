@@ -1,0 +1,147 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// slowDHT wraps Local, tracking the number of concurrently executing Gets
+// so tests can verify the fan-out bound. It deliberately does NOT implement
+// Batcher, forcing GetBatch onto the generic worker-pool path.
+type slowDHT struct {
+	inner   *Local
+	cur     atomic.Int64
+	peak    atomic.Int64
+	failKey Key
+}
+
+func (s *slowDHT) Get(key Key) (any, bool, error) {
+	n := s.cur.Add(1)
+	defer s.cur.Add(-1)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	if s.failKey != "" && key == s.failKey {
+		return nil, false, errors.New("injected failure")
+	}
+	return s.inner.Get(key)
+}
+
+func (s *slowDHT) Put(key Key, value any) error     { return s.inner.Put(key, value) }
+func (s *slowDHT) Remove(key Key) error             { return s.inner.Remove(key) }
+func (s *slowDHT) Apply(key Key, f ApplyFunc) error { return s.inner.Apply(key, f) }
+func (s *slowDHT) Owner(key Key) (string, error)    { return s.inner.Owner(key) }
+
+func batchKeys(n int) []Key {
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = Key(fmt.Sprintf("k-%d", i))
+	}
+	return out
+}
+
+// TestGetBatchPositional: results line up with keys, mixing found, absent,
+// and failed probes.
+func TestGetBatchPositional(t *testing.T) {
+	for _, maxInFlight := range []int{1, 4, 64} {
+		d := &slowDHT{inner: MustNewLocal(4), failKey: "k-2"}
+		keys := batchKeys(8)
+		for i, k := range keys {
+			if i%2 == 0 && k != d.failKey {
+				if err := d.Put(k, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		results := GetBatch(d, keys, maxInFlight)
+		if len(results) != len(keys) {
+			t.Fatalf("maxInFlight=%d: %d results for %d keys", maxInFlight, len(results), len(keys))
+		}
+		for i, r := range results {
+			switch {
+			case keys[i] == d.failKey:
+				if r.Err == nil {
+					t.Errorf("maxInFlight=%d: key %s should fail", maxInFlight, keys[i])
+				}
+			case i%2 == 0:
+				if r.Err != nil || !r.Found || r.Value != i {
+					t.Errorf("maxInFlight=%d: result[%d] = %+v, want value %d", maxInFlight, i, r, i)
+				}
+			default:
+				if r.Err != nil || r.Found {
+					t.Errorf("maxInFlight=%d: result[%d] = %+v, want absent", maxInFlight, i, r)
+				}
+			}
+		}
+	}
+}
+
+// TestGetBatchBounded: the generic pool never exceeds maxInFlight
+// concurrent Gets.
+func TestGetBatchBounded(t *testing.T) {
+	d := &slowDHT{inner: MustNewLocal(4)}
+	keys := batchKeys(64)
+	for i, k := range keys {
+		if err := d.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const bound = 3
+	GetBatch(d, keys, bound)
+	if peak := d.peak.Load(); peak > bound {
+		t.Errorf("observed %d concurrent Gets, bound %d", peak, bound)
+	}
+}
+
+// TestGetBatchNative: a substrate implementing Batcher serves the batch
+// itself (Local under one lock).
+func TestGetBatchNative(t *testing.T) {
+	l := MustNewLocal(4)
+	var _ Batcher = l
+	keys := batchKeys(5)
+	for i, k := range keys {
+		if err := l.Put(k, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range GetBatch(l, keys, DefaultMaxInFlight) {
+		if r.Err != nil || !r.Found || r.Value != i*10 {
+			t.Fatalf("result[%d] = %+v", i, r)
+		}
+	}
+	if got := GetBatch(l, nil, DefaultMaxInFlight); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestCountingBatchCharges: the Counting decorator charges one lookup per
+// key, one batch round, and records the in-flight high-water mark.
+func TestCountingBatchCharges(t *testing.T) {
+	c := NewCounting(MustNewLocal(4), nil)
+	keys := batchKeys(6)
+	for i, k := range keys {
+		if err := c.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Stats().Snapshot()
+	c.GetBatch(keys, 4)
+	delta := c.Stats().Snapshot().Sub(before)
+	if delta.DHTLookups != int64(len(keys)) {
+		t.Errorf("DHTLookups += %d, want %d", delta.DHTLookups, len(keys))
+	}
+	if delta.BatchRounds != 1 {
+		t.Errorf("BatchRounds += %d, want 1", delta.BatchRounds)
+	}
+	if delta.BatchProbes != int64(len(keys)) {
+		t.Errorf("BatchProbes += %d, want %d", delta.BatchProbes, len(keys))
+	}
+	if delta.MaxInFlight != 4 {
+		t.Errorf("MaxInFlight high-water = %d, want 4 (min of 6 keys, cap 4)", delta.MaxInFlight)
+	}
+}

@@ -27,6 +27,33 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Gauge is a concurrency-safe high-water mark: Observe records a sample and
+// Load returns the largest sample seen since the last Reset. It meters
+// quantities like "maximum probes in flight at once" that a monotonic
+// counter cannot express.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Observe records n, keeping the gauge at the maximum observed value.
+func (g *Gauge) Observe(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
 // IndexStats aggregates the maintenance metrics the paper reports for an
 // over-DHT index (Figs. 5a–5d): every logical DHT operation issued and every
 // data record transferred across the DHT.
@@ -42,6 +69,23 @@ type IndexStats struct {
 	// Splits and Merges count structural index adjustments.
 	Splits Counter
 	Merges Counter
+
+	// BatchRounds counts synchronous batch barriers: rounds in which a set
+	// of independent DHT gets was issued concurrently. BatchProbes counts
+	// the probes inside those rounds (each also charged to DHTLookups).
+	BatchRounds Counter
+	BatchProbes Counter
+	// MaxInFlight is the high-water mark of concurrently outstanding probes
+	// within a single batch round.
+	MaxInFlight Gauge
+
+	// CacheHits / CacheMisses / CacheStale meter the client-side leaf-label
+	// lookup cache: a hit resolved a lookup with a single verification
+	// probe; a miss found no cached candidate; a stale entry pointed at a
+	// leaf that has since split or merged and was evicted.
+	CacheHits   Counter
+	CacheMisses Counter
+	CacheStale  Counter
 }
 
 // Snapshot is a point-in-time copy of IndexStats.
@@ -50,6 +94,12 @@ type Snapshot struct {
 	RecordsMoved int64
 	Splits       int64
 	Merges       int64
+	BatchRounds  int64
+	BatchProbes  int64
+	MaxInFlight  int64
+	CacheHits    int64
+	CacheMisses  int64
+	CacheStale   int64
 }
 
 // Snapshot copies the current counter values.
@@ -59,6 +109,12 @@ func (s *IndexStats) Snapshot() Snapshot {
 		RecordsMoved: s.RecordsMoved.Load(),
 		Splits:       s.Splits.Load(),
 		Merges:       s.Merges.Load(),
+		BatchRounds:  s.BatchRounds.Load(),
+		BatchProbes:  s.BatchProbes.Load(),
+		MaxInFlight:  s.MaxInFlight.Load(),
+		CacheHits:    s.CacheHits.Load(),
+		CacheMisses:  s.CacheMisses.Load(),
+		CacheStale:   s.CacheStale.Load(),
 	}
 }
 
@@ -68,15 +124,29 @@ func (s *IndexStats) Reset() {
 	s.RecordsMoved.Reset()
 	s.Splits.Reset()
 	s.Merges.Reset()
+	s.BatchRounds.Reset()
+	s.BatchProbes.Reset()
+	s.MaxInFlight.Reset()
+	s.CacheHits.Reset()
+	s.CacheMisses.Reset()
+	s.CacheStale.Reset()
 }
 
-// Sub returns the delta between two snapshots (s - older).
+// Sub returns the delta between two snapshots (s - older). MaxInFlight is a
+// high-water mark, not a monotonic counter, so the newer snapshot's value is
+// kept rather than subtracted.
 func (s Snapshot) Sub(older Snapshot) Snapshot {
 	return Snapshot{
 		DHTLookups:   s.DHTLookups - older.DHTLookups,
 		RecordsMoved: s.RecordsMoved - older.RecordsMoved,
 		Splits:       s.Splits - older.Splits,
 		Merges:       s.Merges - older.Merges,
+		BatchRounds:  s.BatchRounds - older.BatchRounds,
+		BatchProbes:  s.BatchProbes - older.BatchProbes,
+		MaxInFlight:  s.MaxInFlight,
+		CacheHits:    s.CacheHits - older.CacheHits,
+		CacheMisses:  s.CacheMisses - older.CacheMisses,
+		CacheStale:   s.CacheStale - older.CacheStale,
 	}
 }
 

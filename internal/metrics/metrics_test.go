@@ -149,3 +149,53 @@ func TestGini(t *testing.T) {
 		t.Errorf("Gini(zeros) = %v", got)
 	}
 }
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	var g Gauge
+	g.Observe(3)
+	g.Observe(1)
+	if got := g.Load(); got != 3 {
+		t.Errorf("Load = %d, want 3", got)
+	}
+	g.Observe(8)
+	if got := g.Load(); got != 8 {
+		t.Errorf("Load = %d, want 8", got)
+	}
+	g.Reset()
+	if got := g.Load(); got != 0 {
+		t.Errorf("after Reset = %d", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 1; i <= 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Observe(int64(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := g.Load(); got != 10999 {
+		t.Errorf("Load = %d, want 10999 (the maximum observed)", got)
+	}
+}
+
+func TestSnapshotSubKeepsHighWater(t *testing.T) {
+	var s IndexStats
+	s.MaxInFlight.Observe(5)
+	before := s.Snapshot()
+	s.BatchRounds.Inc()
+	s.MaxInFlight.Observe(9)
+	delta := s.Snapshot().Sub(before)
+	if delta.BatchRounds != 1 {
+		t.Errorf("BatchRounds delta = %d, want 1", delta.BatchRounds)
+	}
+	if delta.MaxInFlight != 9 {
+		t.Errorf("MaxInFlight = %d, want the newer high-water 9, not a difference", delta.MaxInFlight)
+	}
+}

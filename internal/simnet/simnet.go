@@ -62,17 +62,26 @@ type Options struct {
 	DropRate float64
 	// Seed seeds the drop-decision generator.
 	Seed int64
+	// RealDelay makes every delivered RPC actually block the calling
+	// goroutine for its modeled round-trip time instead of only accounting
+	// it. This turns the simulator into a wall-clock latency testbed:
+	// sequential DHT probes pay their delays back to back, while probes
+	// issued from concurrent goroutines overlap — exactly what the
+	// concurrent query engine's benchmarks measure. Leave it off for the
+	// deterministic logical-cost experiments.
+	RealDelay bool
 }
 
 // Network is the simulated message fabric. The zero value is not usable;
 // construct with New.
 type Network struct {
-	mu      sync.Mutex
-	nodes   map[NodeID]Handler
-	down    map[NodeID]bool
-	latency LatencyModel
-	drop    float64
-	rng     *rand.Rand
+	mu        sync.Mutex
+	nodes     map[NodeID]Handler
+	down      map[NodeID]bool
+	latency   LatencyModel
+	drop      float64
+	realDelay bool
+	rng       *rand.Rand
 
 	// RPCs counts attempted remote procedure calls (including failed ones).
 	RPCs metrics.Counter
@@ -91,11 +100,12 @@ func New(opts Options) *Network {
 		lat = ConstantLatency(0)
 	}
 	return &Network{
-		nodes:   make(map[NodeID]Handler),
-		down:    make(map[NodeID]bool),
-		latency: lat,
-		drop:    opts.DropRate,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nodes:     make(map[NodeID]Handler),
+		down:      make(map[NodeID]bool),
+		latency:   lat,
+		drop:      opts.DropRate,
+		realDelay: opts.RealDelay,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
 	}
 }
 
@@ -119,6 +129,15 @@ func (n *Network) Deregister(id NodeID) {
 	defer n.mu.Unlock()
 	delete(n.nodes, id)
 	delete(n.down, id)
+}
+
+// SetRealDelay switches wall-clock delay enforcement on or off at runtime.
+// Typical use: build and stabilize an overlay with delays off (joins issue
+// thousands of RPCs), then enable them for the measured phase.
+func (n *Network) SetRealDelay(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.realDelay = on
 }
 
 // SetDown marks a node as crashed (true) or recovered (false) without
@@ -190,6 +209,7 @@ func (n *Network) Call(from, to NodeID, req any) (any, error) {
 	if from != to {
 		rtt = n.latency(from, to) + n.latency(to, from)
 	}
+	realDelay := n.realDelay
 	n.mu.Unlock()
 
 	if from != to {
@@ -204,6 +224,9 @@ func (n *Network) Call(from, to NodeID, req any) (any, error) {
 	}
 	if from != to {
 		n.simTime.Add(int64(rtt))
+		if realDelay && rtt > 0 {
+			time.Sleep(rtt)
+		}
 	}
 	return h.HandleRPC(from, req)
 }

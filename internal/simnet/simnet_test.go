@@ -139,6 +139,45 @@ func TestLatencyAccumulates(t *testing.T) {
 	}
 }
 
+// TestRealDelayBlocks: with RealDelay on, a delivered RPC blocks the caller
+// for its modeled round trip; self-calls and toggled-off networks do not.
+func TestRealDelayBlocks(t *testing.T) {
+	const oneWay = 20 * time.Millisecond
+	n := New(Options{Latency: ConstantLatency(oneWay), RealDelay: true})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*oneWay {
+		t.Errorf("remote call took %v, want ≥ %v", elapsed, 2*oneWay)
+	}
+	start = time.Now()
+	if _, err := n.Call("a", "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*oneWay {
+		t.Errorf("self call slept %v", elapsed)
+	}
+	n.SetRealDelay(false)
+	start = time.Now()
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*oneWay {
+		t.Errorf("call after SetRealDelay(false) slept %v", elapsed)
+	}
+	// Accounting is unaffected by the real sleeps: 2 remote calls.
+	if got, want := n.SimulatedRTT(), 2*2*oneWay; got != want {
+		t.Errorf("SimulatedRTT = %v, want %v", got, want)
+	}
+}
+
 func TestNodesListing(t *testing.T) {
 	n := New(Options{})
 	for _, id := range []NodeID{"a", "b", "c"} {

@@ -2,6 +2,7 @@ package mlight
 
 import (
 	"fmt"
+	"time"
 
 	"mlight/internal/chord"
 	"mlight/internal/kademlia"
@@ -61,6 +62,30 @@ func NewReplicatedChordCluster(n, replication int, seed int64) (*ChordRing, *Net
 		}
 	}
 	ring.Stabilize(2)
+	return ring, net, nil
+}
+
+// NewChordClusterWithLatency is NewChordCluster over a latency-bearing
+// network: once the cluster is built, every overlay RPC blocks the calling
+// goroutine for a round trip of 2×hopDelay (the one-way delay each way).
+// This is the wall-clock latency testbed for the concurrent query engine:
+// sequential DHT probes pay their delays back to back, concurrent probes
+// overlap. Joining and stabilization run with delays suppressed (they issue
+// thousands of RPCs); call net.SetRealDelay(false) to suspend enforcement
+// again around bulk loads.
+func NewChordClusterWithLatency(n int, seed int64, hopDelay time.Duration) (*ChordRing, *Network, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("mlight: cluster needs at least one peer, got %d", n)
+	}
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(hopDelay)})
+	ring := chord.NewRing(net, chord.Config{Seed: seed})
+	for i := 0; i < n; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			return nil, nil, fmt.Errorf("mlight: chord cluster: %w", err)
+		}
+	}
+	ring.Stabilize(2)
+	net.SetRealDelay(true)
 	return ring, net, nil
 }
 
