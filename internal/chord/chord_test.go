@@ -332,3 +332,10 @@ func TestConformance(t *testing.T) {
 		return ring
 	})
 }
+
+func TestFaultTolerance(t *testing.T) {
+	dhttest.RunFaultTolerance(t, func(t *testing.T) dht.DHT {
+		_, ring := buildRing(t, 10)
+		return ring
+	})
+}

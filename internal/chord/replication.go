@@ -1,6 +1,9 @@
 package chord
 
-import "mlight/internal/dht"
+import (
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
 
 // Replication support (an extension beyond the m-LIGHT paper, mirroring
 // DHash/OpenDHT): with Config.Replication = r > 1, every key is stored at
@@ -58,6 +61,26 @@ func (n *Node) ReplicaLen() int {
 	return len(n.replicas)
 }
 
+// replicaCall issues one replication RPC through the ring's retry layer,
+// keyed by the destination node (exact owner, no shard approximation
+// needed). A call that still fails after the retry budget is counted in
+// ReplicationErrors and recorded as the last replication error rather than
+// silently dropped: the replica stays missing until the next stabilization
+// round's reReplicate re-pushes it, and the counter makes that loss
+// observable.
+func (r *Ring) replicaCall(from, to simnet.NodeID, req any) {
+	err := r.retrier.Do(string(to), func() error {
+		_, e := r.net.Call(from, to, req)
+		return e
+	})
+	if err != nil {
+		r.ReplicationErrors.Inc()
+		r.mu.Lock()
+		r.lastReplicaErr = err
+		r.mu.Unlock()
+	}
+}
+
 // replicate pushes the value for key to the first r-1 live successors of
 // the primary.
 func (r *Ring) replicate(primary ref, key dht.Key, value any) {
@@ -65,7 +88,7 @@ func (r *Ring) replicate(primary ref, key dht.Key, value any) {
 		return
 	}
 	for _, succ := range r.replicaTargets(primary) {
-		_, _ = r.net.Call(primary.Addr, succ.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
+		r.replicaCall(primary.Addr, succ.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
 	}
 }
 
@@ -75,7 +98,7 @@ func (r *Ring) dropReplicas(primary ref, key dht.Key) {
 		return
 	}
 	for _, succ := range r.replicaTargets(primary) {
-		_, _ = r.net.Call(primary.Addr, succ.Addr, dropReplicaReq{Key: key})
+		r.replicaCall(primary.Addr, succ.Addr, dropReplicaReq{Key: key})
 	}
 }
 
@@ -115,6 +138,6 @@ func (r *Ring) reReplicate(n *Node) {
 		return
 	}
 	for _, succ := range r.replicaTargets(n.self()) {
-		_, _ = r.net.Call(n.addr, succ.Addr, replicateReq{Entries: entries})
+		r.replicaCall(n.addr, succ.Addr, replicateReq{Entries: entries})
 	}
 }

@@ -163,6 +163,110 @@ func TestReplicationRemoveDropsReplicas(t *testing.T) {
 	}
 }
 
+// TestReplicationConvergesUnderLoss is the regression test for the silent
+// replica-loss bug: replication RPC errors used to be discarded
+// (`_, _ = net.Call(...)`), so a lossy network quietly shrank the replica
+// set with no trace. Now pushes are retried, terminal failures are counted
+// in ReplicationErrors, and periodic repair re-pushes entries until the
+// replica set converges.
+func TestReplicationConvergesUnderLoss(t *testing.T) {
+	const keys = 200
+	net := simnet.New(simnet.Options{Seed: 42})
+	ring := NewRing(net, Config{Seed: 1, Replication: 3})
+	for i := 0; i < 12; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	ring.Stabilize(2)
+
+	// Write through a lossy network. Client-side Put retries mimic what the
+	// dht.Resilient layer does for an index; the replica pushes inside Put
+	// go through the ring's own retry layer.
+	net.SetDropRate(0.1)
+	for i := 0; i < keys; i++ {
+		k := dht.Key(fmt.Sprintf("lk%d", i))
+		var err error
+		for attempt := 0; attempt < 8; attempt++ {
+			if err = ring.Put(k, i); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("Put(%q) kept failing: %v", k, err)
+		}
+	}
+	st := ring.ReplicationRetrier().Stats().Snapshot()
+	if st.Retries == 0 {
+		t.Error("no replication retries at DropRate 0.1 — retry layer not exercised")
+	}
+
+	// Heal the network and run one repair round: the replica set must
+	// converge to exactly r-1 copies of every key.
+	net.SetDropRate(0)
+	ring.Stabilize(1)
+	primaries, replicas := 0, 0
+	for _, addr := range ring.Nodes() {
+		n, _ := ring.node(addr)
+		primaries += n.StoreLen()
+		replicas += n.ReplicaLen()
+	}
+	if primaries != keys {
+		t.Errorf("primary copies = %d, want %d", primaries, keys)
+	}
+	if replicas != 2*keys {
+		t.Errorf("replica copies after repair = %d, want %d (r=3)", replicas, 2*keys)
+	}
+
+	// The converged replicas are real: all keys survive a crash.
+	if err := ring.CrashNode("node-7"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(2)
+	for i := 0; i < keys; i++ {
+		k := dht.Key(fmt.Sprintf("lk%d", i))
+		v, ok, err := ring.Get(k)
+		if err != nil || !ok || v != i {
+			t.Fatalf("after crash Get(%q) = %v, %v, %v", k, v, ok, err)
+		}
+	}
+}
+
+// TestReplicationErrorsSurfaced: when every retry is exhausted the failure
+// is counted and retrievable, not silently swallowed.
+func TestReplicationErrorsSurfaced(t *testing.T) {
+	ring := buildReplicatedRing(t, 8, 3)
+	if err := ring.Put("sk", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.ReplicationErrors.Load(); got != 0 {
+		t.Fatalf("ReplicationErrors on a healthy ring = %d, want 0", got)
+	}
+	// A fully lossy network defeats the retry budget.
+	owner := mustOwnerRef(t, ring, "sk")
+	net := ringNet(ring)
+	net.SetDropRate(1.0)
+	ring.replicate(owner, "sk", 2)
+	net.SetDropRate(0)
+	if got := ring.ReplicationErrors.Load(); got == 0 {
+		t.Error("ReplicationErrors = 0 after pushes through a fully lossy network")
+	}
+	if err := ring.LastReplicationError(); err == nil {
+		t.Error("LastReplicationError = nil, want the exhausted push error")
+	}
+}
+
+func ringNet(r *Ring) *simnet.Network { return r.net }
+
+func mustOwnerRef(t *testing.T, r *Ring, key dht.Key) ref {
+	t.Helper()
+	owner, err := r.findSuccessor(dht.HashKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return owner
+}
+
 func TestReplicationFactorClamped(t *testing.T) {
 	net := simnet.New(simnet.Options{})
 	ring := NewRing(net, Config{Replication: 99})

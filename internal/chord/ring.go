@@ -18,8 +18,10 @@ import (
 const clientAddr simnet.NodeID = "chord-client"
 
 // ErrLookupFailed is returned when an iterative lookup cannot complete,
-// e.g. because routing state is stale after heavy churn.
-var ErrLookupFailed = errors.New("chord: lookup failed")
+// e.g. because routing state is stale after heavy churn. It is marked
+// retryable: stale routing heals after stabilization, so a retry layer may
+// usefully try again.
+var ErrLookupFailed = dht.Retryable(errors.New("chord: lookup failed"))
 
 // Config tunes a Ring.
 type Config struct {
@@ -32,6 +34,12 @@ type Config struct {
 	// couple of stabilization rounds; see replication.go. At most
 	// SuccessorListLen+1.
 	Replication int
+	// Retry governs the replication RPCs (replica pushes and drops), which
+	// are issued ring-internally rather than through a dht.Resilient
+	// wrapper. Nil selects a default of 3 attempts with no backoff sleep —
+	// the simulated network fails synchronously, so waiting buys nothing;
+	// real deployments should supply a policy with a real Sleep.
+	Retry *dht.RetryPolicy
 }
 
 // Ring manages a set of Chord nodes on one simulated network and exposes
@@ -42,15 +50,21 @@ type Ring struct {
 	maxHops     int
 	replication int
 
-	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID // sorted addresses for deterministic iteration
-	rng   *rand.Rand
+	mu             sync.Mutex
+	nodes          map[simnet.NodeID]*Node
+	order          []simnet.NodeID // sorted addresses for deterministic iteration
+	rng            *rand.Rand
+	retrier        *dht.Retrier
+	lastReplicaErr error
 
 	// Lookups counts completed iterative lookups; Hops counts every
 	// lookup-step RPC issued, so Hops/Lookups is the mean route length.
 	Lookups metrics.Counter
 	Hops    metrics.Counter
+	// ReplicationErrors counts replica pushes and drops that still failed
+	// after the retry budget — replicas that will stay missing until the
+	// next stabilization round repairs them.
+	ReplicationErrors metrics.Counter
 }
 
 var (
@@ -71,13 +85,31 @@ func NewRing(net *simnet.Network, cfg Config) *Ring {
 	if replication > SuccessorListLen+1 {
 		replication = SuccessorListLen + 1
 	}
+	policy := dht.RetryPolicy{MaxAttempts: 3, Seed: cfg.Seed, Sleep: dht.NoSleep}
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
 	return &Ring{
 		net:         net,
 		maxHops:     maxHops,
 		replication: replication,
 		nodes:       make(map[simnet.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		retrier:     dht.NewRetrier(policy, nil),
 	}
+}
+
+// ReplicationRetrier exposes the retry executor guarding replication RPCs,
+// so tests and experiments can inspect its counters and breaker states.
+func (r *Ring) ReplicationRetrier() *dht.Retrier { return r.retrier }
+
+// LastReplicationError returns the most recent replication push or drop
+// that failed after exhausting its retry budget, or nil. It surfaces
+// persistent replica loss that the periodic repair has not yet healed.
+func (r *Ring) LastReplicationError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastReplicaErr
 }
 
 // AddNode creates a node at addr and joins it to the ring. The first node

@@ -100,6 +100,14 @@ type Options struct {
 	// stale buckets. 0 disables the cache (the default, preserving the
 	// paper experiments' probe accounting).
 	CacheSize int
+	// Retry, when non-nil, interposes a dht.Resilient fault-tolerance layer
+	// between the index and the substrate: every DHT operation is retried
+	// under the policy's backoff/attempt budget and per-owner circuit
+	// breakers, so queries and maintenance survive transient loss. The
+	// logical operation accounting (DHTLookups etc.) is unchanged — retries
+	// are metered separately, see ResilienceStats. Nil (the default) leaves
+	// the substrate unwrapped.
+	Retry *dht.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -200,6 +208,9 @@ type Index struct {
 	raw   dht.DHT       // uncounted: local rewrites on the owning peer
 	d     *dht.Counting // counted: operations that cross the DHT
 	stats *metrics.IndexStats
+	// resilience meters the retry layer when Options.Retry is set; nil
+	// otherwise.
+	resilience *metrics.ResilienceStats
 	// cache is the client-side leaf-label lookup cache; nil when disabled.
 	cache *leafCache
 }
@@ -213,12 +224,17 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 		return nil, err
 	}
 	stats := &metrics.IndexStats{}
-	ix := &Index{
-		opts:  opts,
-		raw:   d,
-		d:     dht.NewCounting(d, stats),
-		stats: stats,
+	ix := &Index{opts: opts, stats: stats}
+	if opts.Retry != nil {
+		// The resilient layer sits below Counting: a logical operation is
+		// charged once no matter how many attempts it takes. All index
+		// traffic — counted operations and local rewrites alike — flows
+		// through it.
+		ix.resilience = &metrics.ResilienceStats{}
+		d = dht.NewResilient(d, *opts.Retry, ix.resilience)
 	}
+	ix.raw = d
+	ix.d = dht.NewCounting(d, stats)
 	if opts.CacheSize > 0 {
 		ix.cache = newLeafCache(opts.CacheSize)
 	}
@@ -247,6 +263,10 @@ func (ix *Index) Stats() metrics.Snapshot { return ix.stats.Snapshot() }
 
 // ResetStats zeroes the maintenance counters.
 func (ix *Index) ResetStats() { ix.stats.Reset() }
+
+// ResilienceStats returns the retry-layer counters, or nil when
+// Options.Retry is unset.
+func (ix *Index) ResilienceStats() *metrics.ResilienceStats { return ix.resilience }
 
 // DHT returns the counted substrate view used by the index.
 func (ix *Index) DHT() dht.DHT { return ix.d }

@@ -146,6 +146,28 @@ func (ix *Index) getBucket(label bitlabel.Label, trace *LookupTrace) (Bucket, bo
 	return b, true, nil
 }
 
+// getBucketRaw is getBucket against the uncounted substrate view. The range
+// engine uses it for covering-leaf candidate probes, whose logical charge
+// is computed deterministically at group adjudication (the slots up to and
+// including the first hit — exactly what a sequential early-exit scan pays)
+// instead of per physical probe: a concurrent probe racing past the first
+// hit must not perturb the accounting. With Options.Retry set the raw view
+// is the resilient wrapper, so these probes are still retried.
+func (ix *Index) getBucketRaw(label bitlabel.Label) (Bucket, bool, error) {
+	v, found, err := ix.raw.Get(labelKey(label))
+	if err != nil {
+		return Bucket{}, false, fmt.Errorf("core: get %v: %w", label, err)
+	}
+	if !found {
+		return Bucket{}, false, nil
+	}
+	b, ok := v.(Bucket)
+	if !ok {
+		return Bucket{}, false, fmt.Errorf("core: key %v holds %T, not a bucket", label, v)
+	}
+	return b, true, nil
+}
+
 // Exact returns all records whose key equals δ exactly — the exact-match
 // query of §5.
 func (ix *Index) Exact(key spatial.Point) ([]spatial.Record, error) {

@@ -195,11 +195,43 @@ type frontierItem struct {
 // piece. Candidates are ordered deepest-first, matching the priority the
 // paper's parallel recovery implies: the first candidate (in that order)
 // whose bucket is a prefix of the overshot node is the covering leaf.
+//
+// Probing early-exits on the first hit, like the sequential reference: a
+// candidate slot launches only while no lower slot has already qualified,
+// so under sequential execution the scan stops exactly where the recursive
+// algorithm stopped. Under concurrent execution slots past the first hit
+// may race and probe anyway; those probes are physical overhead only — the
+// logical charge, computed at adjudication, is always the deterministic
+// "slots up to and including the first hit" (or all slots on a total miss),
+// identical to the sequential cost.
 type coverGroup struct {
 	p     piece
 	node  *execNode
 	names []bitlabel.Label
+
+	mu    sync.Mutex
 	found []bucketProbe
+	// hit is the lowest qualifying slot recorded so far; len(names) while
+	// none has qualified.
+	hit int
+}
+
+// skip reports whether the slot's probe can be elided because a
+// strictly-lower slot already holds the covering leaf.
+func (g *coverGroup) skip(slot int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hit < slot
+}
+
+// record stores one completed probe's outcome.
+func (g *coverGroup) record(slot int, pr bucketProbe, qualifies bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.found[slot] = pr
+	if qualifies && slot < g.hit {
+		g.hit = slot
+	}
 }
 
 // bucketProbe is one completed probe's outcome.
@@ -328,7 +360,8 @@ func (e *rangeEngine) executeProbe(it frontierItem) itemResult {
 			res.next = []frontierItem{{kind: itemFallback, p: it.p, node: it.node}}
 			return res
 		}
-		g := &coverGroup{p: it.p, node: it.node, names: names, found: make([]bucketProbe, len(names))}
+		g := &coverGroup{p: it.p, node: it.node, names: names,
+			found: make([]bucketProbe, len(names)), hit: len(names)}
 		for slot := range names {
 			res.next = append(res.next, frontierItem{kind: itemCand, p: it.p, group: g, slot: slot})
 		}
@@ -350,16 +383,22 @@ func (e *rangeEngine) executeProbe(it frontierItem) itemResult {
 }
 
 // executeCand probes one covering-leaf candidate, recording the outcome in
-// its group slot for adjudication at the barrier.
+// its group slot for adjudication at the barrier. The probe is skipped when
+// a lower-priority-index slot already found the covering leaf (the
+// early-exit of the sequential reference), and it is issued uncounted: the
+// group's deterministic logical charge is added once, at adjudication.
 func (e *rangeEngine) executeCand(it frontierItem) itemResult {
-	res := itemResult{lookups: 1}
-	b, found, err := e.ix.getBucket(it.group.names[it.slot], nil)
-	if err != nil {
-		res.err = err
-		return res
+	g := it.group
+	if g.skip(it.slot) {
+		return itemResult{}
 	}
-	it.group.found[it.slot] = bucketProbe{b: b, found: found}
-	return res
+	b, found, err := e.ix.getBucketRaw(g.names[it.slot])
+	if err != nil {
+		return itemResult{err: err}
+	}
+	qualifies := found && b.Label.IsPrefixOf(g.p.node)
+	g.record(it.slot, bucketProbe{b: b, found: found}, qualifies)
+	return itemResult{}
 }
 
 // executeFallback recovers with a sequential lookup at a corner of the
@@ -379,13 +418,29 @@ func (e *rangeEngine) executeFallback(it frontierItem) itemResult {
 // a prefix of the overshot node is the covering leaf. When no candidate
 // qualifies (possible only under concurrent restructuring) a sequential
 // fallback item is scheduled; done reports whether the group completed.
+//
+// The logical charge for the whole group is added here: slots up to and
+// including the first hit, or every slot on a total miss — the exact cost
+// of the sequential early-exit scan, no matter which extra probes raced.
+// The invariant making this sound: a slot is skipped only when a strictly
+// lower slot already qualified, so every slot at or below the final first
+// hit was genuinely probed, and the slots above it are the over-probing the
+// charge excludes.
 func (e *rangeEngine) adjudicate(g *coverGroup) (item frontierItem, done bool) {
-	for _, pr := range g.found {
-		if pr.found && pr.b.Label.IsPrefixOf(g.p.node) {
-			e.ix.cacheLeaf(pr.b)
-			g.node.records = filterRecords(pr.b.Records, g.p.q, e.ctx.shape)
-			return frontierItem{}, true
-		}
+	g.mu.Lock()
+	hit := g.hit
+	g.mu.Unlock()
+	charged := len(g.names)
+	if hit < len(g.names) {
+		charged = hit + 1
+	}
+	e.lookups += charged
+	e.ix.stats.DHTLookups.Add(int64(charged))
+	if hit < len(g.names) {
+		pr := g.found[hit]
+		e.ix.cacheLeaf(pr.b)
+		g.node.records = filterRecords(pr.b.Records, g.p.q, e.ctx.shape)
+		return frontierItem{}, true
 	}
 	return frontierItem{kind: itemFallback, p: g.p, node: g.node}, false
 }

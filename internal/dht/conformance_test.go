@@ -18,3 +18,17 @@ func TestCountingConformance(t *testing.T) {
 		return dht.NewCounting(dht.MustNewLocal(8), nil)
 	})
 }
+
+func TestResilientConformance(t *testing.T) {
+	// The resilient decorator must be behaviourally invisible over a
+	// healthy substrate.
+	dhttest.RunConformance(t, func(t *testing.T) dht.DHT {
+		return dht.NewResilient(dht.MustNewLocal(8), dht.RetryPolicy{Sleep: dht.NoSleep}, nil)
+	})
+}
+
+func TestLocalFaultTolerance(t *testing.T) {
+	dhttest.RunFaultTolerance(t, func(t *testing.T) dht.DHT {
+		return dht.MustNewLocal(8)
+	})
+}

@@ -1,0 +1,163 @@
+package dhttest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+)
+
+// RunFaultTolerance exercises the fault-tolerance contract of the Resilient
+// decorator over a substrate: transient faults are absorbed by retries,
+// permanent faults exhaust the attempt budget, terminal errors abort
+// immediately, the per-owner circuit breaker sheds and recovers, and the
+// batch path retries per key. Faults are injected deterministically with a
+// Flaky wrapper between the decorator and the substrate, so the suite runs
+// identically over the local map DHT and the routed overlays.
+func RunFaultTolerance(t *testing.T, newDHT Factory) {
+	t.Helper()
+
+	// Every subtest gets a fresh substrate, injector, and resilient layer.
+	// NoSleep keeps backoff accounted but unpaid; the fixed seed keeps the
+	// jitter sequence reproducible.
+	build := func(t *testing.T, policy dht.RetryPolicy) (*Flaky, *dht.Resilient) {
+		if policy.Sleep == nil {
+			policy.Sleep = dht.NoSleep
+		}
+		if policy.Seed == 0 {
+			policy.Seed = SeedFromEnv(1)
+		}
+		flaky := NewFlaky(newDHT(t))
+		return flaky, dht.NewResilient(flaky, policy, nil)
+	}
+
+	t.Run("TransientThenSuccess", func(t *testing.T) {
+		flaky, res := build(t, dht.RetryPolicy{MaxAttempts: 4})
+		if err := res.Put("k", "v"); err != nil {
+			t.Fatal(err)
+		}
+		flaky.FailNext("k", 2)
+		v, ok, err := res.Get("k")
+		if err != nil || !ok || v != "v" {
+			t.Fatalf("Get after 2 transient faults = %v, %v, %v; want v, true, nil", v, ok, err)
+		}
+		s := res.Stats().Snapshot()
+		if s.Retries != 2 || s.Recovered != 1 {
+			t.Errorf("stats = retries %d recovered %d, want 2 and 1", s.Retries, s.Recovered)
+		}
+	})
+
+	t.Run("PermanentFailure", func(t *testing.T) {
+		flaky, res := build(t, dht.RetryPolicy{MaxAttempts: 3})
+		flaky.FailNext("gone", -1)
+		if _, _, err := res.Get("gone"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("Get(gone) = %v, want wrapped ErrInjected", err)
+		}
+		if got := flaky.Attempts(); got != 3 {
+			t.Errorf("substrate saw %d attempts, want the full budget of 3", got)
+		}
+		s := res.Stats().Snapshot()
+		if s.Exhausted != 1 || s.Recovered != 0 {
+			t.Errorf("stats = exhausted %d recovered %d, want 1 and 0", s.Exhausted, s.Recovered)
+		}
+	})
+
+	t.Run("TerminalNotRetried", func(t *testing.T) {
+		flaky, res := build(t, dht.RetryPolicy{MaxAttempts: 4})
+		fatal := errors.New("dhttest: corrupt response")
+		flaky.SetErr(fatal)
+		flaky.FailNext("bad", 1)
+		if _, _, err := res.Get("bad"); !errors.Is(err, fatal) {
+			t.Fatalf("Get(bad) = %v, want the terminal error unchanged", err)
+		}
+		if got := flaky.Attempts(); got != 1 {
+			t.Errorf("substrate saw %d attempts, want exactly 1 (no retry of a terminal error)", got)
+		}
+		if s := res.Stats().Snapshot(); s.Terminal != 1 || s.Retries != 0 {
+			t.Errorf("stats = terminal %d retries %d, want 1 and 0", s.Terminal, s.Retries)
+		}
+	})
+
+	t.Run("BreakerOpensShedsRecovers", func(t *testing.T) {
+		// All keys map to one breaker owner so consecutive failures
+		// accumulate; threshold 2 and cooldown 2 keep the walk short.
+		flaky, res := build(t, dht.RetryPolicy{
+			MaxAttempts:      2,
+			BreakerThreshold: 2,
+			BreakerCooldown:  2,
+			OwnerOf:          func(dht.Key) string { return "the-owner" },
+		})
+		if err := res.Put("k", "v"); err != nil {
+			t.Fatal(err)
+		}
+		flaky.FailAll(-1)
+		// One exhausted operation = 2 failed attempts = threshold: trips.
+		if _, _, err := res.Get("k"); err == nil {
+			t.Fatal("Get under permanent faults succeeded")
+		}
+		if st := res.Retrier().BreakerState("the-owner"); st != "open" {
+			t.Fatalf("breaker = %q after threshold failures, want open", st)
+		}
+		// The open breaker sheds the next BreakerCooldown operations without
+		// touching the substrate.
+		before := flaky.Attempts()
+		for i := 0; i < 2; i++ {
+			if _, _, err := res.Get("k"); !errors.Is(err, dht.ErrBreakerOpen) {
+				t.Fatalf("shed op %d = %v, want ErrBreakerOpen", i, err)
+			}
+		}
+		if got := flaky.Attempts(); got != before {
+			t.Fatalf("shed ops reached the substrate: %d attempts, want %d", got, before)
+		}
+		// Fault heals; the cooldown is spent, so the next operation is the
+		// half-open trial, succeeds, and closes the breaker.
+		flaky.ClearFaults()
+		if v, ok, err := res.Get("k"); err != nil || !ok || v != "v" {
+			t.Fatalf("half-open trial = %v, %v, %v; want recovery", v, ok, err)
+		}
+		if st := res.Retrier().BreakerState("the-owner"); st != "closed" {
+			t.Errorf("breaker = %q after successful trial, want closed", st)
+		}
+		s := res.Stats().Snapshot()
+		if s.BreakerTrips < 1 || s.BreakerFastFails != 2 || s.BreakerResets != 1 {
+			t.Errorf("breaker stats = trips %d fastfails %d resets %d, want ≥1, 2, 1",
+				s.BreakerTrips, s.BreakerFastFails, s.BreakerResets)
+		}
+	})
+
+	t.Run("BatchRetriesPerKey", func(t *testing.T) {
+		flaky, res := build(t, dht.RetryPolicy{MaxAttempts: 4})
+		keys := make([]dht.Key, 8)
+		for i := range keys {
+			keys[i] = dht.Key(fmt.Sprintf("batch-%d", i))
+			if err := res.Put(keys[i], i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Three keys fail transiently (different depths), one permanently.
+		flaky.FailNext(keys[1], 1)
+		flaky.FailNext(keys[3], 2)
+		flaky.FailNext(keys[5], 3)
+		flaky.FailNext(keys[6], -1)
+		results := res.GetBatch(keys, 4)
+		for i, r := range results {
+			if i == 6 {
+				if !errors.Is(r.Err, ErrInjected) {
+					t.Errorf("key %d: err = %v, want exhausted injected fault", i, r.Err)
+				}
+				continue
+			}
+			if r.Err != nil || !r.Found || r.Value != i {
+				t.Errorf("key %d = %v, %v, %v; want %d", i, r.Value, r.Found, r.Err, i)
+			}
+		}
+		s := res.Stats().Snapshot()
+		if s.Recovered != 3 {
+			t.Errorf("recovered = %d, want 3 (keys 1, 3, 5)", s.Recovered)
+		}
+		if s.Exhausted != 1 {
+			t.Errorf("exhausted = %d, want 1 (key 6)", s.Exhausted)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package dhttest
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"sync"
+
+	"mlight/internal/dht"
+)
+
+// ErrInjected is the transient error Flaky injects by default. It is marked
+// retryable, so dht.DefaultClassify treats an injected fault exactly like a
+// dropped simnet message.
+var ErrInjected = dht.Retryable(errors.New("dhttest: injected fault"))
+
+// Flaky wraps a substrate and injects failures on demand, so fault-tolerance
+// behaviour can be tested deterministically over any dht.DHT — including
+// overlays whose own loss would be probabilistic. Flaky deliberately does
+// NOT implement dht.Batcher: batched reads issued through it decompose into
+// pooled per-key Gets, so per-key injection (and per-key retries above it)
+// are exercised on the batch path too.
+type Flaky struct {
+	inner dht.DHT
+
+	mu       sync.Mutex
+	err      error           // injected error; nil means ErrInjected
+	perKey   map[dht.Key]int // remaining injected failures per key; -1 = always
+	all      int             // remaining injected failures on every key; -1 = always
+	attempts int             // operations that reached the wrapper
+	injected int             // operations that were failed by injection
+}
+
+var _ dht.DHT = (*Flaky)(nil)
+
+// NewFlaky wraps inner with no faults armed.
+func NewFlaky(inner dht.DHT) *Flaky {
+	return &Flaky{inner: inner, perKey: make(map[dht.Key]int)}
+}
+
+// Inner returns the wrapped DHT.
+func (f *Flaky) Inner() dht.DHT { return f.inner }
+
+// FailNext arms n injected failures on key; the n+1-th operation passes
+// through. n < 0 makes the key fail permanently until ClearFaults.
+func (f *Flaky) FailNext(key dht.Key, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.perKey[key] = n
+}
+
+// FailAll arms n injected failures affecting every key (on top of any
+// per-key arming). n < 0 fails everything until ClearFaults.
+func (f *Flaky) FailAll(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.all = n
+}
+
+// SetErr overrides the injected error; nil restores ErrInjected. Inject a
+// non-retryable error here to test terminal-error handling.
+func (f *Flaky) SetErr(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.err = err
+}
+
+// ClearFaults disarms all injection.
+func (f *Flaky) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.perKey = make(map[dht.Key]int)
+	f.all = 0
+}
+
+// Attempts returns how many operations reached the wrapper; Injected how
+// many of them were failed by injection. The difference is what the inner
+// substrate actually served.
+func (f *Flaky) Attempts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.attempts
+}
+
+// Injected returns the number of operations failed by injection.
+func (f *Flaky) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// inject decides one operation's fate: the armed error, or nil to pass
+// through to the inner substrate.
+func (f *Flaky) inject(key dht.Key) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	fail := false
+	if n, ok := f.perKey[key]; ok && n != 0 {
+		fail = true
+		if n > 0 {
+			f.perKey[key] = n - 1
+		}
+	}
+	if !fail && f.all != 0 {
+		fail = true
+		if f.all > 0 {
+			f.all--
+		}
+	}
+	if !fail {
+		return nil
+	}
+	f.injected++
+	if f.err != nil {
+		return f.err
+	}
+	return ErrInjected
+}
+
+// Put implements dht.DHT.
+func (f *Flaky) Put(key dht.Key, value any) error {
+	if err := f.inject(key); err != nil {
+		return err
+	}
+	return f.inner.Put(key, value)
+}
+
+// Get implements dht.DHT.
+func (f *Flaky) Get(key dht.Key) (any, bool, error) {
+	if err := f.inject(key); err != nil {
+		return nil, false, err
+	}
+	return f.inner.Get(key)
+}
+
+// Remove implements dht.DHT.
+func (f *Flaky) Remove(key dht.Key) error {
+	if err := f.inject(key); err != nil {
+		return err
+	}
+	return f.inner.Remove(key)
+}
+
+// Apply implements dht.DHT.
+func (f *Flaky) Apply(key dht.Key, fn dht.ApplyFunc) error {
+	if err := f.inject(key); err != nil {
+		return err
+	}
+	return f.inner.Apply(key, fn)
+}
+
+// Owner implements dht.DHT.
+func (f *Flaky) Owner(key dht.Key) (string, error) {
+	if err := f.inject(key); err != nil {
+		return "", err
+	}
+	return f.inner.Owner(key)
+}
+
+// Range forwards to the inner Enumerator when present; enumeration is a
+// measurement aid and is never failure-injected.
+func (f *Flaky) Range(fn func(key dht.Key, value any) bool) error {
+	e, ok := f.inner.(dht.Enumerator)
+	if !ok {
+		return dht.ErrNotEnumerable
+	}
+	return e.Range(fn)
+}
+
+// SeedFromEnv returns the seed the CI matrix sets via MLIGHT_TEST_SEED, or
+// def when the variable is unset or malformed. Seed-sensitive tests thread
+// it into their RNGs and retry policies so one workflow can sweep seeds
+// without code changes.
+func SeedFromEnv(def int64) int64 {
+	s := os.Getenv("MLIGHT_TEST_SEED")
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,174 @@
+package dht
+
+import (
+	"mlight/internal/metrics"
+)
+
+// Resilient decorates a DHT with the fault-tolerance layer the substrate
+// interface deliberately leaves out: transient failures (dropped messages,
+// unreachable peers, stale routing) are retried with capped exponential
+// backoff under a per-operation attempt budget, while per-owner circuit
+// breakers shed load from peers that keep failing. Terminal errors — bad
+// response types, dimension mismatches, an empty overlay — pass through
+// untouched on the first attempt.
+//
+// Composition: Resilient sits *below* Counting in an index's decorator
+// chain (Counting(Resilient(substrate))), so the paper's logical
+// DHT-operation accounting is unchanged — one Get is one logical operation
+// no matter how many attempts it took. The physical overhead is metered
+// separately in a metrics.ResilienceStats.
+//
+// Retries are safe over the substrates in this repository: the simulated
+// network fails calls before the remote handler executes, so a failed
+// operation never half-applied. Over a real network Apply would be
+// at-least-once under retries; idempotent transforms are the caller's
+// responsibility there.
+type Resilient struct {
+	inner   DHT
+	retrier *Retrier
+}
+
+var (
+	_ DHT        = (*Resilient)(nil)
+	_ Batcher    = (*Resilient)(nil)
+	_ Enumerator = (*Resilient)(nil)
+)
+
+// NewResilient wraps inner under policy, charging retry and breaker
+// activity to stats (nil allocates a private counter set, retrievable via
+// Stats).
+func NewResilient(inner DHT, policy RetryPolicy, stats *metrics.ResilienceStats) *Resilient {
+	return &Resilient{inner: inner, retrier: NewRetrier(policy, stats)}
+}
+
+// Inner returns the wrapped DHT.
+func (r *Resilient) Inner() DHT { return r.inner }
+
+// Stats returns the resilience counters.
+func (r *Resilient) Stats() *metrics.ResilienceStats { return r.retrier.Stats() }
+
+// Retrier returns the underlying retry executor (shared breaker state).
+func (r *Resilient) Retrier() *Retrier { return r.retrier }
+
+// owner resolves the breaker key for a DHT key.
+func (r *Resilient) owner(key Key) string { return r.retrier.policy.OwnerOf(key) }
+
+// Put implements DHT.
+func (r *Resilient) Put(key Key, value any) error {
+	return r.retrier.Do(r.owner(key), func() error {
+		return r.inner.Put(key, value)
+	})
+}
+
+// Get implements DHT.
+func (r *Resilient) Get(key Key) (value any, found bool, err error) {
+	err = r.retrier.Do(r.owner(key), func() error {
+		var e error
+		value, found, e = r.inner.Get(key)
+		return e
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return value, found, nil
+}
+
+// Remove implements DHT.
+func (r *Resilient) Remove(key Key) error {
+	return r.retrier.Do(r.owner(key), func() error {
+		return r.inner.Remove(key)
+	})
+}
+
+// Apply implements DHT.
+func (r *Resilient) Apply(key Key, fn ApplyFunc) error {
+	return r.retrier.Do(r.owner(key), func() error {
+		return r.inner.Apply(key, fn)
+	})
+}
+
+// Owner implements DHT. Ownership resolution routes through the overlay
+// like any other operation, so it is retried the same way.
+func (r *Resilient) Owner(key Key) (owner string, err error) {
+	err = r.retrier.Do(r.owner(key), func() error {
+		var e error
+		owner, e = r.inner.Owner(key)
+		return e
+	})
+	if err != nil {
+		return "", err
+	}
+	return owner, nil
+}
+
+// GetBatch implements Batcher: the whole batch is issued through the inner
+// substrate's batch path once, then — composing with the round-synchronous
+// query engine — retries happen per key inside this same batch round: only
+// the keys whose probes failed retryably are re-issued (as progressively
+// smaller sub-batches), with one backoff between retry waves, until they
+// succeed or exhaust the attempt budget. Results stay positional.
+func (r *Resilient) GetBatch(keys []Key, maxInFlight int) []BatchResult {
+	results := make([]BatchResult, len(keys))
+	if len(keys) == 0 {
+		return results
+	}
+	// Breaker pre-check per key: shed keys fail fast without probing.
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		r.retrier.stats.Ops.Inc()
+		if err := r.retrier.precheck(r.owner(k)); err != nil {
+			results[i].Err = err
+			continue
+		}
+		pending = append(pending, i)
+	}
+	for attempt := 1; len(pending) > 0; attempt++ {
+		sub := make([]Key, len(pending))
+		for j, i := range pending {
+			sub[j] = keys[i]
+		}
+		batch := GetBatch(r.inner, sub, maxInFlight)
+		var next []int
+		for j, i := range pending {
+			br := batch[j]
+			r.retrier.stats.Attempts.Inc()
+			owner := r.owner(keys[i])
+			if br.Err == nil {
+				r.retrier.onSuccess(owner)
+				if attempt > 1 {
+					r.retrier.stats.Recovered.Inc()
+				}
+				results[i] = br
+				continue
+			}
+			if !r.retrier.policy.Classify(br.Err) {
+				r.retrier.stats.Terminal.Inc()
+				results[i] = br
+				continue
+			}
+			r.retrier.onFailure(owner)
+			if attempt >= r.retrier.policy.MaxAttempts {
+				r.retrier.stats.Exhausted.Inc()
+				results[i] = br
+				continue
+			}
+			r.retrier.stats.Retries.Inc()
+			next = append(next, i)
+		}
+		pending = next
+		if len(pending) > 0 {
+			r.retrier.policy.Sleep(r.retrier.backoff(attempt))
+		}
+	}
+	return results
+}
+
+// Range implements Enumerator when the wrapped DHT does; enumeration is a
+// measurement aid and is not retried.
+func (r *Resilient) Range(fn func(key Key, value any) bool) error {
+	e, ok := r.inner.(Enumerator)
+	if !ok {
+		return ErrNotEnumerable
+	}
+	return e.Range(fn)
+}

@@ -49,6 +49,10 @@ type Options struct {
 	// NodeCapacity is γ, the records an internal node replicates before it
 	// saturates. Leaf-level nodes never saturate. Default 100.
 	NodeCapacity int
+	// Retry, when non-nil, interposes a dht.Resilient fault-tolerance layer
+	// between the index and the substrate (see core.Options.Retry). Nil
+	// leaves the substrate unwrapped.
+	Retry *dht.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +96,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 		return nil, err
 	}
 	stats := &metrics.IndexStats{}
+	if opts.Retry != nil {
+		d = dht.NewResilient(d, *opts.Retry, nil)
+	}
 	return &Index{opts: opts, d: dht.NewCounting(d, stats), stats: stats}, nil
 }
 

@@ -51,8 +51,10 @@ const (
 // clientAddr is the source address for overlay-initiated RPCs.
 const clientAddr simnet.NodeID = "kademlia-client"
 
-// ErrLookupFailed is returned when an iterative lookup cannot complete.
-var ErrLookupFailed = errors.New("kademlia: lookup failed")
+// ErrLookupFailed is returned when an iterative lookup cannot complete. It
+// is marked retryable: routing tables heal after Refresh, so a retry layer
+// may usefully try again.
+var ErrLookupFailed = dht.Retryable(errors.New("kademlia: lookup failed"))
 
 // ref names a remote node.
 type ref struct {

@@ -41,6 +41,12 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestFaultTolerance(t *testing.T) {
+	dhttest.RunFaultTolerance(t, func(t *testing.T) dht.DHT {
+		return buildOverlay(t, 10)
+	})
+}
+
 func TestXORMetric(t *testing.T) {
 	a := dht.HashString("a")
 	b := dht.HashString("b")

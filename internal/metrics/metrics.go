@@ -72,7 +72,9 @@ type IndexStats struct {
 
 	// BatchRounds counts synchronous batch barriers: rounds in which a set
 	// of independent DHT gets was issued concurrently. BatchProbes counts
-	// the probes inside those rounds (each also charged to DHTLookups).
+	// the probes scheduled into those rounds; covering-leaf candidate
+	// probes elided by the engine's early-exit can make the DHTLookups
+	// actually charged smaller.
 	BatchRounds Counter
 	BatchProbes Counter
 	// MaxInFlight is the high-water mark of concurrently outstanding probes
@@ -86,6 +88,89 @@ type IndexStats struct {
 	CacheHits   Counter
 	CacheMisses Counter
 	CacheStale  Counter
+}
+
+// ResilienceStats aggregates the counters of the fault-tolerance layer
+// (dht.Resilient / dht.Retrier): how often operations were retried, how the
+// retry budget was spent, and what the per-owner circuit breakers did. One
+// instance is shared by every operation flowing through one retrier.
+type ResilienceStats struct {
+	// Ops counts logical operations entering the resilient layer.
+	Ops Counter
+	// Attempts counts substrate attempts issued (≥ Ops; the surplus is the
+	// physical retry overhead the resilience experiment reports).
+	Attempts Counter
+	// Retries counts attempts beyond each operation's first.
+	Retries Counter
+	// Recovered counts operations that succeeded after at least one retry —
+	// the failures the layer absorbed.
+	Recovered Counter
+	// Exhausted counts operations that failed every attempt in their budget.
+	Exhausted Counter
+	// Terminal counts operations abandoned on a non-retryable error.
+	Terminal Counter
+	// BreakerTrips counts closed→open breaker transitions; BreakerFastFails
+	// counts operations shed while a breaker was open; BreakerResets counts
+	// breakers closed again by a successful half-open trial.
+	BreakerTrips     Counter
+	BreakerFastFails Counter
+	BreakerResets    Counter
+}
+
+// ResilienceSnapshot is a point-in-time copy of ResilienceStats.
+type ResilienceSnapshot struct {
+	Ops              int64 `json:"ops"`
+	Attempts         int64 `json:"attempts"`
+	Retries          int64 `json:"retries"`
+	Recovered        int64 `json:"recovered"`
+	Exhausted        int64 `json:"exhausted"`
+	Terminal         int64 `json:"terminal"`
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	BreakerResets    int64 `json:"breaker_resets"`
+}
+
+// Snapshot copies the current counter values.
+func (s *ResilienceStats) Snapshot() ResilienceSnapshot {
+	return ResilienceSnapshot{
+		Ops:              s.Ops.Load(),
+		Attempts:         s.Attempts.Load(),
+		Retries:          s.Retries.Load(),
+		Recovered:        s.Recovered.Load(),
+		Exhausted:        s.Exhausted.Load(),
+		Terminal:         s.Terminal.Load(),
+		BreakerTrips:     s.BreakerTrips.Load(),
+		BreakerFastFails: s.BreakerFastFails.Load(),
+		BreakerResets:    s.BreakerResets.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (s *ResilienceStats) Reset() {
+	s.Ops.Reset()
+	s.Attempts.Reset()
+	s.Retries.Reset()
+	s.Recovered.Reset()
+	s.Exhausted.Reset()
+	s.Terminal.Reset()
+	s.BreakerTrips.Reset()
+	s.BreakerFastFails.Reset()
+	s.BreakerResets.Reset()
+}
+
+// Sub returns the delta between two snapshots (s - older).
+func (s ResilienceSnapshot) Sub(older ResilienceSnapshot) ResilienceSnapshot {
+	return ResilienceSnapshot{
+		Ops:              s.Ops - older.Ops,
+		Attempts:         s.Attempts - older.Attempts,
+		Retries:          s.Retries - older.Retries,
+		Recovered:        s.Recovered - older.Recovered,
+		Exhausted:        s.Exhausted - older.Exhausted,
+		Terminal:         s.Terminal - older.Terminal,
+		BreakerTrips:     s.BreakerTrips - older.BreakerTrips,
+		BreakerFastFails: s.BreakerFastFails - older.BreakerFastFails,
+		BreakerResets:    s.BreakerResets - older.BreakerResets,
+	}
 }
 
 // Snapshot is a point-in-time copy of IndexStats.

@@ -42,8 +42,10 @@ var numRows = dht.NumDigits(digitBits)
 // clientAddr is the source address for overlay-initiated RPCs.
 const clientAddr simnet.NodeID = "pastry-client"
 
-// ErrLookupFailed is returned when greedy routing cannot complete.
-var ErrLookupFailed = errors.New("pastry: lookup failed")
+// ErrLookupFailed is returned when greedy routing cannot complete. It is
+// marked retryable: stale leaf sets heal after stabilization, so a retry
+// layer may usefully try again.
+var ErrLookupFailed = dht.Retryable(errors.New("pastry: lookup failed"))
 
 // ref names a remote node.
 type ref struct {
@@ -387,6 +389,11 @@ type Config struct {
 	// leaf-set members (PAST/Bamboo style). 0 or 1 disables; capped at
 	// leafHalf.
 	Replication int
+	// Retry governs the replication RPCs (replica pushes and drops). Nil
+	// selects a default of 3 attempts with no backoff sleep — the simulated
+	// network fails synchronously, so waiting buys nothing; real
+	// deployments should supply a policy with a real Sleep.
+	Retry *dht.RetryPolicy
 }
 
 // Overlay manages a set of Pastry nodes and exposes them as one dht.DHT.
@@ -395,14 +402,20 @@ type Overlay struct {
 	maxHops     int
 	replication int
 
-	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID
-	rng   *rand.Rand
+	mu             sync.Mutex
+	nodes          map[simnet.NodeID]*Node
+	order          []simnet.NodeID
+	rng            *rand.Rand
+	retrier        *dht.Retrier
+	lastReplicaErr error
 
 	// Lookups counts routed lookups; Hops counts next-hop RPCs.
 	Lookups metrics.Counter
 	Hops    metrics.Counter
+	// ReplicationErrors counts replica pushes and drops that still failed
+	// after the retry budget — replicas that stay missing until the next
+	// stabilization round repairs them.
+	ReplicationErrors metrics.Counter
 }
 
 var (
@@ -423,13 +436,30 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 	if replication > leafHalf {
 		replication = leafHalf
 	}
+	policy := dht.RetryPolicy{MaxAttempts: 3, Seed: cfg.Seed, Sleep: dht.NoSleep}
+	if cfg.Retry != nil {
+		policy = *cfg.Retry
+	}
 	return &Overlay{
 		net:         net,
 		maxHops:     maxHops,
 		replication: replication,
 		nodes:       make(map[simnet.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		retrier:     dht.NewRetrier(policy, nil),
 	}
+}
+
+// ReplicationRetrier exposes the retry executor guarding replication RPCs,
+// so tests and experiments can inspect its counters and breaker states.
+func (o *Overlay) ReplicationRetrier() *dht.Retrier { return o.retrier }
+
+// LastReplicationError returns the most recent replication push or drop
+// that failed after exhausting its retry budget, or nil.
+func (o *Overlay) LastReplicationError() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastReplicaErr
 }
 
 // AddNode creates and joins a node at addr.

@@ -43,6 +43,13 @@ func TestConformance(t *testing.T) {
 	})
 }
 
+func TestFaultTolerance(t *testing.T) {
+	dhttest.RunFaultTolerance(t, func(t *testing.T) dht.DHT {
+		_, o := buildOverlay(t, 10)
+		return o
+	})
+}
+
 func TestOwnerMatchesOracle(t *testing.T) {
 	_, o := buildOverlay(t, 16)
 	for i := 0; i < 300; i++ {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"mlight/internal/dht"
+	"mlight/internal/simnet"
 )
 
 // Leaf-set replication, Bamboo/PAST style (and therefore the mechanism the
@@ -73,17 +74,36 @@ func (o *Overlay) replicaTargets(owner ref) []ref {
 	return out
 }
 
+// replicaCall issues one replication RPC through the overlay's retry
+// layer, keyed by the destination node. A call that still fails after the
+// retry budget is counted in ReplicationErrors and recorded as the last
+// replication error rather than silently dropped: the replica stays
+// missing until the next stabilization round re-pushes it, and the counter
+// makes that loss observable.
+func (o *Overlay) replicaCall(from, to simnet.NodeID, req any) {
+	err := o.retrier.Do(string(to), func() error {
+		_, e := o.net.Call(from, to, req)
+		return e
+	})
+	if err != nil {
+		o.ReplicationErrors.Inc()
+		o.mu.Lock()
+		o.lastReplicaErr = err
+		o.mu.Unlock()
+	}
+}
+
 // replicate pushes one key's value to the owner's replica targets.
 func (o *Overlay) replicate(owner ref, key dht.Key, value any) {
 	for _, t := range o.replicaTargets(owner) {
-		_, _ = o.net.Call(owner.Addr, t.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
+		o.replicaCall(owner.Addr, t.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
 	}
 }
 
 // dropReplicas removes the key's replicas after a Remove.
 func (o *Overlay) dropReplicas(owner ref, key dht.Key) {
 	for _, t := range o.replicaTargets(owner) {
-		_, _ = o.net.Call(owner.Addr, t.Addr, dropReplicaReq{Key: key})
+		o.replicaCall(owner.Addr, t.Addr, dropReplicaReq{Key: key})
 	}
 }
 
@@ -98,6 +118,6 @@ func (o *Overlay) reReplicate(n *Node) {
 		return
 	}
 	for _, t := range o.replicaTargets(n.self()) {
-		_, _ = o.net.Call(n.addr, t.Addr, replicateReq{Entries: entries})
+		o.replicaCall(n.addr, t.Addr, replicateReq{Entries: entries})
 	}
 }

@@ -58,6 +58,10 @@ type Options struct {
 	// MergeThreshold merges sibling leaves jointly holding fewer records.
 	// Default LeafCapacity/2.
 	MergeThreshold int
+	// Retry, when non-nil, interposes a dht.Resilient fault-tolerance layer
+	// between the index and the substrate (see core.Options.Retry). Nil
+	// leaves the substrate unwrapped.
+	Retry *dht.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +116,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 		return nil, err
 	}
 	stats := &metrics.IndexStats{}
+	if opts.Retry != nil {
+		d = dht.NewResilient(d, *opts.Retry, nil)
+	}
 	ix := &Index{opts: opts, raw: d, d: dht.NewCounting(d, stats), stats: stats}
 	err := ix.raw.Apply(labelKey(bitlabel.Empty), func(cur any, exists bool) (any, bool) {
 		if exists {

@@ -36,10 +36,27 @@ type HandlerFunc func(from NodeID, req any) (any, error)
 // HandleRPC implements Handler.
 func (f HandlerFunc) HandleRPC(from NodeID, req any) (any, error) { return f(from, req) }
 
+// temporaryError is a sentinel error that declares itself transient via the
+// net.Error Temporary() convention, so retry layers (dht.DefaultClassify)
+// recognize simulated network failures as retryable without simnet having to
+// import them.
+type temporaryError struct{ msg string }
+
+func (e *temporaryError) Error() string   { return e.msg }
+func (e *temporaryError) Temporary() bool { return true }
+
 var (
 	// ErrUnreachable is returned when the destination peer is down,
-	// unregistered, or the link dropped the message.
-	ErrUnreachable = errors.New("simnet: peer unreachable")
+	// unregistered, or the link dropped the message. It is Temporary(): the
+	// peer may recover or the next message may get through, so retry layers
+	// treat it as transient.
+	ErrUnreachable error = &temporaryError{"simnet: peer unreachable"}
+	// ErrCallerDown is returned when the *calling* peer is down. A crashed
+	// node cannot originate traffic: the call fails locally before touching
+	// the network, is not counted in RPCs, and never rolls the drop
+	// generator. It is deliberately not Temporary() — retrying from the same
+	// crashed node cannot succeed until that node itself recovers.
+	ErrCallerDown = errors.New("simnet: calling peer is down")
 	// ErrDuplicateNode is returned when registering an already registered
 	// node identifier.
 	ErrDuplicateNode = errors.New("simnet: node already registered")
@@ -140,6 +157,15 @@ func (n *Network) SetRealDelay(on bool) {
 	n.realDelay = on
 }
 
+// SetDropRate changes the link-loss probability at runtime. Typical use:
+// build and stabilize an overlay losslessly, then inject loss for the
+// measured phase of a resilience experiment.
+func (n *Network) SetDropRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop = rate
+}
+
 // SetDown marks a node as crashed (true) or recovered (false) without
 // removing its registration. RPCs to a down node fail with ErrUnreachable.
 func (n *Network) SetDown(id NodeID, down bool) {
@@ -196,11 +222,17 @@ func (n *Network) SimulatedRTT() time.Duration {
 
 // Call performs a synchronous RPC from one peer to another. The handler
 // executes on the calling goroutine. Self-calls are delivered without
-// counting as network traffic, mirroring local processing on a peer.
+// counting as network traffic, mirroring local processing on a peer. A down
+// caller fails locally with ErrCallerDown: the call never reaches the
+// network, so it is not counted in RPCs and cannot be dropped.
 func (n *Network) Call(from, to NodeID, req any) (any, error) {
 	n.mu.Lock()
+	if n.down[from] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrCallerDown, from)
+	}
 	h, ok := n.nodes[to]
-	isDown := n.down[to] || n.down[from]
+	isDown := n.down[to]
 	dropped := false
 	if ok && !isDown && n.drop > 0 && from != to {
 		dropped = n.rng.Float64() < n.drop

@@ -94,8 +94,53 @@ func TestDownCallerCannotSend(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.SetDown("a", true)
+	if _, err := n.Call("a", "b", 1); !errors.Is(err, ErrCallerDown) {
+		t.Errorf("down caller Call = %v, want ErrCallerDown", err)
+	}
+	// The failed origination never reached the network: no RPC was counted
+	// and the drop generator was not consulted.
+	if got := n.RPCs.Load(); got != 0 {
+		t.Errorf("down caller counted as RPC traffic: RPCs = %d, want 0", got)
+	}
+	n.SetDown("a", false)
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Errorf("Call after caller recovery = %v", err)
+	}
+	if got := n.RPCs.Load(); got != 1 {
+		t.Errorf("RPCs after recovery = %d, want 1", got)
+	}
+}
+
+// TestErrorTaxonomy pins the retry-layer contract: unreachable/dropped
+// failures declare themselves Temporary(), while a down caller does not.
+func TestErrorTaxonomy(t *testing.T) {
+	var tmp interface{ Temporary() bool }
+	if !errors.As(ErrUnreachable, &tmp) || !tmp.Temporary() {
+		t.Error("ErrUnreachable is not Temporary()")
+	}
+	if errors.As(ErrCallerDown, &tmp) && tmp.Temporary() {
+		t.Error("ErrCallerDown must not be Temporary()")
+	}
+}
+
+func TestSetDropRate(t *testing.T) {
+	n := New(Options{Seed: 7})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Fatalf("lossless Call = %v", err)
+	}
+	n.SetDropRate(1.0)
 	if _, err := n.Call("a", "b", 1); !errors.Is(err, ErrUnreachable) {
-		t.Errorf("down caller Call = %v, want ErrUnreachable", err)
+		t.Errorf("Call at drop rate 1.0 = %v, want ErrUnreachable", err)
+	}
+	n.SetDropRate(0)
+	if _, err := n.Call("a", "b", 1); err != nil {
+		t.Errorf("Call after SetDropRate(0) = %v", err)
 	}
 }
 

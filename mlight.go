@@ -84,6 +84,14 @@ type (
 	Key = dht.Key
 	// LocalDHT is the in-process substrate.
 	LocalDHT = dht.Local
+
+	// RetryPolicy configures the optional fault-tolerance layer
+	// (Options.Retry): retry budgets, backoff, and per-owner circuit
+	// breakers for transient substrate failures.
+	RetryPolicy = dht.RetryPolicy
+	// ResilienceStats is a snapshot of the retry layer's counters
+	// (Index.ResilienceStats().Snapshot()).
+	ResilienceStats = metrics.ResilienceSnapshot
 )
 
 // Split strategies (paper §4).
@@ -100,6 +108,10 @@ var (
 	ErrNotFound = core.ErrNotFound
 	// ErrDimension reports a dimensionality mismatch.
 	ErrDimension = core.ErrDimension
+
+	// NoSleep is a RetryPolicy.Sleep that returns immediately — for
+	// simulated networks where backoff delays are accounted, not paid.
+	NoSleep = dht.NoSleep
 )
 
 // New creates an m-LIGHT index client over any DHT substrate, bootstrapping

@@ -102,6 +102,51 @@ func TestIndexOverEverySubstrate(t *testing.T) {
 	}
 }
 
+// TestRetryLayerOverLossyChord exercises Options.Retry through the public
+// API: an index loaded losslessly keeps answering range queries while the
+// simulated network drops 5% of messages.
+func TestRetryLayerOverLossyChord(t *testing.T) {
+	ring, net, err := mlight.NewChordCluster(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := mlight.New(ring, mlight.Options{
+		ThetaSplit: 8,
+		ThetaMerge: 4,
+		Retry:      &mlight.RetryPolicy{MaxAttempts: 8, Seed: 1, Sleep: mlight.NoSleep},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		p := mlight.Point{float64(i%11) / 11, float64(i%7) / 7}
+		if err := ix.Insert(mlight.Record{Key: p, Data: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatalf("Insert #%d: %v", i, err)
+		}
+	}
+	q, err := mlight.NewRect(mlight.Point{0, 0}, mlight.Point{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetDropRate(0.05)
+	for i := 0; i < 5; i++ {
+		res, err := ix.RangeQueryParallel(q, 2)
+		if err != nil {
+			t.Fatalf("query #%d under 5%% loss: %v", i, err)
+		}
+		if len(res.Records) != 120 {
+			t.Fatalf("query #%d = %d records, want 120", i, len(res.Records))
+		}
+	}
+	s := ix.ResilienceStats().Snapshot()
+	if s.Ops == 0 || s.Attempts < s.Ops {
+		t.Errorf("resilience stats = %+v, want ops > 0 and attempts ≥ ops", s)
+	}
+	if s.Recovered == 0 {
+		t.Errorf("no operation recovered under 5%% loss (retries %d); stats = %+v", s.Retries, s)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	if _, _, err := mlight.NewChordCluster(0, 1); err == nil {
 		t.Error("empty chord cluster accepted")
