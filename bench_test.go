@@ -337,6 +337,48 @@ func BenchmarkRangeQueryConcurrent(b *testing.B) {
 	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/query")
 }
 
+// BenchmarkRangeQueryConcurrentTraced is BenchmarkRangeQueryConcurrent with
+// an active trace collector on the same index: every probe, DHT op, retry
+// attempt and network hop is recorded. Compare ns/op with
+// BenchmarkRangeQueryConcurrent (whose collector is nil — the default — so
+// the instrumentation reduces to one nil check per site) to price active
+// tracing; the nil-collector run is the pinned <5%-overhead configuration.
+func BenchmarkRangeQueryConcurrentTraced(b *testing.B) {
+	ring, net, err := mlight.NewChordClusterWithLatency(24, 1, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetRealDelay(false)
+	tc := mlight.NewTraceCollector()
+	ix, err := mlight.New(ring,
+		mlight.WithCapacity(50),
+		mlight.WithMergeThreshold(25),
+		mlight.WithMaxInFlight(16),
+		mlight.WithTrace(tc),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range mlight.GenerateNE(2000, 1) {
+		if err := ix.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	net.SetRealDelay(true)
+	net.SetTracer(tc)
+	queries := benchQueries(16, 0.4)
+	b.ResetTimer()
+	spans := 0
+	for i := 0; i < b.N; i++ {
+		tc.Reset()
+		if _, err := ix.RangeQueryParallel(queries[i%len(queries)], 4); err != nil {
+			b.Fatal(err)
+		}
+		spans += tc.Len()
+	}
+	b.ReportMetric(float64(spans)/float64(b.N), "spans/query")
+}
+
 // BenchmarkRangeQuerySequentialBaseline is BenchmarkRangeQueryConcurrent
 // with MaxInFlight = 1: identical probes, paid back to back.
 func BenchmarkRangeQuerySequentialBaseline(b *testing.B) {

@@ -24,9 +24,17 @@
 // the dht.Resilient retry layer, writing a machine-readable summary:
 //
 //	mlight-bench -figs resilience -quick -resjson BENCH_resilience.json
+//
+// The trace section (not part of "all") runs one fully instrumented range
+// query over a routed Chord cluster and exports the recorded span tree: a
+// Chrome trace_event JSON (open in Perfetto or chrome://tracing) and a
+// human-readable tree with a per-stage latency summary:
+//
+//	mlight-bench -figs trace -trace trace.json -tracetree trace.txt
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,8 +44,10 @@ import (
 	"strings"
 	"time"
 
+	"mlight"
 	"mlight/internal/dataset"
 	"mlight/internal/experiments"
+	"mlight/internal/trace"
 )
 
 func main() {
@@ -57,12 +67,14 @@ func run(args []string, out io.Writer) error {
 		depth    = fs.Int("depth", 28, "index depth bound D")
 		seed     = fs.Int64("seed", 1, "random seed for data and queries")
 		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,resilience or all (all excludes concurrency and resilience)")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,resilience,trace or all (all excludes concurrency, resilience and trace)")
 		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
 		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
 		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
 		concJSON = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
 		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
+		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
+		traceTxt = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
 		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -261,6 +273,94 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *resJSON)
 		}
 		fmt.Fprintf(out, "(resilience took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["trace"] || *traceOut != "" || *traceTxt != "" {
+		start := time.Now()
+		if err := traceSection(cfg, out, *traceOut, *traceTxt); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(trace took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// traceSection runs one instrumented range query over a routed Chord
+// cluster — every stage from the query down to individual simulated network
+// hops lands in the same collector — and exports the trace. MaxInFlight = 1
+// keeps execution sequential so the artifact is reproducible.
+func traceSection(cfg experiments.Config, out io.Writer, jsonPath, treePath string) error {
+	fmt.Fprintln(out, "== Trace: one instrumented range query (beyond the paper) ==")
+	ring, net, err := mlight.NewChordCluster(16, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	tc := mlight.NewTraceCollector()
+	ix, err := mlight.New(ring,
+		mlight.WithCapacity(cfg.ThetaSplit),
+		mlight.WithMergeThreshold(cfg.ThetaSplit/2),
+		mlight.WithMaxInFlight(1),
+		mlight.WithRetry(mlight.RetryPolicy{MaxAttempts: 3, Sleep: mlight.NoSleep}),
+		mlight.WithTrace(tc),
+	)
+	if err != nil {
+		return err
+	}
+	records := cfg.Records
+	if records == nil {
+		n := cfg.DataSize
+		if n > 2000 {
+			n = 2000 // the trace covers one query; a small routed load suffices
+		}
+		records = dataset.Generate(n, cfg.Seed)
+	}
+	for _, rec := range records {
+		if err := ix.Insert(rec); err != nil {
+			return err
+		}
+	}
+	net.SetTracer(tc) // attach after the bulk load: trace the query's hops only
+	tc.Reset()
+
+	q, err := mlight.NewRect(mlight.Point{0.3, 0.45}, mlight.Point{0.5, 0.65})
+	if err != nil {
+		return err
+	}
+	res, err := ix.RangeQuery(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "window [0.30,0.45]–[0.50,0.65] over %d records on 16 Chord peers:\n", len(records))
+	fmt.Fprintf(out, "  %d records, %d DHT-lookups, %d rounds — %d spans recorded\n",
+		len(res.Records), res.Lookups, res.Rounds, tc.Len())
+	if err := tc.WriteSummary(out); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		var buf bytes.Buffer
+		if err := tc.WriteTraceEvent(&buf); err != nil {
+			return err
+		}
+		if err := trace.ValidateTraceEvent(buf.Bytes()); err != nil {
+			return fmt.Errorf("exported trace fails its own schema: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(chrome trace written to %s)\n", jsonPath)
+	}
+	if treePath != "" {
+		var buf bytes.Buffer
+		if err := tc.WriteTree(&buf); err != nil {
+			return err
+		}
+		buf.WriteByte('\n')
+		if err := tc.WriteSummary(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(treePath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(span tree written to %s)\n", treePath)
 	}
 	return nil
 }

@@ -4,9 +4,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"mlight/internal/dataset"
+	"mlight/internal/trace"
 )
 
 func tinyArgs(extra ...string) []string {
@@ -53,6 +55,32 @@ func TestRunWithDatasetFile(t *testing.T) {
 	}
 	if err := run2(tinyArgs("-figs", "fig6", "-dataset", path)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceSection is the trace smoke test: the -trace flag must produce
+// a file that passes the trace_event schema, and -tracetree a non-empty span
+// tree rooted at the query.
+func TestRunTraceSection(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	treePath := filepath.Join(dir, "trace.txt")
+	if err := run2(tinyArgs("-figs", "trace", "-trace", jsonPath, "-tracetree", treePath)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateTraceEvent(data); err != nil {
+		t.Errorf("emitted trace fails schema: %v", err)
+	}
+	tree, err := os.ReadFile(treePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tree), "query range") {
+		t.Errorf("span tree has no query root:\n%.400s", tree)
 	}
 }
 

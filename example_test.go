@@ -8,7 +8,7 @@ import (
 
 // Example shows the minimal index lifecycle: create, insert, range query.
 func Example() {
-	ix, err := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	ix, err := mlight.New(mlight.NewLocalDHT(8))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -27,7 +27,8 @@ func Example() {
 // ExampleIndex_RangeQueryParallel shows the latency/bandwidth trade of the
 // parallel range query: identical answers, fewer rounds, more lookups.
 func ExampleIndex_RangeQueryParallel() {
-	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{ThetaSplit: 4, ThetaMerge: 2})
+	ix, _ := mlight.New(mlight.NewLocalDHT(8),
+		mlight.WithCapacity(4), mlight.WithMergeThreshold(2))
 	for i := 0; i < 64; i++ {
 		_ = ix.Insert(mlight.Record{
 			Key:  mlight.Point{float64(i%8)/8 + 0.01, float64(i/8)/8 + 0.01},
@@ -46,7 +47,7 @@ func ExampleIndex_RangeQueryParallel() {
 
 // ExampleIndex_Nearest finds the records closest to a query point.
 func ExampleIndex_Nearest() {
-	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	ix, _ := mlight.New(mlight.NewLocalDHT(8))
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.50, 0.50}, Data: "centre"})
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.52, 0.50}, Data: "near"})
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.90, 0.90}, Data: "far"})
@@ -62,7 +63,7 @@ func ExampleIndex_Nearest() {
 
 // ExampleIndex_ShapeQuery answers a circular ("within radius") query.
 func ExampleIndex_ShapeQuery() {
-	ix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.Options{})
+	ix, _ := mlight.New(mlight.NewLocalDHT(8))
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.50, 0.50}, Data: "inside"})
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.95, 0.95}, Data: "outside"})
 
@@ -81,9 +82,56 @@ func ExampleNewChordCluster() {
 		fmt.Println(err)
 		return
 	}
-	ix, _ := mlight.New(ring, mlight.Options{})
+	ix, _ := mlight.New(ring)
 	_ = ix.Insert(mlight.Record{Key: mlight.Point{0.3, 0.3}, Data: "on-chord"})
 	recs, _ := ix.Exact(mlight.Point{0.3, 0.3})
 	fmt.Println(recs[0].Data)
 	// Output: on-chord
+}
+
+// ExampleQuerier runs the same workload against m-LIGHT and the PHT baseline
+// through the scheme-independent interface — how the evaluation harness
+// compares schemes.
+func ExampleQuerier() {
+	mix, _ := mlight.New(mlight.NewLocalDHT(8), mlight.WithCapacity(4))
+	pht, _ := mlight.NewPHT(mlight.NewLocalDHT(8), mlight.WithCapacity(4))
+	q, _ := mlight.NewRect(mlight.Point{0.2, 0.2}, mlight.Point{0.8, 0.8})
+
+	for _, scheme := range []mlight.Querier{mix, pht} {
+		for i := 0; i < 16; i++ {
+			_ = scheme.Insert(mlight.Record{
+				Key:  mlight.Point{float64(i%4)/4 + 0.1, float64(i/4)/4 + 0.1},
+				Data: fmt.Sprintf("r%d", i),
+			})
+		}
+		res, _ := scheme.RangeQuery(q)
+		fmt.Println(len(res.Records))
+	}
+	// Output:
+	// 4
+	// 4
+}
+
+// ExampleWithTrace records a structured trace of one query and prints the
+// per-stage latency summary.
+func ExampleWithTrace() {
+	tc := mlight.NewTraceCollector()
+	ix, _ := mlight.New(mlight.NewLocalDHT(8),
+		mlight.WithCapacity(4), mlight.WithMaxInFlight(1), mlight.WithTrace(tc))
+	for i := 0; i < 16; i++ {
+		_ = ix.Insert(mlight.Record{
+			Key:  mlight.Point{float64(i%4)/4 + 0.1, float64(i/4)/4 + 0.1},
+			Data: fmt.Sprintf("r%d", i),
+		})
+	}
+	tc.Reset() // trace the query alone
+	q, _ := mlight.NewRect(mlight.Point{0.2, 0.2}, mlight.Point{0.8, 0.8})
+	_, _ = ix.RangeQuery(q)
+
+	for _, s := range tc.Spans() {
+		if s.Kind == mlight.TraceKindQuery {
+			fmt.Println(s.Name, "traced with", tc.Len(), "spans")
+		}
+	}
+	// Output: range traced with 10 spans
 }

@@ -26,7 +26,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ix, err := mlight.New(overlay, mlight.Options{ThetaSplit: 60, ThetaMerge: 30})
+	ix, err := mlight.New(overlay, mlight.WithCapacity(60), mlight.WithMergeThreshold(30))
 	if err != nil {
 		return err
 	}
@@ -117,7 +117,7 @@ func crashDemo() error {
 	if err != nil {
 		return err
 	}
-	ix, err := mlight.New(ring, mlight.Options{ThetaSplit: 60, ThetaMerge: 30})
+	ix, err := mlight.New(ring, mlight.WithCapacity(60), mlight.WithMergeThreshold(30))
 	if err != nil {
 		return err
 	}

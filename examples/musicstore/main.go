@@ -49,7 +49,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ix, err := mlight.New(ring, mlight.Options{ThetaSplit: 50, ThetaMerge: 25})
+	ix, err := mlight.New(ring, mlight.WithCapacity(50), mlight.WithMergeThreshold(25))
 	if err != nil {
 		return err
 	}

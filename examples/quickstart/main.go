@@ -24,7 +24,9 @@ func run() error {
 	d := mlight.NewLocalDHT(16)
 
 	// A 2-D index with the paper's default parameters (θsplit=100, D=28).
-	ix, err := mlight.New(d, mlight.Options{})
+	// Constructor options tune it: mlight.WithSplit, mlight.WithCache,
+	// mlight.WithRetry, mlight.WithTrace, ...
+	ix, err := mlight.New(d)
 	if err != nil {
 		return err
 	}

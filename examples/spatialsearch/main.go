@@ -27,19 +27,19 @@ func run() error {
 
 	// Two indexes over separate DHTs: conventional threshold splitting
 	// versus the paper's data-aware splitting.
-	threshold, err := mlight.New(mlight.NewLocalDHT(128), mlight.Options{
-		Strategy:   mlight.SplitThreshold,
-		ThetaSplit: 100,
-	})
+	threshold, err := mlight.New(mlight.NewLocalDHT(128),
+		mlight.WithSplit(mlight.SplitThreshold),
+		mlight.WithCapacity(100),
+	)
 	if err != nil {
 		return err
 	}
-	aware, err := mlight.New(mlight.NewLocalDHT(128), mlight.Options{
-		Strategy:   mlight.SplitDataAware,
-		Epsilon:    70,
-		ThetaSplit: 100,
-		ThetaMerge: 35,
-	})
+	aware, err := mlight.New(mlight.NewLocalDHT(128),
+		mlight.WithSplit(mlight.SplitDataAware),
+		mlight.WithEpsilon(70),
+		mlight.WithCapacity(100),
+		mlight.WithMergeThreshold(35),
+	)
 	if err != nil {
 		return err
 	}

@@ -37,11 +37,11 @@ func run() error {
 	// The substrate stores only bytes: every bucket is serialised through
 	// the wire format on its way in and out.
 	d := mlight.NewByteDHT(mlight.NewLocalDHT(64))
-	ix, err := mlight.New(d, mlight.Options{
-		Dims:       1, // LHT mode
-		ThetaSplit: 60,
-		ThetaMerge: 30,
-	})
+	ix, err := mlight.New(d,
+		mlight.WithDims(1), // LHT mode
+		mlight.WithCapacity(60),
+		mlight.WithMergeThreshold(30),
+	)
 	if err != nil {
 		return err
 	}

@@ -38,33 +38,24 @@ import (
 
 	"mlight/internal/bitlabel"
 	"mlight/internal/dht"
+	"mlight/internal/index"
 	"mlight/internal/kdtree"
 	"mlight/internal/metrics"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
-// SplitStrategy selects how overfull leaf buckets divide (paper §4).
-type SplitStrategy int
+// SplitStrategy selects how overfull leaf buckets divide (paper §4). It is
+// the shared strategy type of the index contract package.
+type SplitStrategy = index.SplitStrategy
 
 const (
 	// SplitThreshold is the conventional θsplit/θmerge strategy (§4.1).
-	SplitThreshold SplitStrategy = iota + 1
+	SplitThreshold = index.SplitThreshold
 	// SplitDataAware is the data-aware strategy of §4.2: buckets split
 	// according to the optimal split subtree of Algorithm 1.
-	SplitDataAware
+	SplitDataAware = index.SplitDataAware
 )
-
-// String renders the strategy name.
-func (s SplitStrategy) String() string {
-	switch s {
-	case SplitThreshold:
-		return "threshold"
-	case SplitDataAware:
-		return "data-aware"
-	default:
-		return fmt.Sprintf("SplitStrategy(%d)", int(s))
-	}
-}
 
 // Options configures an Index. The zero value of each field selects the
 // listed default.
@@ -108,6 +99,46 @@ type Options struct {
 	// are metered separately, see ResilienceStats. Nil (the default) leaves
 	// the substrate unwrapped.
 	Retry *dht.RetryPolicy
+	// Trace, when non-nil, records an operation trace of every query into
+	// the collector: query → batch round → probe → DHT op → retry attempt
+	// spans, plus lookup searches and cache events. Nil (the default)
+	// disables tracing entirely; every collection point is a nil check, so
+	// a disabled trace costs nothing.
+	Trace *trace.Collector
+}
+
+// Apply implements index.Option: an Options value used as a functional
+// option overwrites the whole tuning, so place it before any With*
+// refinements.
+func (o Options) Apply(t *index.Tuning) {
+	*t = index.Tuning{
+		Dims:           o.Dims,
+		MaxDepth:       o.MaxDepth,
+		Capacity:       o.ThetaSplit,
+		MergeThreshold: o.ThetaMerge,
+		Strategy:       o.Strategy,
+		Epsilon:        o.Epsilon,
+		MaxInFlight:    o.MaxInFlight,
+		CacheSize:      o.CacheSize,
+		Retry:          o.Retry,
+		Trace:          o.Trace,
+	}
+}
+
+// FromTuning maps the shared tuning surface onto this package's Options.
+func FromTuning(t index.Tuning) Options {
+	return Options{
+		Dims:        t.Dims,
+		MaxDepth:    t.MaxDepth,
+		ThetaSplit:  t.Capacity,
+		ThetaMerge:  t.MergeThreshold,
+		Strategy:    t.Strategy,
+		Epsilon:     t.Epsilon,
+		MaxInFlight: t.MaxInFlight,
+		CacheSize:   t.CacheSize,
+		Retry:       t.Retry,
+		Trace:       t.Trace,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -200,6 +231,9 @@ var (
 	ErrDimension = errors.New("core: dimensionality mismatch")
 )
 
+// Index is the m-LIGHT implementation of the shared Querier contract.
+var _ index.Querier = (*Index)(nil)
+
 // Index is an m-LIGHT index client bound to a DHT substrate. All methods
 // are safe for concurrent use if the substrate is; the experiments drive it
 // single-threaded for determinism.
@@ -231,7 +265,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 		// traffic — counted operations and local rewrites alike — flows
 		// through it.
 		ix.resilience = &metrics.ResilienceStats{}
-		d = dht.NewResilient(d, *opts.Retry, ix.resilience)
+		res := dht.NewResilient(d, *opts.Retry, ix.resilience)
+		res.SetTracer(opts.Trace)
+		d = res
 	}
 	ix.raw = d
 	ix.d = dht.NewCounting(d, stats)

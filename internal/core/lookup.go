@@ -5,7 +5,9 @@ import (
 	"math/rand"
 
 	"mlight/internal/bitlabel"
+	"mlight/internal/dht"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // LookupTrace reports the cost of one lookup operation: the number of DHT
@@ -37,12 +39,29 @@ func (ix *Index) Lookup(key spatial.Point) (Bucket, error) {
 
 // LookupTraced is Lookup returning probe accounting.
 func (ix *Index) LookupTraced(key spatial.Point) (Bucket, LookupTrace, error) {
-	var trace LookupTrace
-	b, err := ix.lookup(key, &trace)
-	return b, trace, err
+	var lt LookupTrace
+	b, err := ix.lookup(key, &lt, 0)
+	return b, lt, err
 }
 
-func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
+// lookup runs the §5 binary search. parent, when tracing is enabled,
+// nests the search's span under the caller's span.
+func (ix *Index) lookup(key spatial.Point, lt *LookupTrace, parent trace.SpanID) (b Bucket, err error) {
+	if tc := ix.opts.Trace; tc != nil {
+		span := tc.Begin(parent, trace.KindLookup, "binsearch")
+		parent = span
+		defer func() {
+			if err != nil {
+				tc.End(span, trace.Int("probes", int64(lt.Probes)), trace.Str("error", err.Error()))
+				return
+			}
+			tc.End(span, trace.Int("probes", int64(lt.Probes)), trace.Str("leaf", b.Label.String()))
+		}()
+	}
+	return ix.lookupSearch(key, lt, parent)
+}
+
+func (ix *Index) lookupSearch(key spatial.Point, lt *LookupTrace, parent trace.SpanID) (Bucket, error) {
 	m := ix.opts.Dims
 	if key.Dim() != m {
 		return Bucket{}, fmt.Errorf("%w: key has %d dims, index has %d", ErrDimension, key.Dim(), m)
@@ -68,6 +87,7 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 			hint = cached.Len()
 		} else {
 			ix.stats.CacheMisses.Inc()
+			ix.traceCache(parent, "miss")
 		}
 	}
 	for iter := 0; iter <= ix.opts.MaxDepth+3 && lo <= hi; iter++ {
@@ -78,13 +98,14 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 		}
 		cand := path.Prefix(mid)
 		probeKey := bitlabel.Name(cand, m)
-		v, found, err := ix.getBucket(probeKey, trace)
+		v, found, err := ix.getBucketSpan(probeKey, lt, parent)
 		if err != nil {
 			return Bucket{}, err
 		}
 		if !found {
 			if hinted {
 				ix.stats.CacheStale.Inc()
+				ix.traceCache(parent, "stale")
 				ix.invalidateLeaf(cand)
 			}
 			// probeKey is not internal: the target is at or above it.
@@ -99,6 +120,7 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 			// The bucket's cell covers δ: this is the target leaf.
 			if hinted {
 				ix.stats.CacheHits.Inc()
+				ix.traceCache(parent, "hit")
 			}
 			ix.cacheLeaf(v)
 			return v, nil
@@ -107,6 +129,7 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 			// The cached leaf's key now hosts a different, non-covering
 			// bucket: the leaf was restructured. Evict, keep searching.
 			ix.stats.CacheStale.Inc()
+			ix.traceCache(parent, "stale")
 			ix.invalidateLeaf(cand)
 		}
 		cp := v.Label.CommonPrefixLen(path)
@@ -128,11 +151,46 @@ func (ix *Index) lookup(key spatial.Point, trace *LookupTrace) (Bucket, error) {
 }
 
 // getBucket probes one DHT key, decoding the stored bucket.
-func (ix *Index) getBucket(label bitlabel.Label, trace *LookupTrace) (Bucket, bool, error) {
-	if trace != nil {
-		trace.Probes++
+func (ix *Index) getBucket(label bitlabel.Label, lt *LookupTrace) (Bucket, bool, error) {
+	return ix.getBucketSpan(label, lt, 0)
+}
+
+// getBucketSpan is getBucket recording one KindDHTOp span under parent when
+// tracing is enabled; the span is handed down to the substrate so the retry
+// layer can nest its attempt spans inside it.
+func (ix *Index) getBucketSpan(label bitlabel.Label, lt *LookupTrace, parent trace.SpanID) (Bucket, bool, error) {
+	if lt != nil {
+		lt.Probes++
 	}
-	v, found, err := ix.d.Get(labelKey(label))
+	var (
+		v     any
+		found bool
+		err   error
+	)
+	if tc := ix.opts.Trace; tc != nil {
+		span := tc.Begin(parent, trace.KindDHTOp, "get", trace.Str("label", label.String()))
+		v, found, err = dht.GetWithSpan(ix.d, labelKey(label), span)
+		endDHTOp(tc, span, found, err)
+	} else {
+		v, found, err = ix.d.Get(labelKey(label))
+	}
+	return decodeBucket(label, v, found, err)
+}
+
+// endDHTOp closes a DHT-op span with its outcome.
+func endDHTOp(tc *trace.Collector, span trace.SpanID, found bool, err error) {
+	switch {
+	case err != nil:
+		tc.End(span, trace.Str("error", err.Error()))
+	case found:
+		tc.End(span, trace.Int("found", 1))
+	default:
+		tc.End(span, trace.Int("found", 0))
+	}
+}
+
+// decodeBucket converts a raw Get result into a bucket.
+func decodeBucket(label bitlabel.Label, v any, found bool, err error) (Bucket, bool, error) {
 	if err != nil {
 		return Bucket{}, false, fmt.Errorf("core: get %v: %w", label, err)
 	}
@@ -146,6 +204,13 @@ func (ix *Index) getBucket(label bitlabel.Label, trace *LookupTrace) (Bucket, bo
 	return b, true, nil
 }
 
+// traceCache records a lookup-cache event under the given span.
+func (ix *Index) traceCache(parent trace.SpanID, outcome string) {
+	if tc := ix.opts.Trace; tc != nil {
+		tc.Event(parent, trace.KindCache, outcome)
+	}
+}
+
 // getBucketRaw is getBucket against the uncounted substrate view. The range
 // engine uses it for covering-leaf candidate probes, whose logical charge
 // is computed deterministically at group adjudication (the slots up to and
@@ -154,18 +219,26 @@ func (ix *Index) getBucket(label bitlabel.Label, trace *LookupTrace) (Bucket, bo
 // hit must not perturb the accounting. With Options.Retry set the raw view
 // is the resilient wrapper, so these probes are still retried.
 func (ix *Index) getBucketRaw(label bitlabel.Label) (Bucket, bool, error) {
-	v, found, err := ix.raw.Get(labelKey(label))
-	if err != nil {
-		return Bucket{}, false, fmt.Errorf("core: get %v: %w", label, err)
+	return ix.getBucketRawSpan(label, 0)
+}
+
+// getBucketRawSpan is getBucketRaw with span attribution (see
+// getBucketSpan). The physical probe is traced even though its logical
+// charge lands at adjudication — the trace shows what actually ran.
+func (ix *Index) getBucketRawSpan(label bitlabel.Label, parent trace.SpanID) (Bucket, bool, error) {
+	var (
+		v     any
+		found bool
+		err   error
+	)
+	if tc := ix.opts.Trace; tc != nil {
+		span := tc.Begin(parent, trace.KindDHTOp, "get-cand", trace.Str("label", label.String()))
+		v, found, err = dht.GetWithSpan(ix.raw, labelKey(label), span)
+		endDHTOp(tc, span, found, err)
+	} else {
+		v, found, err = ix.raw.Get(labelKey(label))
 	}
-	if !found {
-		return Bucket{}, false, nil
-	}
-	b, ok := v.(Bucket)
-	if !ok {
-		return Bucket{}, false, fmt.Errorf("core: key %v holds %T, not a bucket", label, v)
-	}
-	return b, true, nil
+	return decodeBucket(label, v, found, err)
 }
 
 // Exact returns all records whose key equals δ exactly — the exact-match

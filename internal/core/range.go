@@ -2,27 +2,30 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mlight/internal/bitlabel"
+	"mlight/internal/index"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // QueryResult carries the answer and the cost of one range query, in the
 // paper's units: total DHT-lookups (bandwidth, Fig. 7a) and rounds of
-// DHT-lookups on the critical path (latency, Fig. 7b).
-type QueryResult struct {
-	Records []spatial.Record
-	Lookups int
-	Rounds  int
-}
+// DHT-lookups on the critical path (latency, Fig. 7b). It is the shared
+// result type of the index contract package, so all three indexes in this
+// repository answer queries with the same type.
+type QueryResult = index.Result
 
 // queryCtx carries the per-query options through the decomposition: the
 // parallel lookahead h and, for arbitrary-shape queries, the shape used for
-// subtree pruning and final filtering.
+// subtree pruning and final filtering. span is the query's trace span (zero
+// when tracing is disabled).
 type queryCtx struct {
 	h     int
 	shape spatial.Shape
+	span  trace.SpanID
 }
 
 // RangeQuery answers a multi-dimensional range query with the basic
@@ -80,7 +83,28 @@ func (ix *Index) shapeQuery(s spatial.Shape, h int) (*QueryResult, error) {
 // with Rounds, not Lookups. MaxInFlight = 1 degrades to fully sequential
 // execution with identical Records, Lookups, and Rounds: the cap changes
 // only how probes overlap, never what is probed.
-func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) {
+func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (res *QueryResult, err error) {
+	if tc := ix.opts.Trace; tc != nil {
+		kind := "range"
+		if ctx.shape != nil {
+			kind = "shape"
+		}
+		ctx.span = tc.Begin(0, trace.KindQuery, kind, trace.Int("h", int64(ctx.h)))
+		defer func() {
+			if err != nil {
+				tc.End(ctx.span, trace.Str("error", err.Error()))
+				return
+			}
+			tc.End(ctx.span,
+				trace.Int("lookups", int64(res.Lookups)),
+				trace.Int("rounds", int64(res.Rounds)),
+				trace.Int("records", int64(len(res.Records))))
+		}()
+	}
+	return ix.rangeQueryCtx(q, ctx)
+}
+
+func (ix *Index) rangeQueryCtx(q spatial.Rect, ctx queryCtx) (*QueryResult, error) {
 	m := ix.opts.Dims
 	if q.Dim() != m {
 		return nil, fmt.Errorf("%w: query has %d dims, index has %d", ErrDimension, q.Dim(), m)
@@ -94,7 +118,7 @@ func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) 
 		return nil, err
 	}
 	res := &QueryResult{}
-	b, found, err := ix.getBucket(bitlabel.Name(lca, m), nil)
+	b, found, err := ix.getBucketSpan(bitlabel.Name(lca, m), nil, ctx.span)
 	res.Lookups++
 	res.Rounds++
 	if err != nil {
@@ -104,12 +128,13 @@ func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (*QueryResult, error) 
 		// The LCA is not an internal node, so the whole range lies inside
 		// one leaf (Algorithm 2 lines 3–4): find it by looking up a corner
 		// of the range.
-		leaf, trace, err := ix.LookupTraced(clampPoint(q.Lo))
+		var lt LookupTrace
+		leaf, err := ix.lookup(clampPoint(q.Lo), &lt, ctx.span)
 		if err != nil {
 			return nil, err
 		}
-		res.Lookups += trace.Probes
-		res.Rounds += trace.Probes
+		res.Lookups += lt.Probes
+		res.Rounds += lt.Probes
 		res.Records = filterRecords(leaf.Records, q, ctx.shape)
 		return res, nil
 	}
@@ -254,6 +279,7 @@ type itemResult struct {
 // pool, the barrier waits for every probe, and the (deterministically
 // ordered) results build the next frontier.
 func (e *rangeEngine) run(frontier []frontierItem) error {
+	tc := e.ix.opts.Trace
 	for len(frontier) > 0 {
 		e.barriers++
 		e.ix.stats.BatchRounds.Inc()
@@ -264,7 +290,16 @@ func (e *rangeEngine) run(frontier []frontierItem) error {
 		}
 		e.ix.stats.MaxInFlight.Observe(int64(inFlight))
 
-		results := e.runBatch(frontier)
+		var round trace.SpanID
+		if tc != nil {
+			round = tc.Begin(e.ctx.span, trace.KindRound, strconv.Itoa(e.barriers),
+				trace.Int("items", int64(len(frontier))),
+				trace.Int("in_flight", int64(inFlight)))
+		}
+		results := e.runBatch(frontier, round)
+		if tc != nil {
+			tc.End(round)
+		}
 
 		var next []frontierItem
 		resolved := map[*coverGroup]bool{}
@@ -298,12 +333,12 @@ func (e *rangeEngine) run(frontier []frontierItem) error {
 // Options.MaxInFlight. Results are positional. With a single worker (or a
 // single item) everything runs inline on the calling goroutine, which keeps
 // the sequential execution mode allocation-light and exactly ordered.
-func (e *rangeEngine) runBatch(items []frontierItem) []itemResult {
+func (e *rangeEngine) runBatch(items []frontierItem, round trace.SpanID) []itemResult {
 	results := make([]itemResult, len(items))
 	workers := e.ix.opts.MaxInFlight
 	if workers == 1 || len(items) == 1 {
 		for i := range items {
-			results[i] = e.execute(items[i])
+			results[i] = e.execute(items[i], round)
 		}
 		return results
 	}
@@ -315,26 +350,55 @@ func (e *rangeEngine) runBatch(items []frontierItem) []itemResult {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = e.execute(items[i])
+			results[i] = e.execute(items[i], round)
 		}(i)
 	}
 	wg.Wait()
 	return results
 }
 
-// execute runs one frontier item. It touches only the item's own execNode
-// (and, for candidates, the item's own group slot), so items of a round
-// never race.
-func (e *rangeEngine) execute(it frontierItem) itemResult {
+// execute runs one frontier item, recording its probe span under the round
+// when tracing is enabled. It touches only the item's own execNode (and,
+// for candidates, the item's own group slot), so items of a round never
+// race.
+func (e *rangeEngine) execute(it frontierItem, round trace.SpanID) itemResult {
+	tc := e.ix.opts.Trace
+	var span trace.SpanID
+	if tc != nil {
+		span = tc.Begin(round, trace.KindProbe, probeName(it))
+	}
+	var res itemResult
 	switch it.kind {
 	case itemProbe:
-		return e.executeProbe(it)
+		res = e.executeProbe(it, span)
 	case itemCand:
-		return e.executeCand(it)
+		res = e.executeCand(it, span)
 	case itemFallback:
-		return e.executeFallback(it)
+		res = e.executeFallback(it, span)
 	default:
-		return itemResult{err: fmt.Errorf("core: unknown frontier item kind %d", it.kind)}
+		res = itemResult{err: fmt.Errorf("core: unknown frontier item kind %d", it.kind)}
+	}
+	if tc != nil {
+		if res.err != nil {
+			tc.End(span, trace.Str("error", res.err.Error()))
+		} else {
+			tc.End(span, trace.Int("next", int64(len(res.next))))
+		}
+	}
+	return res
+}
+
+// probeName labels a frontier item's trace span.
+func probeName(it frontierItem) string {
+	switch it.kind {
+	case itemProbe:
+		return it.p.node.String()
+	case itemCand:
+		return "cand " + it.group.names[it.slot].String() + " slot " + strconv.Itoa(it.slot)
+	case itemFallback:
+		return "fallback"
+	default:
+		return "unknown"
 	}
 }
 
@@ -344,10 +408,10 @@ func (e *rangeEngine) execute(it frontierItem) itemResult {
 // speculative node covers the whole piece; that leaf is found by probing
 // the names of all intermediate ancestors in the next round's batch — more
 // bandwidth, no extra latency, exactly the parallel algorithm's trade.
-func (e *rangeEngine) executeProbe(it frontierItem) itemResult {
+func (e *rangeEngine) executeProbe(it frontierItem, span trace.SpanID) itemResult {
 	m := e.ix.opts.Dims
 	res := itemResult{lookups: 1}
-	b, found, err := e.ix.getBucket(bitlabel.Name(it.p.node, m), nil)
+	b, found, err := e.ix.getBucketSpan(bitlabel.Name(it.p.node, m), nil, span)
 	if err != nil {
 		res.err = err
 		return res
@@ -387,12 +451,12 @@ func (e *rangeEngine) executeProbe(it frontierItem) itemResult {
 // a lower-priority-index slot already found the covering leaf (the
 // early-exit of the sequential reference), and it is issued uncounted: the
 // group's deterministic logical charge is added once, at adjudication.
-func (e *rangeEngine) executeCand(it frontierItem) itemResult {
+func (e *rangeEngine) executeCand(it frontierItem, span trace.SpanID) itemResult {
 	g := it.group
 	if g.skip(it.slot) {
 		return itemResult{}
 	}
-	b, found, err := e.ix.getBucketRaw(g.names[it.slot])
+	b, found, err := e.ix.getBucketRawSpan(g.names[it.slot], span)
 	if err != nil {
 		return itemResult{err: err}
 	}
@@ -404,13 +468,14 @@ func (e *rangeEngine) executeCand(it frontierItem) itemResult {
 // executeFallback recovers with a sequential lookup at a corner of the
 // piece. Its probes run serially on this worker, so they are charged as
 // extra rounds beyond the barrier the item occupies.
-func (e *rangeEngine) executeFallback(it frontierItem) itemResult {
-	leaf, trace, err := e.ix.LookupTraced(clampPoint(it.p.q.Lo))
+func (e *rangeEngine) executeFallback(it frontierItem, span trace.SpanID) itemResult {
+	var lt LookupTrace
+	leaf, err := e.ix.lookup(clampPoint(it.p.q.Lo), &lt, span)
 	if err != nil {
 		return itemResult{err: err}
 	}
 	it.node.records = filterRecords(leaf.Records, it.p.q, e.ctx.shape)
-	return itemResult{lookups: trace.Probes, extraRounds: trace.Probes - 1}
+	return itemResult{lookups: lt.Probes, extraRounds: lt.Probes - 1}
 }
 
 // adjudicate resolves a completed candidate round: the first candidate (in

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"mlight/internal/metrics"
+	"mlight/internal/trace"
 )
 
 // ErrNotEnumerable is returned by Counting.Range when the wrapped substrate
@@ -21,8 +22,9 @@ type Counting struct {
 }
 
 var (
-	_ DHT     = (*Counting)(nil)
-	_ Batcher = (*Counting)(nil)
+	_ DHT        = (*Counting)(nil)
+	_ Batcher    = (*Counting)(nil)
+	_ SpanGetter = (*Counting)(nil)
 )
 
 // NewCounting wraps inner, charging operations to stats. A nil stats
@@ -50,6 +52,13 @@ func (c *Counting) Put(key Key, value any) error {
 func (c *Counting) Get(key Key) (any, bool, error) {
 	c.stats.DHTLookups.Inc()
 	return c.inner.Get(key)
+}
+
+// GetSpan implements SpanGetter: counted exactly like Get, with the trace
+// span forwarded to the layer below.
+func (c *Counting) GetSpan(key Key, parent trace.SpanID) (any, bool, error) {
+	c.stats.DHTLookups.Inc()
+	return GetWithSpan(c.inner, key, parent)
 }
 
 // GetBatch implements Batcher: every probe in the batch is one logical DHT

@@ -1,7 +1,10 @@
 package dht
 
 import (
+	"strconv"
+
 	"mlight/internal/metrics"
+	"mlight/internal/trace"
 )
 
 // Resilient decorates a DHT with the fault-tolerance layer the substrate
@@ -26,12 +29,14 @@ import (
 type Resilient struct {
 	inner   DHT
 	retrier *Retrier
+	tc      *trace.Collector
 }
 
 var (
 	_ DHT        = (*Resilient)(nil)
 	_ Batcher    = (*Resilient)(nil)
 	_ Enumerator = (*Resilient)(nil)
+	_ SpanGetter = (*Resilient)(nil)
 )
 
 // NewResilient wraps inner under policy, charging retry and breaker
@@ -50,6 +55,11 @@ func (r *Resilient) Stats() *metrics.ResilienceStats { return r.retrier.Stats() 
 // Retrier returns the underlying retry executor (shared breaker state).
 func (r *Resilient) Retrier() *Retrier { return r.retrier }
 
+// SetTracer attaches a trace collector: retry attempts are recorded as
+// KindAttempt spans (see Retrier.DoTraced for the recording rule). A nil
+// collector — the default — records nothing.
+func (r *Resilient) SetTracer(c *trace.Collector) { r.tc = c }
+
 // owner resolves the breaker key for a DHT key.
 func (r *Resilient) owner(key Key) string { return r.retrier.policy.OwnerOf(key) }
 
@@ -62,9 +72,17 @@ func (r *Resilient) Put(key Key, value any) error {
 
 // Get implements DHT.
 func (r *Resilient) Get(key Key) (value any, found bool, err error) {
-	err = r.retrier.Do(r.owner(key), func() error {
+	return r.GetSpan(key, 0)
+}
+
+// GetSpan implements SpanGetter: the retry loop records each physical
+// attempt as a KindAttempt span under parent (all attempts when a parent is
+// given; retries only when flat — see Retrier.DoTraced), and the span is
+// forwarded to the layer below.
+func (r *Resilient) GetSpan(key Key, parent trace.SpanID) (value any, found bool, err error) {
+	err = r.retrier.DoTraced(r.owner(key), r.tc, parent, func() error {
 		var e error
-		value, found, e = r.inner.Get(key)
+		value, found, e = GetWithSpan(r.inner, key, parent)
 		return e
 	})
 	if err != nil {
@@ -127,7 +145,18 @@ func (r *Resilient) GetBatch(keys []Key, maxInFlight int) []BatchResult {
 		for j, i := range pending {
 			sub[j] = keys[i]
 		}
+		// Retry waves (attempt ≥ 2) are recorded as flat KindAttempt spans:
+		// a re-issued sub-batch is the batch path's analogue of a retry, and
+		// like DoTraced's flat case the successful first wave stays silent.
+		var wave trace.SpanID
+		if r.tc != nil && attempt > 1 {
+			wave = r.tc.Begin(0, trace.KindAttempt, "wave "+strconv.Itoa(attempt),
+				trace.Int("keys", int64(len(sub))))
+		}
 		batch := GetBatch(r.inner, sub, maxInFlight)
+		if wave != 0 {
+			r.tc.End(wave)
+		}
 		var next []int
 		for j, i := range pending {
 			br := batch[j]

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mlight/internal/metrics"
+	"mlight/internal/trace"
 )
 
 // This file implements the retry engine beneath the Resilient decorator: an
@@ -180,6 +181,16 @@ func (r *Retrier) Policy() RetryPolicy { return r.policy }
 // attempt budget; terminal errors abort immediately. A shed operation
 // returns an error wrapping ErrBreakerOpen without touching op at all.
 func (r *Retrier) Do(owner string, op func() error) error {
+	return r.DoTraced(owner, nil, 0, op)
+}
+
+// DoTraced is Do recording physical attempts into tc as KindAttempt spans
+// under parent. With a parent span every attempt is recorded (the caller
+// asked for this operation's full physical timeline); without one — bulk
+// maintenance traffic — only retries (attempt ≥ 2) are recorded, so an
+// attached collector is not flooded with one span per successful first
+// try. A nil tc records nothing.
+func (r *Retrier) DoTraced(owner string, tc *trace.Collector, parent trace.SpanID, op func() error) error {
 	r.stats.Ops.Inc()
 	if err := r.precheck(owner); err != nil {
 		return err
@@ -187,7 +198,18 @@ func (r *Retrier) Do(owner string, op func() error) error {
 	var err error
 	for attempt := 1; ; attempt++ {
 		r.stats.Attempts.Inc()
-		err = op()
+		if tc != nil && (parent != 0 || attempt > 1) {
+			span := tc.Begin(parent, trace.KindAttempt, fmt.Sprintf("%d", attempt),
+				trace.Str("owner", owner))
+			err = op()
+			if err != nil {
+				tc.End(span, trace.Str("error", err.Error()))
+			} else {
+				tc.End(span)
+			}
+		} else {
+			err = op()
+		}
 		if err == nil {
 			r.onSuccess(owner)
 			if attempt > 1 {

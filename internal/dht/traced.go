@@ -1,0 +1,25 @@
+package dht
+
+import (
+	"mlight/internal/trace"
+)
+
+// SpanGetter is the optional decorator interface for trace attribution: a
+// Get carrying the caller's trace span, so layers below (the retry layer,
+// for one) can nest the spans they record — retry attempts — under the
+// logical DHT operation that caused them. Decorators implement it and
+// forward the span; substrates need not.
+type SpanGetter interface {
+	// GetSpan is Get attributed to the parent span.
+	GetSpan(key Key, parent trace.SpanID) (value any, found bool, err error)
+}
+
+// GetWithSpan issues a Get attributed to parent when d supports span
+// attribution, falling back to a plain Get otherwise. The span changes
+// only trace recording, never results or accounting.
+func GetWithSpan(d DHT, key Key, parent trace.SpanID) (any, bool, error) {
+	if s, ok := d.(SpanGetter); ok {
+		return s.GetSpan(key, parent)
+	}
+	return d.Get(key)
+}

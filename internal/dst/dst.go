@@ -26,8 +26,10 @@ import (
 
 	"mlight/internal/bitlabel"
 	"mlight/internal/dht"
+	"mlight/internal/index"
 	"mlight/internal/metrics"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // node is the stored value of one segment-tree node.
@@ -53,6 +55,33 @@ type Options struct {
 	// between the index and the substrate (see core.Options.Retry). Nil
 	// leaves the substrate unwrapped.
 	Retry *dht.RetryPolicy
+	// Trace, when non-nil, records operation spans (queries and retry
+	// attempts) into the collector. Nil — the default — disables tracing.
+	Trace *trace.Collector
+}
+
+// Apply implements index.Option: the whole struct overwrites the unified
+// tuning surface, so place it first when mixing with functional options.
+func (o Options) Apply(t *index.Tuning) {
+	*t = index.Tuning{
+		Dims:     o.Dims,
+		MaxDepth: o.Height,
+		Capacity: o.NodeCapacity,
+		Retry:    o.Retry,
+		Trace:    o.Trace,
+	}
+}
+
+// FromTuning maps the unified tuning surface onto DST's vocabulary,
+// ignoring fields DST has no counterpart for.
+func FromTuning(t index.Tuning) Options {
+	return Options{
+		Dims:         t.Dims,
+		Height:       t.MaxDepth,
+		NodeCapacity: t.Capacity,
+		Retry:        t.Retry,
+		Trace:        t.Trace,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +117,8 @@ type Index struct {
 	stats *metrics.IndexStats
 }
 
+var _ index.Querier = (*Index)(nil)
+
 // New creates a DST client over d. The segment tree needs no bootstrap:
 // nodes materialise on first insert.
 func New(d dht.DHT, opts Options) (*Index, error) {
@@ -97,7 +128,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 	}
 	stats := &metrics.IndexStats{}
 	if opts.Retry != nil {
-		d = dht.NewResilient(d, *opts.Retry, nil)
+		res := dht.NewResilient(d, *opts.Retry, nil)
+		res.SetTracer(opts.Trace)
+		d = res
 	}
 	return &Index{opts: opts, d: dht.NewCounting(d, stats), stats: stats}, nil
 }

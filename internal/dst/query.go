@@ -4,17 +4,16 @@ import (
 	"fmt"
 
 	"mlight/internal/bitlabel"
+	"mlight/internal/index"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // QueryResult carries the answer and the cost of one range query, in the
 // same units as the other indexes: DHT-lookups (bandwidth) and rounds of
-// DHT-lookups on the critical path (latency).
-type QueryResult struct {
-	Records []spatial.Record
-	Lookups int
-	Rounds  int
-}
+// DHT-lookups on the critical path (latency). It is an alias of the shared
+// index.Result, so results from the three schemes compare directly.
+type QueryResult = index.Result
 
 // RangeQuery answers a range query with the segment-tree algorithm: the
 // range is decomposed locally into canonical cells — maximal z-prefix
@@ -26,7 +25,24 @@ type QueryResult struct {
 // Because the decomposition is computed against the fixed height D rather
 // than the (unknown) real data depth, large ranges shatter into very many
 // boundary cells — the bandwidth penalty §7.4 observes.
-func (ix *Index) RangeQuery(q spatial.Rect) (*QueryResult, error) {
+func (ix *Index) RangeQuery(q spatial.Rect) (res *QueryResult, err error) {
+	if tc := ix.opts.Trace; tc != nil {
+		span := tc.Begin(0, trace.KindQuery, "dst-range")
+		defer func() {
+			if err != nil {
+				tc.End(span, trace.Str("error", err.Error()))
+				return
+			}
+			tc.End(span,
+				trace.Int("lookups", int64(res.Lookups)),
+				trace.Int("rounds", int64(res.Rounds)),
+				trace.Int("records", int64(len(res.Records))))
+		}()
+	}
+	return ix.rangeQuery(q)
+}
+
+func (ix *Index) rangeQuery(q spatial.Rect) (*QueryResult, error) {
 	m := ix.opts.Dims
 	if q.Dim() != m {
 		return nil, fmt.Errorf("dst: query has %d dims, index has %d", q.Dim(), m)

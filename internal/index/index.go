@@ -1,0 +1,171 @@
+// Package index defines the contract shared by the three over-DHT indexes
+// in this repository — m-LIGHT (core) and the PHT and DST baselines: the
+// common query-facing interface (Querier), the common range-query answer
+// type (Result), and the single tuning surface (Tuning) the three
+// per-package Options structs deduplicate into. The public mlight facade
+// re-exports these types, so experiments, benchmarks, and examples compare
+// indexes without importing internal packages.
+package index
+
+import (
+	"fmt"
+
+	"mlight/internal/dht"
+	"mlight/internal/metrics"
+	"mlight/internal/spatial"
+	"mlight/internal/trace"
+)
+
+// Result carries the answer and the cost of one range query, in the
+// paper's units: total DHT-lookups (bandwidth, Fig. 7a) and rounds of
+// DHT-lookups on the critical path (latency, Fig. 7b). All three indexes
+// return this type (core.QueryResult, pht.QueryResult, and dst.QueryResult
+// are aliases of it).
+type Result struct {
+	Records []spatial.Record
+	Lookups int
+	Rounds  int
+}
+
+// Querier is the query-facing interface every index in this repository
+// implements: the m-LIGHT core index and the PHT and DST baselines. It
+// covers the operations the paper's evaluation exercises on all three
+// schemes; scheme-specific extensions (parallel lookahead, kNN, shape
+// queries) stay on the concrete types.
+type Querier interface {
+	// Insert adds one record to the index.
+	Insert(rec spatial.Record) error
+	// Delete removes one (key, data) record, reporting whether it existed.
+	Delete(key spatial.Point, data string) (bool, error)
+	// RangeQuery answers a multi-dimensional range query.
+	RangeQuery(q spatial.Rect) (*Result, error)
+	// Stats snapshots the index's maintenance counters.
+	Stats() metrics.Snapshot
+}
+
+// SplitStrategy selects how overfull m-LIGHT leaf buckets divide (paper
+// §4). The PHT and DST baselines ignore it.
+type SplitStrategy int
+
+const (
+	// SplitThreshold is the conventional θsplit/θmerge strategy (§4.1).
+	SplitThreshold SplitStrategy = iota + 1
+	// SplitDataAware is the data-aware strategy of §4.2: buckets split
+	// according to the optimal split subtree of Algorithm 1.
+	SplitDataAware
+)
+
+// String renders the strategy name.
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitThreshold:
+		return "threshold"
+	case SplitDataAware:
+		return "data-aware"
+	default:
+		return fmt.Sprintf("SplitStrategy(%d)", int(s))
+	}
+}
+
+// Tuning is the unified tuning surface of the three indexes. Every field's
+// zero value selects the owning package's documented default; fields that
+// do not apply to a scheme are ignored by it. The mapping onto the
+// per-scheme vocabulary:
+//
+//	field           m-LIGHT (core)   PHT              DST
+//	Capacity        ThetaSplit       LeafCapacity B   NodeCapacity γ
+//	MergeThreshold  ThetaMerge       MergeThreshold   (ignored)
+//	MaxDepth        MaxDepth D       MaxDepth D       Height D
+//	Strategy        Strategy         (ignored)        (ignored)
+//	Epsilon         Epsilon ε        (ignored)        (ignored)
+//	MaxInFlight     MaxInFlight      (ignored)        (ignored)
+//	CacheSize       CacheSize        (ignored)        (ignored)
+//	Retry           Retry            Retry            Retry
+//	Trace           Trace            Trace            Trace
+type Tuning struct {
+	// Dims is the data dimensionality m.
+	Dims int
+	// MaxDepth is the index depth bound D.
+	MaxDepth int
+	// Capacity is the per-bucket/leaf/node record capacity.
+	Capacity int
+	// MergeThreshold merges sibling leaves jointly holding fewer records.
+	MergeThreshold int
+	// Strategy selects the m-LIGHT splitting strategy.
+	Strategy SplitStrategy
+	// Epsilon is the expected per-bucket load ε for SplitDataAware.
+	Epsilon int
+	// MaxInFlight caps concurrently outstanding DHT probes per query round.
+	MaxInFlight int
+	// CacheSize enables the client-side leaf-label lookup cache.
+	CacheSize int
+	// Retry interposes the dht.Resilient fault-tolerance layer.
+	Retry *dht.RetryPolicy
+	// Trace attaches an operation-trace collector.
+	Trace *trace.Collector
+}
+
+// Option is one functional configuration step applied to a Tuning. The
+// per-package Options structs also implement Option (applying themselves
+// wholesale), so a constructor accepts either style:
+//
+//	mlight.New(d)                                      // defaults
+//	mlight.New(d, mlight.WithCache(256), mlight.WithSplit(mlight.SplitDataAware))
+//	mlight.New(d, mlight.Options{ThetaSplit: 50})      // struct, kept working
+//
+// Options are applied in order; a whole-struct Options value overwrites
+// every field, so place it first when mixing styles.
+type Option interface {
+	Apply(*Tuning)
+}
+
+// OptionFunc adapts a function to the Option interface.
+type OptionFunc func(*Tuning)
+
+// Apply implements Option.
+func (f OptionFunc) Apply(t *Tuning) { f(t) }
+
+// Resolve folds a list of options over the zero Tuning.
+func Resolve(opts ...Option) Tuning {
+	var t Tuning
+	for _, o := range opts {
+		if o != nil {
+			o.Apply(&t)
+		}
+	}
+	return t
+}
+
+// WithDims sets the data dimensionality m.
+func WithDims(m int) Option { return OptionFunc(func(t *Tuning) { t.Dims = m }) }
+
+// WithMaxDepth sets the index depth bound D.
+func WithMaxDepth(d int) Option { return OptionFunc(func(t *Tuning) { t.MaxDepth = d }) }
+
+// WithCapacity sets the per-bucket record capacity (θsplit / B / γ).
+func WithCapacity(n int) Option { return OptionFunc(func(t *Tuning) { t.Capacity = n }) }
+
+// WithMergeThreshold sets the sibling merge threshold (θmerge).
+func WithMergeThreshold(n int) Option { return OptionFunc(func(t *Tuning) { t.MergeThreshold = n }) }
+
+// WithSplit selects the m-LIGHT splitting strategy.
+func WithSplit(s SplitStrategy) Option { return OptionFunc(func(t *Tuning) { t.Strategy = s }) }
+
+// WithEpsilon sets the data-aware expected load ε.
+func WithEpsilon(e int) Option { return OptionFunc(func(t *Tuning) { t.Epsilon = e }) }
+
+// WithMaxInFlight caps concurrently outstanding DHT probes per round.
+func WithMaxInFlight(n int) Option { return OptionFunc(func(t *Tuning) { t.MaxInFlight = n }) }
+
+// WithCache enables the leaf-label lookup cache with the given capacity.
+func WithCache(n int) Option { return OptionFunc(func(t *Tuning) { t.CacheSize = n }) }
+
+// WithRetry interposes the fault-tolerance layer under policy p.
+func WithRetry(p dht.RetryPolicy) Option {
+	return OptionFunc(func(t *Tuning) { t.Retry = &p })
+}
+
+// WithTrace attaches c as the operation-trace collector. A nil c detaches.
+func WithTrace(c *trace.Collector) Option {
+	return OptionFunc(func(t *Tuning) { t.Trace = c })
+}

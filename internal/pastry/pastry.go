@@ -661,6 +661,7 @@ func (o *Overlay) stabilizeNode(n *Node) {
 	for _, p := range adopted {
 		_, _ = o.net.Call(n.addr, p.Addr, announceReq{Peer: n.self()})
 	}
+	o.promoteOwnedReplicas(n)
 	o.reReplicate(n)
 }
 

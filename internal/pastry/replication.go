@@ -9,13 +9,22 @@ import (
 
 // Leaf-set replication, Bamboo/PAST style (and therefore the mechanism the
 // m-LIGHT paper's own deployment platform used): with Config.Replication =
-// r > 1, every key is copied to the owner's r-1 nearest leaf-set members.
+// r > 1, every key is copied to the r-1 leaf-set members of its owner that
+// are nearest to the KEY's ring position — the nodes that inherit ownership,
+// in order, as closer holders crash. Placement follows the ownership
+// comparator (closerTo) alone; an unreachable target simply misses the push
+// and is repaired by the next stabilization round. (Placing by distance to
+// the owner, or diverting to a farther neighbour when a target fails a
+// ping, puts copies on nodes that can never inherit the key: after the
+// owner crashes, routing converges on the closest survivor, which then
+// holds nothing.)
+//
 // Replicas live in a separate store so enumeration and ownership transfers
-// never confuse copies with primaries. Repair is periodic: each Stabilize
-// round a node re-pushes its primary entries to its current nearest
-// neighbours, and a read that misses the primary store falls back to the
-// replica store — which is exactly where the data sits on the next-closest
-// node after its owner crashes.
+// never confuse copies with primaries. Repair is periodic, as in chord's
+// replication: each Stabilize round a node promotes replica entries it now
+// owns into its primary store, then re-pushes its primary entries to each
+// key's current targets; a read that misses the primary store still falls
+// back to the replica store to cover the window before promotion.
 
 // replicateReq pushes replica copies to a leaf-set member.
 type replicateReq struct{ Entries map[dht.Key]any }
@@ -42,9 +51,11 @@ func (n *Node) ReplicaLen() int {
 	return len(n.replicas)
 }
 
-// replicaTargets returns the owner's r-1 nearest live leaf-set members on
-// the ring.
-func (o *Overlay) replicaTargets(owner ref) []ref {
+// replicaTargets returns the r-1 leaf-set members of owner nearest to the
+// key position h under the ownership comparator — the key's line of
+// succession. The choice is deterministic for a given leaf set: no liveness
+// probe diverts a push to a node that could never inherit the key.
+func (o *Overlay) replicaTargets(owner ref, h dht.ID) []ref {
 	if o.replication <= 1 {
 		return nil
 	}
@@ -59,19 +70,12 @@ func (o *Overlay) replicaTargets(owner ref) []ref {
 	}
 	n.mu.Unlock()
 	sort.Slice(cands, func(i, j int) bool {
-		return dht.CircularDistance(cands[i].ID, owner.ID).Cmp(
-			dht.CircularDistance(cands[j].ID, owner.ID)) < 0
+		return closerTo(h, cands[i].ID, cands[j].ID)
 	})
-	out := make([]ref, 0, o.replication-1)
-	for _, c := range cands {
-		if len(out) >= o.replication-1 {
-			break
-		}
-		if _, err := o.net.Call(owner.Addr, c.Addr, pingReq{}); err == nil {
-			out = append(out, c)
-		}
+	if len(cands) > o.replication-1 {
+		cands = cands[:o.replication-1]
 	}
-	return out
+	return cands
 }
 
 // replicaCall issues one replication RPC through the overlay's retry
@@ -93,22 +97,23 @@ func (o *Overlay) replicaCall(from, to simnet.NodeID, req any) {
 	}
 }
 
-// replicate pushes one key's value to the owner's replica targets.
+// replicate pushes one key's value to the key's replica targets.
 func (o *Overlay) replicate(owner ref, key dht.Key, value any) {
-	for _, t := range o.replicaTargets(owner) {
+	for _, t := range o.replicaTargets(owner, dht.HashKey(key)) {
 		o.replicaCall(owner.Addr, t.Addr, replicateReq{Entries: map[dht.Key]any{key: value}})
 	}
 }
 
 // dropReplicas removes the key's replicas after a Remove.
 func (o *Overlay) dropReplicas(owner ref, key dht.Key) {
-	for _, t := range o.replicaTargets(owner) {
+	for _, t := range o.replicaTargets(owner, dht.HashKey(key)) {
 		o.replicaCall(owner.Addr, t.Addr, dropReplicaReq{Key: key})
 	}
 }
 
-// reReplicate pushes a node's whole primary store to its current replica
-// targets — the periodic repair of one stabilization round.
+// reReplicate pushes a node's primary entries to each key's current replica
+// targets — the periodic repair of one stabilization round. Targets are
+// per key, so entries are batched per destination before pushing.
 func (o *Overlay) reReplicate(n *Node) {
 	if o.replication <= 1 {
 		return
@@ -117,7 +122,49 @@ func (o *Overlay) reReplicate(n *Node) {
 	if len(entries) == 0 {
 		return
 	}
-	for _, t := range o.replicaTargets(n.self()) {
-		o.replicaCall(n.addr, t.Addr, replicateReq{Entries: entries})
+	self := n.self()
+	batches := make(map[simnet.NodeID]map[dht.Key]any)
+	for k, v := range entries {
+		for _, t := range o.replicaTargets(self, dht.HashKey(k)) {
+			if batches[t.Addr] == nil {
+				batches[t.Addr] = make(map[dht.Key]any)
+			}
+			batches[t.Addr][k] = v
+		}
+	}
+	for dst, batch := range batches {
+		o.replicaCall(n.addr, dst, replicateReq{Entries: batch})
+	}
+}
+
+// promoteOwnedReplicas moves replica entries the node now owns — no known
+// live peer is closer to the key's ring position — into the primary store.
+// This is the ownership-transfer half of crash repair: after the owner of a
+// key crashes, routing converges on the closest survivor, which by the
+// placement rule above already holds the replica it promotes here. Runs
+// after the stabilization round refreshed the leaf set, so the comparison
+// is against live peers only.
+func (o *Overlay) promoteOwnedReplicas(n *Node) {
+	if o.replication <= 1 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for k, v := range n.replicas {
+		h := dht.HashKey(k)
+		owned := true
+		for _, p := range n.leaves {
+			if closerTo(h, p.ID, n.id) {
+				owned = false
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		if _, exists := n.store[k]; !exists {
+			n.store[k] = v
+		}
+		delete(n.replicas, k)
 	}
 }

@@ -26,8 +26,10 @@ import (
 
 	"mlight/internal/bitlabel"
 	"mlight/internal/dht"
+	"mlight/internal/index"
 	"mlight/internal/metrics"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // nodeKind distinguishes trie node roles.
@@ -62,6 +64,35 @@ type Options struct {
 	// between the index and the substrate (see core.Options.Retry). Nil
 	// leaves the substrate unwrapped.
 	Retry *dht.RetryPolicy
+	// Trace, when non-nil, records operation spans (queries and retry
+	// attempts) into the collector. Nil — the default — disables tracing.
+	Trace *trace.Collector
+}
+
+// Apply implements index.Option: the whole struct overwrites the unified
+// tuning surface, so place it first when mixing with functional options.
+func (o Options) Apply(t *index.Tuning) {
+	*t = index.Tuning{
+		Dims:           o.Dims,
+		MaxDepth:       o.MaxDepth,
+		Capacity:       o.LeafCapacity,
+		MergeThreshold: o.MergeThreshold,
+		Retry:          o.Retry,
+		Trace:          o.Trace,
+	}
+}
+
+// FromTuning maps the unified tuning surface onto PHT's vocabulary,
+// ignoring fields PHT has no counterpart for.
+func FromTuning(t index.Tuning) Options {
+	return Options{
+		Dims:           t.Dims,
+		MaxDepth:       t.MaxDepth,
+		LeafCapacity:   t.Capacity,
+		MergeThreshold: t.MergeThreshold,
+		Retry:          t.Retry,
+		Trace:          t.Trace,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +139,8 @@ type Index struct {
 	stats *metrics.IndexStats
 }
 
+var _ index.Querier = (*Index)(nil)
+
 // New creates a PHT client over d, bootstrapping the root leaf when the
 // trie does not exist yet.
 func New(d dht.DHT, opts Options) (*Index, error) {
@@ -117,7 +150,9 @@ func New(d dht.DHT, opts Options) (*Index, error) {
 	}
 	stats := &metrics.IndexStats{}
 	if opts.Retry != nil {
-		d = dht.NewResilient(d, *opts.Retry, nil)
+		res := dht.NewResilient(d, *opts.Retry, nil)
+		res.SetTracer(opts.Trace)
+		d = res
 	}
 	ix := &Index{opts: opts, raw: d, d: dht.NewCounting(d, stats), stats: stats}
 	err := ix.raw.Apply(labelKey(bitlabel.Empty), func(cur any, exists bool) (any, bool) {

@@ -4,17 +4,16 @@ import (
 	"fmt"
 
 	"mlight/internal/bitlabel"
+	"mlight/internal/index"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // QueryResult carries the answer and the cost of one range query, in the
 // same units as the m-LIGHT core: DHT-lookups (bandwidth) and rounds of
-// DHT-lookups on the critical path (latency).
-type QueryResult struct {
-	Records []spatial.Record
-	Lookups int
-	Rounds  int
-}
+// DHT-lookups on the critical path (latency). It is an alias of the shared
+// index.Result, so results from the three schemes compare directly.
+type QueryResult = index.Result
 
 // RangeQuery answers a multi-dimensional range query by trie traversal
 // (the SIGCOMM 2005 algorithm): start at the longest z-order prefix fully
@@ -22,7 +21,24 @@ type QueryResult struct {
 // cell overlaps the range. Internal markers carry no data, so the
 // traversal always reaches the leaves — one probe per trie node touched,
 // one round per trie level.
-func (ix *Index) RangeQuery(q spatial.Rect) (*QueryResult, error) {
+func (ix *Index) RangeQuery(q spatial.Rect) (res *QueryResult, err error) {
+	if tc := ix.opts.Trace; tc != nil {
+		span := tc.Begin(0, trace.KindQuery, "pht-range")
+		defer func() {
+			if err != nil {
+				tc.End(span, trace.Str("error", err.Error()))
+				return
+			}
+			tc.End(span,
+				trace.Int("lookups", int64(res.Lookups)),
+				trace.Int("rounds", int64(res.Rounds)),
+				trace.Int("records", int64(len(res.Records))))
+		}()
+	}
+	return ix.rangeQuery(q)
+}
+
+func (ix *Index) rangeQuery(q spatial.Rect) (*QueryResult, error) {
 	m := ix.opts.Dims
 	if q.Dim() != m {
 		return nil, fmt.Errorf("pht: query has %d dims, index has %d", q.Dim(), m)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mlight/internal/metrics"
+	"mlight/internal/trace"
 )
 
 // NodeID identifies a logical peer on the simulated network.
@@ -99,6 +100,7 @@ type Network struct {
 	drop      float64
 	realDelay bool
 	rng       *rand.Rand
+	tracer    *trace.Collector
 
 	// RPCs counts attempted remote procedure calls (including failed ones).
 	RPCs metrics.Counter
@@ -155,6 +157,18 @@ func (n *Network) SetRealDelay(on bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.realDelay = on
+}
+
+// SetTracer attaches a trace collector: every network-touching RPC is
+// recorded as a flat KindHop span whose duration is the hop's modeled
+// round-trip time (the simulator cannot know which query an RPC serves —
+// distributed context propagation is out of scope — so hops are roots,
+// correlated with query spans by their position on the shared logical
+// clock). A nil collector, the default, records nothing.
+func (n *Network) SetTracer(c *trace.Collector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracer = c
 }
 
 // SetDropRate changes the link-loss probability at runtime. Typical use:
@@ -242,20 +256,31 @@ func (n *Network) Call(from, to NodeID, req any) (any, error) {
 		rtt = n.latency(from, to) + n.latency(to, from)
 	}
 	realDelay := n.realDelay
+	tracer := n.tracer
 	n.mu.Unlock()
 
 	if from != to {
 		n.RPCs.Inc()
 	}
+	hopName := string(from) + "→" + string(to)
 	if !ok || isDown {
+		if tracer != nil && from != to {
+			tracer.Record(0, trace.KindHop, hopName, 0, trace.Str("outcome", "unreachable"))
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnreachable, to)
 	}
 	if dropped {
 		n.Dropped.Inc()
+		if tracer != nil && from != to {
+			tracer.Record(0, trace.KindHop, hopName, rtt.Microseconds(), trace.Str("outcome", "dropped"))
+		}
 		return nil, fmt.Errorf("%w: link %q→%q dropped message", ErrUnreachable, from, to)
 	}
 	if from != to {
 		n.simTime.Add(int64(rtt))
+		if tracer != nil {
+			tracer.Record(0, trace.KindHop, hopName, rtt.Microseconds())
+		}
 		if realDelay && rtt > 0 {
 			time.Sleep(rtt)
 		}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTree renders the trace as a human-readable forest: one line per
+// span, children indented under their parent, each line showing the stage,
+// name, logical time window, and attributes. Spans whose parent was dropped
+// (or recorded outside the collector) print as roots.
+func (c *Collector) WriteTree(w io.Writer) error {
+	spans := c.Spans()
+	index := make(map[SpanID]int, len(spans))
+	for i, s := range spans {
+		index[s.ID] = i
+	}
+	children := make(map[SpanID][]int)
+	var roots []int
+	for i, s := range spans {
+		if s.Parent != 0 {
+			if _, ok := index[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], i)
+				continue
+			}
+		}
+		roots = append(roots, i)
+	}
+	var rec func(i, depth int) error
+	rec = func(i, depth int) error {
+		s := spans[i]
+		if _, err := fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth), formatSpan(s)); err != nil {
+			return err
+		}
+		for _, ci := range children[s.ID] {
+			if err := rec(ci, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := rec(r, 0); err != nil {
+			return err
+		}
+	}
+	if d := c.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d spans dropped at the collector cap)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatSpan renders one tree line: "kind name [start+dur µs] k=v ...".
+func formatSpan(s Span) string {
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
+	if s.Name != "" {
+		b.WriteByte(' ')
+		b.WriteString(s.Name)
+	}
+	fmt.Fprintf(&b, " [%d+%dus]", s.Start, s.Dur())
+	for _, a := range s.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value())
+	}
+	return b.String()
+}
+
+// traceEvent is one Chrome trace_event entry. The exporter emits complete
+// ("X") events on the collector's logical timeline: ts/dur are logical
+// microseconds, which chrome://tracing and Perfetto render as real time.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON object format.
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTraceEvent exports the trace in Chrome trace_event JSON (the object
+// format with a traceEvents array of complete events). Spans nest by
+// containment on the logical timeline; hop spans, which have no in-process
+// parent, are emitted on their own thread row so they do not distort the
+// query rows.
+func (c *Collector) WriteTraceEvent(w io.Writer) error {
+	spans := c.Spans()
+	events := make([]traceEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]any{
+			"id":     int64(s.ID),
+			"parent": int64(s.Parent),
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.value()
+		}
+		tid := 1
+		if s.Kind == KindHop {
+			tid = 2
+		}
+		dur := s.Dur()
+		if dur < Tick {
+			dur = Tick
+		}
+		events = append(events, traceEvent{
+			Name: s.Kind.String() + " " + s.Name,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			Ts:   s.Start,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  tid,
+			Args: args,
+		})
+	}
+	file := traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if d := c.Dropped(); d > 0 {
+		file.OtherData = map[string]any{"dropped_spans": d}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+// ValidateTraceEvent checks that data parses as the trace_event object
+// format this package emits: a traceEvents array of complete events with
+// the required fields. It is the golden schema the CI trace-smoke step (and
+// mlight-bench's own self-check) validates emitted files against.
+func ValidateTraceEvent(data []byte) error {
+	var file struct {
+		TraceEvents []struct {
+			Name *string `json:"name"`
+			Cat  *string `json:"cat"`
+			Ph   *string `json:"ph"`
+			Ts   *int64  `json:"ts"`
+			Dur  *int64  `json:"dur"`
+			Pid  *int    `json:"pid"`
+			Tid  *int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("trace: not trace_event JSON: %w", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return fmt.Errorf("trace: traceEvents array is missing or empty")
+	}
+	for i, e := range file.TraceEvents {
+		switch {
+		case e.Name == nil || *e.Name == "":
+			return fmt.Errorf("trace: event %d has no name", i)
+		case e.Cat == nil || *e.Cat == "":
+			return fmt.Errorf("trace: event %d has no cat", i)
+		case e.Ph == nil || *e.Ph != "X":
+			return fmt.Errorf("trace: event %d is not a complete (\"X\") event", i)
+		case e.Ts == nil || *e.Ts < 0:
+			return fmt.Errorf("trace: event %d has no valid ts", i)
+		case e.Dur == nil || *e.Dur < 0:
+			return fmt.Errorf("trace: event %d has no valid dur", i)
+		case e.Pid == nil || e.Tid == nil:
+			return fmt.Errorf("trace: event %d lacks pid/tid", i)
+		}
+	}
+	return nil
+}

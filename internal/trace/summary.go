@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mlight/internal/metrics"
+)
+
+// StageSummary is the per-stage histogram of one span kind: how many spans
+// the stage recorded, where their logical durations sit (median, tail,
+// maximum — metrics.Quantile), and how unevenly the stage's time is spread
+// over its spans (metrics.Gini). A high Gini on the probe stage, for
+// example, means a few probes dominate the round they run in.
+type StageSummary struct {
+	Stage       string  `json:"stage"`
+	Count       int     `json:"count"`
+	TotalMicros int64   `json:"total_us"`
+	P50         float64 `json:"p50_us"`
+	P95         float64 `json:"p95_us"`
+	Max         float64 `json:"max_us"`
+	Gini        float64 `json:"gini"`
+}
+
+// Summary aggregates the recorded spans into per-stage histograms, in kind
+// order, skipping stages with no spans.
+func (c *Collector) Summary() []StageSummary {
+	spans := c.Spans()
+	byKind := make([][]float64, numKinds)
+	for _, s := range spans {
+		byKind[s.Kind] = append(byKind[s.Kind], float64(s.Dur()))
+	}
+	var out []StageSummary
+	for k := Kind(0); k < numKinds; k++ {
+		durs := byKind[k]
+		if len(durs) == 0 {
+			continue
+		}
+		var total int64
+		for _, d := range durs {
+			total += int64(d)
+		}
+		sum := StageSummary{
+			Stage:       k.String(),
+			Count:       len(durs),
+			TotalMicros: total,
+			P50:         metrics.Quantile(durs, 0.5),
+			P95:         metrics.Quantile(durs, 0.95),
+			Max:         metrics.Quantile(durs, 1),
+			Gini:        metrics.Gini(durs),
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// WriteSummary renders the per-stage histograms as an aligned table.
+func (c *Collector) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-8s %7s %10s %8s %8s %8s %6s\n",
+		"stage", "count", "total_us", "p50", "p95", "max", "gini"); err != nil {
+		return err
+	}
+	for _, s := range c.Summary() {
+		if _, err := fmt.Fprintf(w, "%-8s %7d %10d %8.1f %8.1f %8.1f %6.3f\n",
+			s.Stage, s.Count, s.TotalMicros, nanzero(s.P50), nanzero(s.P95), nanzero(s.Max), s.Gini); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nanzero maps NaN quantiles (empty inputs) to zero for display.
+func nanzero(f float64) float64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,302 @@
+// Package trace records structured spans of index operations: what one
+// range query actually did, stage by stage — batch rounds, cover-group
+// probes, DHT operations, retry attempts, and simulated-network hops.
+//
+// The paper's evaluation reports flat aggregates (DHT-lookups, rounds);
+// this package attributes those costs to positions *inside* an operation,
+// which is what finding hot spots needs. Three design rules keep it honest
+// in a deterministic simulation:
+//
+//   - No wall clock. The collector runs a logical clock in microseconds:
+//     every recording action advances it by one tick, and spans that carry
+//     simulated network latency (simnet hops) advance it by that latency.
+//     Counter deltas and modeled delays are the timeline, so a trace of a
+//     seeded run is reproducible bit for bit.
+//   - Deterministic span IDs. IDs are a per-collector sequence, assigned in
+//     recording order. Under sequential execution (MaxInFlight = 1) the
+//     order — and therefore the whole trace — is deterministic; concurrent
+//     probes may interleave IDs but never lose spans.
+//   - No-op default. A nil *Collector is the disabled state; every
+//     collection point guards with a nil check, so tracing costs nothing
+//     when off.
+//
+// Aggregation into per-stage histograms reuses metrics.Quantile and
+// metrics.Gini; exporters render a human-readable tree (WriteTree) and
+// Chrome trace_event JSON (WriteTraceEvent) loadable in chrome://tracing
+// or Perfetto.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Kind classifies a span into the taxonomy of one traced operation:
+// query → batch round → cover-group probe → DHT op → retry attempt →
+// simnet hop, plus lookup binary searches and cache events.
+type Kind uint8
+
+const (
+	// KindQuery is one whole range/shape/kNN query.
+	KindQuery Kind = iota
+	// KindRound is one synchronous batch barrier of the query engine.
+	KindRound
+	// KindProbe is one frontier work item inside a round: a piece probe, a
+	// covering-leaf candidate, or a sequential fallback.
+	KindProbe
+	// KindLookup is one §5 binary search over candidate prefix lengths.
+	KindLookup
+	// KindDHTOp is one logical DHT operation issued by the index.
+	KindDHTOp
+	// KindAttempt is one physical substrate attempt under the retry layer
+	// (including batch retry waves).
+	KindAttempt
+	// KindHop is one simulated-network RPC, carrying its modeled RTT.
+	KindHop
+	// KindCache is a lookup-cache event: hit, miss, or stale eviction.
+	KindCache
+
+	numKinds
+)
+
+// String renders the stage name used by the exporters.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindRound:
+		return "round"
+	case KindProbe:
+		return "probe"
+	case KindLookup:
+		return "lookup"
+	case KindDHTOp:
+		return "dht"
+	case KindAttempt:
+		return "attempt"
+	case KindHop:
+		return "hop"
+	case KindCache:
+		return "cache"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// SpanID identifies a recorded span. Zero means "no parent": the span is a
+// root of the trace forest.
+type SpanID int64
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	str string
+	num int64
+	txt bool
+}
+
+// Str builds a string-valued attribute.
+func Str(key, val string) Attr { return Attr{Key: key, str: val, txt: true} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, val int64) Attr { return Attr{Key: key, num: val} }
+
+// Value renders the attribute value as text.
+func (a Attr) Value() string {
+	if a.txt {
+		return a.str
+	}
+	return strconv.FormatInt(a.num, 10)
+}
+
+// value returns the native value for JSON export.
+func (a Attr) value() any {
+	if a.txt {
+		return a.str
+	}
+	return a.num
+}
+
+// Span is one recorded operation. Start and End are positions on the
+// collector's logical clock, in microseconds.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Kind   Kind
+	Name   string
+	Start  int64
+	End    int64
+	Attrs  []Attr
+}
+
+// Dur returns the span's duration in logical microseconds.
+func (s Span) Dur() int64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Tick is the logical-clock advance per recording action, in microseconds.
+const Tick = 1
+
+// DefaultMaxSpans bounds a collector's memory: recording beyond the cap
+// drops the new spans (counted in Dropped) instead of growing unbounded.
+const DefaultMaxSpans = 1 << 17
+
+// Collector accumulates spans. The zero value is not usable; construct with
+// NewCollector. A nil *Collector is the disabled state — collection points
+// must nil-check before recording, which keeps tracing zero-cost when off.
+type Collector struct {
+	mu      sync.Mutex
+	now     int64 // logical clock, µs
+	nextID  SpanID
+	spans   []Span
+	open    map[SpanID]int // span ID → index in spans, while unfinished
+	limit   int
+	dropped int64
+}
+
+// NewCollector creates a collector with the default span cap.
+func NewCollector() *Collector { return NewCollectorLimit(DefaultMaxSpans) }
+
+// NewCollectorLimit creates a collector that retains at most maxSpans
+// spans; further recordings are counted as dropped.
+func NewCollectorLimit(maxSpans int) *Collector {
+	if maxSpans < 1 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Collector{open: make(map[SpanID]int), limit: maxSpans}
+}
+
+// Begin opens a span under parent (zero for a root) and returns its ID. The
+// returned ID is valid even if the span was dropped at the cap; End on it is
+// then a no-op.
+func (c *Collector) Begin(parent SpanID, kind Kind, name string, attrs ...Attr) SpanID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	start := c.now
+	c.now += Tick
+	if len(c.spans) >= c.limit {
+		c.dropped++
+		return id
+	}
+	c.open[id] = len(c.spans)
+	c.spans = append(c.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name,
+		Start: start, End: -1, Attrs: attrs,
+	})
+	return id
+}
+
+// End closes a span opened by Begin, appending any final attributes. Ending
+// an unknown (or dropped, or already ended) span is a no-op.
+func (c *Collector) End(id SpanID, attrs ...Attr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.open[id]
+	if !ok {
+		return
+	}
+	delete(c.open, id)
+	c.now += Tick
+	c.spans[i].End = c.now
+	if len(attrs) > 0 {
+		c.spans[i].Attrs = append(c.spans[i].Attrs, attrs...)
+	}
+}
+
+// Event records an instantaneous (one-tick) span — cache hits, evictions,
+// and other point occurrences.
+func (c *Collector) Event(parent SpanID, kind Kind, name string, attrs ...Attr) SpanID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	start := c.now
+	c.now += Tick
+	if len(c.spans) >= c.limit {
+		c.dropped++
+		return id
+	}
+	c.spans = append(c.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name,
+		Start: start, End: c.now, Attrs: attrs,
+	})
+	return id
+}
+
+// Record adds a completed span that consumed the given simulated time (in
+// microseconds; clamped to at least one tick), advancing the logical clock
+// by it — the mechanism simnet hops use to put modeled RTTs on the
+// timeline.
+func (c *Collector) Record(parent SpanID, kind Kind, name string, micros int64, attrs ...Attr) SpanID {
+	if micros < Tick {
+		micros = Tick
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	start := c.now
+	c.now += micros
+	if len(c.spans) >= c.limit {
+		c.dropped++
+		return id
+	}
+	c.spans = append(c.spans, Span{
+		ID: id, Parent: parent, Kind: kind, Name: name,
+		Start: start, End: c.now, Attrs: attrs,
+	})
+	return id
+}
+
+// Spans returns a copy of the recorded spans in recording order. Spans
+// still open are reported with End at the current clock position.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	for i := range out {
+		if out[i].End < 0 {
+			out[i].End = c.now
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained spans.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// Dropped returns how many spans the cap discarded.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Now returns the logical clock position in microseconds.
+func (c *Collector) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Reset discards all spans and rewinds the clock and ID sequence.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+	c.nextID = 0
+	c.spans = c.spans[:0]
+	c.open = make(map[SpanID]int)
+	c.dropped = 0
+}

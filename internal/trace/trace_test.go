@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBeginEndNesting(t *testing.T) {
+	c := NewCollector()
+	q := c.Begin(0, KindQuery, "range")
+	r := c.Begin(q, KindRound, "1")
+	p := c.Begin(r, KindProbe, "0-00")
+	c.End(p, Int("next", 2))
+	c.End(r)
+	c.End(q, Int("lookups", 3))
+
+	spans := c.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[1].Parent != q || spans[2].Parent != r {
+		t.Errorf("parentage wrong: %v %v %v", spans[0].Parent, spans[1].Parent, spans[2].Parent)
+	}
+	// The clock ticks once per recording action: 3 Begins + 3 Ends.
+	if got := c.Now(); got != 6 {
+		t.Errorf("clock = %d, want 6", got)
+	}
+	// Children are contained in their parents on the logical timeline.
+	if spans[2].Start < spans[1].Start || spans[2].End > spans[1].End {
+		t.Errorf("probe [%d,%d] escapes round [%d,%d]",
+			spans[2].Start, spans[2].End, spans[1].Start, spans[1].End)
+	}
+	if spans[0].Dur() != 6 {
+		t.Errorf("query dur = %d, want 6", spans[0].Dur())
+	}
+	// The End attrs landed.
+	last := spans[0].Attrs[len(spans[0].Attrs)-1]
+	if last.Key != "lookups" || last.Value() != "3" {
+		t.Errorf("query End attr = %s=%s", last.Key, last.Value())
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	run := func() []Span {
+		c := NewCollector()
+		a := c.Begin(0, KindQuery, "q")
+		c.Event(a, KindCache, "hit")
+		c.Record(0, KindHop, "n1→n2", 250)
+		c.End(a)
+		return c.Spans()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Start != b[i].Start || a[i].End != b[i].End {
+			t.Errorf("span %d differs between identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRecordAdvancesClockByMicros(t *testing.T) {
+	c := NewCollector()
+	c.Record(0, KindHop, "a→b", 500)
+	if got := c.Now(); got != 500 {
+		t.Errorf("clock after 500us hop = %d", got)
+	}
+	s := c.Spans()[0]
+	if s.Dur() != 500 {
+		t.Errorf("hop dur = %d, want 500", s.Dur())
+	}
+	// Sub-tick latencies still consume one tick so spans never have zero
+	// duration.
+	c.Record(0, KindHop, "a→b", 0)
+	if got := c.Spans()[1].Dur(); got != Tick {
+		t.Errorf("zero-latency hop dur = %d, want %d", got, Tick)
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	c := NewCollectorLimit(2)
+	c.Event(0, KindCache, "a")
+	c.Event(0, KindCache, "b")
+	id := c.Begin(0, KindQuery, "dropped")
+	c.End(id) // no-op: the span was dropped
+	c.Event(0, KindCache, "c")
+	if c.Len() != 2 {
+		t.Errorf("retained %d spans, want 2", c.Len())
+	}
+	if c.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", c.Dropped())
+	}
+	var tree strings.Builder
+	if err := c.WriteTree(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree.String(), "2 spans dropped") {
+		t.Errorf("tree does not report drops:\n%s", tree.String())
+	}
+}
+
+func TestOpenSpansReportedAtClock(t *testing.T) {
+	c := NewCollector()
+	c.Begin(0, KindQuery, "unfinished")
+	s := c.Spans()[0]
+	if s.End != c.Now() {
+		t.Errorf("open span End = %d, want clock %d", s.End, c.Now())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.Event(0, KindCache, "x")
+	c.Reset()
+	if c.Len() != 0 || c.Now() != 0 || c.Dropped() != 0 {
+		t.Errorf("Reset left state: len=%d now=%d dropped=%d", c.Len(), c.Now(), c.Dropped())
+	}
+	id := c.Begin(0, KindQuery, "fresh")
+	if id != 1 {
+		t.Errorf("post-Reset ID = %d, want 1", id)
+	}
+}
+
+func TestSummaryGroupsByKind(t *testing.T) {
+	c := NewCollector()
+	q := c.Begin(0, KindQuery, "q")
+	c.Record(q, KindHop, "a→b", 100)
+	c.Record(q, KindHop, "b→c", 300)
+	c.End(q)
+	var hops *StageSummary
+	for _, s := range c.Summary() {
+		if s.Stage == "hop" {
+			s := s
+			hops = &s
+		}
+	}
+	if hops == nil {
+		t.Fatal("no hop stage in summary")
+	}
+	if hops.Count != 2 || hops.TotalMicros != 400 || hops.Max != 300 {
+		t.Errorf("hop summary = %+v", hops)
+	}
+	var table strings.Builder
+	if err := c.WriteSummary(&table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "hop") || !strings.Contains(table.String(), "query") {
+		t.Errorf("summary table missing stages:\n%s", table.String())
+	}
+}
+
+func TestWriteTraceEventValidates(t *testing.T) {
+	c := NewCollector()
+	q := c.Begin(0, KindQuery, "range")
+	c.Event(q, KindCache, "miss")
+	c.Record(0, KindHop, "n1→n2", 250)
+	c.End(q)
+	var buf strings.Builder
+	if err := c.WriteTraceEvent(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceEvent([]byte(buf.String())); err != nil {
+		t.Errorf("emitted trace fails own schema: %v", err)
+	}
+	// Hops render on their own thread row.
+	if !strings.Contains(buf.String(), `"tid": 2`) {
+		t.Error("hop span not on tid 2")
+	}
+}
+
+func TestValidateTraceEventRejectsMalformed(t *testing.T) {
+	for name, data := range map[string]string{
+		"not-json":      "nonsense",
+		"empty-events":  `{"traceEvents":[]}`,
+		"missing-name":  `{"traceEvents":[{"cat":"q","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		"wrong-phase":   `{"traceEvents":[{"name":"q","cat":"q","ph":"B","ts":0,"dur":1,"pid":1,"tid":1}]}`,
+		"negative-time": `{"traceEvents":[{"name":"q","cat":"q","ph":"X","ts":-4,"dur":1,"pid":1,"tid":1}]}`,
+	} {
+		if err := ValidateTraceEvent([]byte(data)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestTreeIndentsChildren(t *testing.T) {
+	c := NewCollector()
+	q := c.Begin(0, KindQuery, "range")
+	r := c.Begin(q, KindRound, "0")
+	c.End(r)
+	c.End(q)
+	// A span whose parent is unknown prints as a root.
+	c.Event(SpanID(9999), KindCache, "orphan")
+	var buf strings.Builder
+	if err := c.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("tree has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if strings.HasPrefix(lines[0], " ") {
+		t.Errorf("root line indented: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  round") {
+		t.Errorf("child line not indented: %q", lines[1])
+	}
+	if strings.HasPrefix(lines[2], " ") {
+		t.Errorf("orphan not treated as root: %q", lines[2])
+	}
+}

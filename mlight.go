@@ -6,13 +6,31 @@
 //
 // # Quick start
 //
-//	d := mlight.NewLocalDHT(128)                  // or a Chord/Pastry cluster
-//	ix, err := mlight.New(d, mlight.Options{})    // 2-D index, paper defaults
+//	d := mlight.NewLocalDHT(128)          // or a Chord/Pastry cluster
+//	ix, err := mlight.New(d)              // 2-D index, paper defaults
 //	...
 //	err = ix.Insert(mlight.Record{Key: mlight.Point{0.41, 0.73}, Data: "pizza"})
 //	q, err := mlight.NewRect(mlight.Point{0.4, 0.7}, mlight.Point{0.5, 0.8})
 //	res, err := ix.RangeQuery(q)
 //	for _, r := range res.Records { ... }
+//
+// Constructors take functional options:
+//
+//	ix, err := mlight.New(d,
+//	    mlight.WithSplit(mlight.SplitDataAware),
+//	    mlight.WithCache(256),
+//	    mlight.WithRetry(mlight.RetryPolicy{}),
+//	    mlight.WithTrace(mlight.NewTraceCollector()),
+//	)
+//
+// The struct style is still supported — an Options value is itself an
+// option (place it first when mixing styles):
+//
+//	ix, err := mlight.New(d, mlight.Options{ThetaSplit: 50})
+//
+// The PHT and DST baselines are built the same way (mlight.NewPHT,
+// mlight.NewDST) and share the Querier interface with the m-LIGHT index,
+// so evaluation code runs against all three schemes through one type.
 //
 // # Architecture
 //
@@ -37,8 +55,12 @@ package mlight
 import (
 	"mlight/internal/core"
 	"mlight/internal/dht"
+	"mlight/internal/dst"
+	"mlight/internal/index"
 	"mlight/internal/metrics"
+	"mlight/internal/pht"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 	"mlight/internal/wire"
 )
 
@@ -54,10 +76,26 @@ type (
 	// Region is a half-open kd-tree cell.
 	Region = spatial.Region
 
+	// Querier is the scheme-independent index interface: the m-LIGHT
+	// Index and the PHT and DST baselines all implement it, so evaluation
+	// code can be written once and pointed at any scheme.
+	Querier = index.Querier
+	// Option is a functional constructor option accepted by New, NewPHT
+	// and NewDST. Options values also satisfy it.
+	Option = index.Option
+	// Tuning is the resolved, scheme-independent parameter set an option
+	// list produces; each scheme maps the fields it understands onto its
+	// own knobs.
+	Tuning = index.Tuning
+
 	// Index is the m-LIGHT index client.
 	Index = core.Index
 	// Options configures an Index.
 	Options = core.Options
+	// PHT is the Prefix Hash Tree baseline index client.
+	PHT = pht.Index
+	// DST is the Distributed Segment Tree baseline index client.
+	DST = dst.Index
 	// Bucket is one leaf bucket (label store + record store).
 	Bucket = core.Bucket
 	// QueryResult is a range-query answer with its bandwidth and latency
@@ -92,6 +130,29 @@ type (
 	// ResilienceStats is a snapshot of the retry layer's counters
 	// (Index.ResilienceStats().Snapshot()).
 	ResilienceStats = metrics.ResilienceSnapshot
+
+	// TraceCollector records a structured trace of every operation the
+	// index performs — query, batch round, cover-group probe, DHT op,
+	// retry attempt — on a deterministic logical clock. Attach one with
+	// WithTrace (or Options.Trace); export with WriteTree, WriteTraceEvent
+	// or WriteSummary. A nil collector disables tracing at zero cost.
+	TraceCollector = trace.Collector
+	// TraceSpan is one recorded operation in a trace.
+	TraceSpan = trace.Span
+	// TraceKind classifies a trace span by pipeline stage.
+	TraceKind = trace.Kind
+)
+
+// Trace span kinds, from outermost to innermost stage.
+const (
+	TraceKindQuery   = trace.KindQuery
+	TraceKindRound   = trace.KindRound
+	TraceKindProbe   = trace.KindProbe
+	TraceKindLookup  = trace.KindLookup
+	TraceKindDHTOp   = trace.KindDHTOp
+	TraceKindAttempt = trace.KindAttempt
+	TraceKindHop     = trace.KindHop
+	TraceKindCache   = trace.KindCache
 )
 
 // Split strategies (paper §4).
@@ -115,10 +176,63 @@ var (
 )
 
 // New creates an m-LIGHT index client over any DHT substrate, bootstrapping
-// the root bucket if the index does not exist yet.
-func New(d DHT, opts Options) (*Index, error) {
-	return core.New(d, opts)
+// the root bucket if the index does not exist yet. With no options it uses
+// the paper defaults (2 dimensions, threshold splitting). Options compose
+// left to right; an Options struct is itself an option, so the legacy
+// struct-style call New(d, Options{...}) still works — place it first when
+// mixing it with With* options, since it overwrites the whole parameter set.
+func New(d DHT, opts ...Option) (*Index, error) {
+	return core.New(d, core.FromTuning(index.Resolve(opts...)))
 }
+
+// NewPHT creates a Prefix Hash Tree baseline index over the substrate. It
+// accepts the same options as New; fields a PHT has no equivalent for (the
+// split strategy, the merge threshold) are ignored.
+func NewPHT(d DHT, opts ...Option) (*PHT, error) {
+	return pht.New(d, pht.FromTuning(index.Resolve(opts...)))
+}
+
+// NewDST creates a Distributed Segment Tree baseline index over the
+// substrate, accepting the same options as New (WithMaxDepth sets the
+// segment-tree height).
+func NewDST(d DHT, opts ...Option) (*DST, error) {
+	return dst.New(d, dst.FromTuning(index.Resolve(opts...)))
+}
+
+// NewTraceCollector creates an unbounded-by-default trace collector ready to
+// pass to WithTrace.
+func NewTraceCollector() *TraceCollector {
+	return trace.NewCollector()
+}
+
+// Functional options for New, NewPHT and NewDST.
+var (
+	// WithDims sets the data dimensionality m.
+	WithDims = index.WithDims
+	// WithMaxDepth bounds the tree depth (PHT key length, DST height).
+	WithMaxDepth = index.WithMaxDepth
+	// WithCapacity sets the leaf-bucket capacity (θsplit for m-LIGHT).
+	WithCapacity = index.WithCapacity
+	// WithMergeThreshold sets θmerge, the underflow bound that triggers
+	// leaf merging.
+	WithMergeThreshold = index.WithMergeThreshold
+	// WithSplit selects the splitting strategy (SplitThreshold or
+	// SplitDataAware, paper §4).
+	WithSplit = index.WithSplit
+	// WithEpsilon sets the data-aware sampling accuracy ε.
+	WithEpsilon = index.WithEpsilon
+	// WithMaxInFlight caps concurrent DHT probes per query (the paper's
+	// lookahead parallelism; 1 makes execution fully sequential and
+	// traces deterministic).
+	WithMaxInFlight = index.WithMaxInFlight
+	// WithCache sets the leaf-label lookup cache size (0 disables).
+	WithCache = index.WithCache
+	// WithRetry enables the resilient DHT layer with the given policy.
+	WithRetry = index.WithRetry
+	// WithTrace attaches a trace collector to every operation the index
+	// performs; nil disables tracing.
+	WithTrace = index.WithTrace
+)
 
 // NewLocalDHT creates the in-process substrate with the given number of
 // virtual peers (key ownership follows consistent hashing, as on a real
