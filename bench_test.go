@@ -203,6 +203,7 @@ func BenchmarkInsert(b *testing.B) {
 	ix := loadedIndex(b, 20000)
 	extra := mlight.GenerateNE(b.N, 2)
 	before := ix.Stats()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ix.Insert(extra[i]); err != nil {
@@ -568,6 +569,7 @@ func BenchmarkPeerRangeQuery(b *testing.B) {
 
 func BenchmarkBulkLoad(b *testing.B) {
 	records := mlight.GenerateNE(20000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix, err := mlight.New(mlight.NewLocalDHT(64), mlight.Options{ThetaSplit: 100, ThetaMerge: 50})
@@ -579,6 +581,30 @@ func BenchmarkBulkLoad(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(records)), "records")
+}
+
+// BenchmarkInsertBatch measures the group-commit ingestion path: the same
+// stream BenchmarkInsert pays per record, committed in batches of 256.
+func BenchmarkInsertBatch(b *testing.B) {
+	ix := loadedIndex(b, 20000)
+	extra := mlight.GenerateNE(b.N, 2)
+	before := ix.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 256
+	for at := 0; at < len(extra); at += chunk {
+		end := at + chunk
+		if end > len(extra) {
+			end = len(extra)
+		}
+		for i, err := range ix.InsertBatch(extra[at:end]) {
+			if err != nil {
+				b.Fatalf("record %d: %v", at+i, err)
+			}
+		}
+	}
+	delta := ix.Stats().Sub(before)
+	b.ReportMetric(float64(delta.DHTLookups)/float64(b.N), "dhtlookups/insert")
 }
 
 func BenchmarkNearest(b *testing.B) {

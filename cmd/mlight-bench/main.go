@@ -25,6 +25,15 @@
 //
 //	mlight-bench -figs resilience -quick -resjson BENCH_resilience.json
 //
+// The ingest section (not part of "all": it measures wall-clock ingestion
+// over a latency-bearing network) loads the same record stream three ways —
+// sequential Insert, group-commit InsertBatch, and offline BulkLoad — over
+// identical 24-peer Chord deployments at 1 ms/hop, verifies the batched
+// modes changed nothing about the resulting index, and writes a
+// machine-readable summary:
+//
+//	mlight-bench -figs ingest -quick -ingestjson BENCH_ingest.json
+//
 // The trace section (not part of "all") runs one fully instrumented range
 // query over a routed Chord cluster and exports the recorded span tree: a
 // Chrome trace_event JSON (open in Perfetto or chrome://tracing) and a
@@ -67,12 +76,13 @@ func run(args []string, out io.Writer) error {
 		depth    = fs.Int("depth", 28, "index depth bound D")
 		seed     = fs.Int64("seed", 1, "random seed for data and queries")
 		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,resilience,trace or all (all excludes concurrency, resilience and trace)")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,resilience,ingest,trace or all (all excludes concurrency, resilience, ingest and trace)")
 		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
 		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
 		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
 		concJSON = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
 		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
+		ingJSON  = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
 		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
 		traceTxt = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
 		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
@@ -273,6 +283,44 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *resJSON)
 		}
 		fmt.Fprintf(out, "(resilience took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["ingest"] {
+		if *hopDelay <= 0 {
+			return fmt.Errorf("-hopdelay must be positive, got %v (a zero-delay network would make the wall-clock comparison meaningless)", *hopDelay)
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "== Ingest: wall-clock ingestion throughput (beyond the paper) ==")
+		icfg := experiments.IngestConfig{Config: cfg, HopDelay: *hopDelay}
+		// Same design point as the resilience section: a small ring keeps
+		// routed path lengths short, and ingestion itself pays the modeled
+		// delays, so the section uses its own reduced data scale.
+		icfg.Peers = 24
+		icfg.DataSize = 1200
+		if *quick {
+			icfg.DataSize = 600
+		}
+		res, err := experiments.Ingest(icfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d records over %d peers at %.1fms/hop → %d buckets, %d splits, %d records moved (identical for sequential and group-commit)\n",
+			res.Records, res.Peers, res.HopDelayMS, res.Buckets, res.Splits, res.RecordsMoved)
+		fmt.Fprintf(out, "sequential   %8.1fms  (%d DHT ops)\n", res.SequentialWallMS, res.SequentialLookups)
+		fmt.Fprintf(out, "group-commit %8.1fms  (%d DHT ops) → %.2fx speedup\n",
+			res.GroupCommitWallMS, res.GroupCommitLookups, res.GroupCommitSpeedup)
+		fmt.Fprintf(out, "bulk-load    %8.1fms  (%d DHT ops) → %.2fx speedup\n",
+			res.BulkLoadWallMS, res.BulkLoadLookups, res.BulkLoadSpeedup)
+		if *ingJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*ingJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *ingJSON)
+		}
+		fmt.Fprintf(out, "(ingest took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want["trace"] || *traceOut != "" || *traceTxt != "" {
 		start := time.Now()

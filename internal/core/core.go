@@ -35,6 +35,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"mlight/internal/bitlabel"
 	"mlight/internal/dht"
@@ -105,6 +107,15 @@ type Options struct {
 	// disables tracing entirely; every collection point is a nil check, so
 	// a disabled trace costs nothing.
 	Trace *trace.Collector
+	// Sleep is the sleeper maintenance uses to back off between
+	// conflicting insert attempts (a concurrent split's relocated buckets
+	// become visible within a few put operations). Nil selects time.Sleep;
+	// tests inject dht.NoSleep so retries are deterministic and free, the
+	// same convention RetryPolicy.Sleep follows.
+	Sleep func(time.Duration)
+	// WriterBatch bounds how many queued inserts one group commit of the
+	// Writer drains (see Index.Writer). Default 256.
+	WriterBatch int
 }
 
 // Apply implements index.Option: an Options value used as a functional
@@ -122,6 +133,8 @@ func (o Options) Apply(t *index.Tuning) {
 		CacheSize:      o.CacheSize,
 		Retry:          o.Retry,
 		Trace:          o.Trace,
+		Sleep:          o.Sleep,
+		WriterBatch:    o.WriterBatch,
 	}
 }
 
@@ -138,6 +151,8 @@ func FromTuning(t index.Tuning) Options {
 		CacheSize:   t.CacheSize,
 		Retry:       t.Retry,
 		Trace:       t.Trace,
+		Sleep:       t.Sleep,
+		WriterBatch: t.WriterBatch,
 	}
 }
 
@@ -163,6 +178,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxInFlight == 0 {
 		o.MaxInFlight = dht.DefaultMaxInFlight
 	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.WriterBatch == 0 {
+		o.WriterBatch = 256
+	}
 	return o
 }
 
@@ -185,6 +206,9 @@ func (o Options) validate() error {
 	}
 	if o.CacheSize < 0 {
 		return fmt.Errorf("core: CacheSize must be ≥ 0, got %d", o.CacheSize)
+	}
+	if o.WriterBatch < 1 {
+		return fmt.Errorf("core: WriterBatch must be ≥ 1, got %d", o.WriterBatch)
 	}
 	switch o.Strategy {
 	case SplitThreshold:
@@ -247,6 +271,9 @@ type Index struct {
 	resilience *metrics.ResilienceStats
 	// cache is the client-side leaf-label lookup cache; nil when disabled.
 	cache *leafCache
+	// writer is the lazily created group-commit insert engine (see Writer).
+	writerOnce sync.Once
+	writer     *Writer
 }
 
 // New creates an index client over d and bootstraps the root bucket if the

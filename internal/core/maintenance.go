@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mlight/internal/bitlabel"
+	"mlight/internal/dht"
 	"mlight/internal/kdtree"
 	"mlight/internal/spatial"
 )
@@ -29,9 +30,10 @@ func (ix *Index) Insert(rec spatial.Record) error {
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			// Back off briefly: a concurrent split's relocated buckets
-			// become visible within a few put operations.
+			// become visible within a few put operations. The sleeper is
+			// injectable (Options.Sleep) so tests stay deterministic.
 			backoff := time.Duration(1<<uint(min(attempt, 6))) * 25 * time.Microsecond
-			time.Sleep(backoff)
+			ix.opts.Sleep(backoff)
 		}
 		b, err := ix.Lookup(rec.Key)
 		if errors.Is(err, ErrNotFound) {
@@ -105,7 +107,12 @@ func (ix *Index) applyInsert(label bitlabel.Label, rec spatial.Record) (moved []
 			stale = true
 			return cur, true
 		}
-		cell.Records = append(append([]spatial.Record{}, cell.Records...), rec)
+		// A plain append is safe without copying the whole bucket: readers
+		// holding the previous Bucket value see their own shorter length and
+		// never index past it, and the kd-tree split functions build fresh
+		// slices rather than mutating their input. Shared-capacity growth is
+		// therefore invisible to every concurrent observer.
+		cell.Records = append(cb.Records, rec)
 		pieces, decideErr := ix.decideSplit(cell)
 		if decideErr != nil {
 			splitErr = decideErr
@@ -183,17 +190,30 @@ func pickStayer(pieces []kdtree.Cell, oldLabel bitlabel.Label, m int) (stay kdtr
 	return stay, moved, nil
 }
 
-// placeCells writes relocated buckets to their DHT keys, charging the data
-// movement the transfers cost. Empty cells still become buckets (the
-// bijection requires a bucket per leaf); they move no records.
+// placeCells writes relocated buckets to their DHT keys in one PutBatch
+// round — the destinations are independent leaves, so the transfers overlap
+// up to Options.MaxInFlight instead of paying one blocking round trip per
+// bucket — charging the data movement the transfers cost. Empty cells still
+// become buckets (the bijection requires a bucket per leaf); they move no
+// records. The per-bucket logical charge is unchanged: one DHT operation and
+// Load() moved records per placed bucket.
 func (ix *Index) placeCells(cells []kdtree.Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
 	m := ix.opts.Dims
-	for _, c := range cells {
-		key := labelKey(bitlabel.Name(c.Label, m))
-		if err := ix.d.Put(key, Bucket{Label: c.Label, Records: c.Records}); err != nil {
-			return fmt.Errorf("core: place bucket %v: %w", c.Label, err)
+	ops := make([]dht.PutOp, len(cells))
+	for i, c := range cells {
+		ops[i] = dht.PutOp{
+			Key:   labelKey(bitlabel.Name(c.Label, m)),
+			Value: Bucket{Label: c.Label, Records: c.Records},
 		}
-		ix.stats.RecordsMoved.Add(int64(c.Load()))
+	}
+	for i, err := range dht.PutBatch(ix.d, ops, ix.opts.MaxInFlight) {
+		if err != nil {
+			return fmt.Errorf("core: place bucket %v: %w", cells[i].Label, err)
+		}
+		ix.stats.RecordsMoved.Add(int64(cells[i].Load()))
 	}
 	return nil
 }
@@ -224,7 +244,11 @@ func (ix *Index) Delete(key spatial.Point, data string) (bool, error) {
 		}
 		for i, r := range cb.Records {
 			if samePoint(r.Key, key) && (data == "" || r.Data == data) {
-				records := append([]spatial.Record{}, cb.Records[:i]...)
+				// The copy is required — an in-place shift would mutate the
+				// array concurrent readers share — but it can be exact-size:
+				// one allocation, no append growth.
+				records := make([]spatial.Record, 0, len(cb.Records)-1)
+				records = append(records, cb.Records[:i]...)
 				records = append(records, cb.Records[i+1:]...)
 				cb.Records = records
 				removed = true

@@ -22,9 +22,10 @@ type Counting struct {
 }
 
 var (
-	_ DHT        = (*Counting)(nil)
-	_ Batcher    = (*Counting)(nil)
-	_ SpanGetter = (*Counting)(nil)
+	_ DHT         = (*Counting)(nil)
+	_ Batcher     = (*Counting)(nil)
+	_ BatchWriter = (*Counting)(nil)
+	_ SpanGetter  = (*Counting)(nil)
 )
 
 // NewCounting wraps inner, charging operations to stats. A nil stats
@@ -76,6 +77,35 @@ func (c *Counting) GetBatch(keys []Key, maxInFlight int) []BatchResult {
 	}
 	c.stats.MaxInFlight.Observe(int64(inFlight))
 	return GetBatch(c.inner, keys, maxInFlight)
+}
+
+// PutBatch implements BatchWriter: every store in the batch is one logical
+// DHT operation, charged exactly as len(ops) sequential Puts would be —
+// batching overlaps execution, it does not change the paper's bandwidth
+// accounting. The batch round and its concurrency are metered like GetBatch.
+func (c *Counting) PutBatch(ops []PutOp, maxInFlight int) []error {
+	c.observeBatch(len(ops), maxInFlight)
+	return PutBatch(c.inner, ops, maxInFlight)
+}
+
+// ApplyBatch implements BatchWriter, counted exactly like PutBatch: one
+// logical DHT operation per transform, however many records the transform
+// carries — that amortisation is the group-commit insert engine's win.
+func (c *Counting) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
+	c.observeBatch(len(ops), maxInFlight)
+	return ApplyBatch(c.inner, ops, maxInFlight)
+}
+
+// observeBatch charges one batch round of n logical operations.
+func (c *Counting) observeBatch(n, maxInFlight int) {
+	c.stats.DHTLookups.Add(int64(n))
+	c.stats.BatchProbes.Add(int64(n))
+	c.stats.BatchRounds.Inc()
+	inFlight := n
+	if maxInFlight >= 1 && maxInFlight < inFlight {
+		inFlight = maxInFlight
+	}
+	c.stats.MaxInFlight.Observe(int64(inFlight))
 }
 
 // Remove implements DHT.

@@ -18,8 +18,9 @@ type Factory func(t *testing.T) dht.DHT
 
 // RunConformance exercises the substrate contract: replacement semantics of
 // Put, absence reporting of Get, idempotent Remove, atomic Apply with
-// create/mutate/delete, stable Owner assignment, and (when supported)
-// complete enumeration via Range.
+// create/mutate/delete, stable Owner assignment, positional batch writes
+// (PutBatch/ApplyBatch, native or decomposed), and (when supported) complete
+// enumeration via Range.
 func RunConformance(t *testing.T, newDHT Factory) {
 	t.Helper()
 
@@ -184,6 +185,85 @@ func RunConformance(t *testing.T, newDHT Factory) {
 		}
 		if want := goroutines * increments; total != want {
 			t.Fatalf("lost updates: counted %d increments, want %d", total, want)
+		}
+	})
+
+	t.Run("PutBatchPositional", func(t *testing.T) {
+		// dht.PutBatch must land every store (whether the substrate batches
+		// natively or decomposes to per-key Puts) and keep its error slice
+		// positional, including replacement of keys written earlier in the
+		// same batch's presence.
+		d := newDHT(t)
+		const n = 32
+		ops := make([]dht.PutOp, n)
+		for i := range ops {
+			ops[i] = dht.PutOp{Key: dht.Key(fmt.Sprintf("pb-%d", i)), Value: i}
+		}
+		errs := dht.PutBatch(d, ops, 8)
+		if len(errs) != n {
+			t.Fatalf("PutBatch returned %d errors, want %d", len(errs), n)
+		}
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("PutBatch op %d: %v", i, err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, ok, err := d.Get(dht.Key(fmt.Sprintf("pb-%d", i)))
+			if err != nil || !ok || v != i {
+				t.Fatalf("Get(pb-%d) = %v, %v, %v", i, v, ok, err)
+			}
+		}
+		// A second batch replaces in place, like Put.
+		for i := range ops {
+			ops[i].Value = i + 1000
+		}
+		for i, err := range dht.PutBatch(d, ops, 0) {
+			if err != nil {
+				t.Fatalf("replacing PutBatch op %d: %v", i, err)
+			}
+		}
+		if v, _, _ := d.Get("pb-7"); v != 1007 {
+			t.Fatalf("PutBatch did not replace: %v", v)
+		}
+	})
+
+	t.Run("ApplyBatchAtomic", func(t *testing.T) {
+		// dht.ApplyBatch runs each transform with Apply's per-key atomicity:
+		// transforms in the same batch see the stored value (create on
+		// absence), and keep=false deletes.
+		d := newDHT(t)
+		const n = 16
+		if err := d.Put("ab-seed", 100); err != nil {
+			t.Fatal(err)
+		}
+		ops := make([]dht.ApplyOp, n)
+		for i := range ops {
+			key := dht.Key(fmt.Sprintf("ab-%d", i%4))
+			ops[i] = dht.ApplyOp{Key: key, Fn: func(cur any, exists bool) (any, bool) {
+				c, _ := cur.(int)
+				return c + 1, true
+			}}
+		}
+		for i, err := range dht.ApplyBatch(d, ops, 4) {
+			if err != nil {
+				t.Fatalf("ApplyBatch op %d: %v", i, err)
+			}
+		}
+		// n transforms over 4 keys: each key must have absorbed exactly
+		// n/4 increments — lost updates mean the batch broke atomicity.
+		for i := 0; i < 4; i++ {
+			v, ok, err := d.Get(dht.Key(fmt.Sprintf("ab-%d", i)))
+			if err != nil || !ok || v != n/4 {
+				t.Fatalf("Get(ab-%d) = %v, %v, %v, want %d", i, v, ok, err, n/4)
+			}
+		}
+		del := []dht.ApplyOp{{Key: "ab-0", Fn: func(any, bool) (any, bool) { return nil, false }}}
+		if errs := dht.ApplyBatch(d, del, 1); errs[0] != nil {
+			t.Fatal(errs[0])
+		}
+		if _, ok, _ := d.Get("ab-0"); ok {
+			t.Fatal("ApplyBatch(keep=false) left value")
 		}
 	})
 

@@ -16,10 +16,10 @@ var ErrInjected = dht.Retryable(errors.New("dhttest: injected fault"))
 
 // Flaky wraps a substrate and injects failures on demand, so fault-tolerance
 // behaviour can be tested deterministically over any dht.DHT — including
-// overlays whose own loss would be probabilistic. Flaky deliberately does
-// NOT implement dht.Batcher: batched reads issued through it decompose into
-// pooled per-key Gets, so per-key injection (and per-key retries above it)
-// are exercised on the batch path too.
+// overlays whose own loss would be probabilistic. Flaky deliberately implements
+// NEITHER dht.Batcher NOR dht.BatchWriter: batched reads and writes issued
+// through it decompose into pooled per-key operations, so per-key injection
+// (and per-key retries above it) are exercised on the batch paths too.
 type Flaky struct {
 	inner dht.DHT
 

@@ -22,9 +22,10 @@ type Local struct {
 }
 
 var (
-	_ DHT        = (*Local)(nil)
-	_ Enumerator = (*Local)(nil)
-	_ Batcher    = (*Local)(nil)
+	_ DHT         = (*Local)(nil)
+	_ Enumerator  = (*Local)(nil)
+	_ Batcher     = (*Local)(nil)
+	_ BatchWriter = (*Local)(nil)
 )
 
 // NewLocal creates a local DHT with numPeers virtual peers named
@@ -91,6 +92,38 @@ func (l *Local) GetBatch(keys []Key, maxInFlight int) []BatchResult {
 		results[i] = BatchResult{Value: v, Found: ok}
 	}
 	return results
+}
+
+// PutBatch implements BatchWriter natively: all stores land under one
+// exclusive lock, so a batch costs the same as a single Put regardless of
+// size. The maxInFlight cap is irrelevant here — nothing blocks.
+func (l *Local) PutBatch(ops []PutOp, maxInFlight int) []error {
+	errs := make([]error, len(ops))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, op := range ops {
+		l.store[op.Key] = op.Value
+	}
+	return errs
+}
+
+// ApplyBatch implements BatchWriter natively: every transform runs under one
+// exclusive lock acquisition, preserving per-key atomicity while paying the
+// lock once for the whole round.
+func (l *Local) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
+	errs := make([]error, len(ops))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, op := range ops {
+		cur, ok := l.store[op.Key]
+		next, keep := op.Fn(cur, ok)
+		if keep {
+			l.store[op.Key] = next
+		} else {
+			delete(l.store, op.Key)
+		}
+	}
+	return errs
 }
 
 // Remove implements DHT.

@@ -101,6 +101,36 @@ func (s *scriptDHT) GetBatch(keys []Key, maxInFlight int) []BatchResult {
 	return out
 }
 
+func (s *scriptDHT) PutBatch(ops []PutOp, maxInFlight int) []error {
+	keys := make([]Key, len(ops))
+	for i, op := range ops {
+		keys[i] = op.Key
+	}
+	s.mu.Lock()
+	s.batchCalls = append(s.batchCalls, keys)
+	s.mu.Unlock()
+	out := make([]error, len(ops))
+	for i, op := range ops {
+		out[i] = s.Put(op.Key, op.Value)
+	}
+	return out
+}
+
+func (s *scriptDHT) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
+	keys := make([]Key, len(ops))
+	for i, op := range ops {
+		keys[i] = op.Key
+	}
+	s.mu.Lock()
+	s.batchCalls = append(s.batchCalls, keys)
+	s.mu.Unlock()
+	out := make([]error, len(ops))
+	for i, op := range ops {
+		out[i] = s.Apply(op.Key, op.Fn)
+	}
+	return out
+}
+
 func noBreaker() RetryPolicy {
 	return RetryPolicy{BreakerThreshold: -1, Sleep: NoSleep}
 }
@@ -282,6 +312,120 @@ func TestResilientGetBatchSubBatchReissue(t *testing.T) {
 	}
 	if s := res.Stats().Snapshot(); s.Recovered != 2 || s.Retries != 3 {
 		t.Errorf("stats = %+v, want recovered 2, retries 3", s)
+	}
+}
+
+func TestResilientPutBatchSubBatchReissue(t *testing.T) {
+	script := newScriptDHT()
+	res := NewResilient(script, noBreaker(), nil)
+	script.mu.Lock()
+	script.failures["b"] = 1
+	script.failures["d"] = 2
+	script.mu.Unlock()
+
+	ops := []PutOp{{"a", 0}, {"b", 1}, {"c", 2}, {"d", 3}}
+	for i, err := range res.PutBatch(ops, 4) {
+		if err != nil {
+			t.Errorf("op %d (%q) = %v, want recovery", i, ops[i].Key, err)
+		}
+	}
+	// Wave 1 issues all four ops natively; wave 2 re-issues only {b, d};
+	// wave 3 only {d}.
+	script.mu.Lock()
+	calls := script.batchCalls
+	script.mu.Unlock()
+	want := [][]Key{{"a", "b", "c", "d"}, {"b", "d"}, {"d"}}
+	if len(calls) != len(want) {
+		t.Fatalf("native batch called %d times (%v), want %d", len(calls), calls, len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(calls[i]) != fmt.Sprint(want[i]) {
+			t.Errorf("wave %d keys = %v, want %v", i+1, calls[i], want[i])
+		}
+	}
+	for i, k := range []Key{"a", "b", "c", "d"} {
+		if v, ok, _ := script.Get(k); !ok || v != i {
+			t.Errorf("after recovery, %q = %v, %v; want %d", k, v, ok, i)
+		}
+	}
+	if s := res.Stats().Snapshot(); s.Recovered != 2 || s.Retries != 3 {
+		t.Errorf("stats = %+v, want recovered 2, retries 3", s)
+	}
+}
+
+func TestResilientApplyBatchOutcomesPositional(t *testing.T) {
+	script := newScriptDHT()
+	res := NewResilient(script, RetryPolicy{MaxAttempts: 2, BreakerThreshold: -1, Sleep: NoSleep}, nil)
+	script.mu.Lock()
+	script.failures["recovers"] = 1  // transient once, then fine
+	script.failures["exhausts"] = -1 // fails forever
+	script.mu.Unlock()
+
+	incr := func(cur any, exists bool) (any, bool) {
+		n, _ := cur.(int)
+		return n + 1, true
+	}
+	calls := 0
+	ops := []ApplyOp{
+		{Key: "clean", Fn: incr},
+		{Key: "recovers", Fn: incr},
+		{Key: "exhausts", Fn: incr},
+		{Key: "once", Fn: func(cur any, exists bool) (any, bool) {
+			// A closure on a healthy key must run exactly once: successful
+			// first-wave operations are never re-issued.
+			calls++
+			return nil, false
+		}},
+	}
+	errs := res.ApplyBatch(ops, 4)
+	if errs[0] != nil || errs[1] != nil {
+		t.Errorf("clean/recovers = %v, %v; want nil, nil", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], errScripted) {
+		t.Errorf("exhausts = %v, want the scripted transient error after budget", errs[2])
+	}
+	if errs[3] != nil || calls != 1 {
+		t.Errorf("once slot: err %v after %d closure runs, want nil after exactly 1", errs[3], calls)
+	}
+	if v, ok, _ := script.Get("recovers"); !ok || v != 1 {
+		t.Errorf("recovers holds %v, %v; want 1 applied once", v, ok)
+	}
+	if s := res.Stats().Snapshot(); s.Exhausted != 1 || s.Recovered != 1 {
+		t.Errorf("stats = %+v, want exhausted 1, recovered 1", s)
+	}
+}
+
+func TestResilientBatchWriteBreakerPrecheck(t *testing.T) {
+	script := newScriptDHT()
+	res := NewResilient(script, RetryPolicy{
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  100,
+		Sleep:            NoSleep,
+		OwnerOf:          func(k Key) string { return string(k) }, // per-key breakers
+	}, nil)
+	script.mu.Lock()
+	script.failures["shed"] = -1
+	script.mu.Unlock()
+	// Trip the breaker for "shed".
+	if err := res.Put("shed", 0); err == nil {
+		t.Fatal("tripping Put succeeded")
+	}
+	script.mu.Lock()
+	script.batchCalls = nil
+	script.mu.Unlock()
+	errs := res.PutBatch([]PutOp{{"ok", 1}, {"shed", 2}}, 2)
+	if errs[0] != nil {
+		t.Errorf("healthy op = %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], ErrBreakerOpen) {
+		t.Errorf("shed op = %v, want ErrBreakerOpen", errs[1])
+	}
+	script.mu.Lock()
+	calls := script.batchCalls
+	script.mu.Unlock()
+	if len(calls) != 1 || fmt.Sprint(calls[0]) != fmt.Sprint([]Key{"ok"}) {
+		t.Errorf("issued batches = %v, want one batch of just {ok}", calls)
 	}
 }
 

@@ -9,6 +9,7 @@ package index
 
 import (
 	"fmt"
+	"time"
 
 	"mlight/internal/dht"
 	"mlight/internal/metrics"
@@ -82,6 +83,8 @@ func (s SplitStrategy) String() string {
 //	CacheSize       CacheSize        (ignored)        (ignored)
 //	Retry           Retry            Retry            Retry
 //	Trace           Trace            Trace            Trace
+//	Sleep           Sleep            (ignored)        (ignored)
+//	WriterBatch     WriterBatch      (ignored)        (ignored)
 type Tuning struct {
 	// Dims is the data dimensionality m.
 	Dims int
@@ -103,6 +106,12 @@ type Tuning struct {
 	Retry *dht.RetryPolicy
 	// Trace attaches an operation-trace collector.
 	Trace *trace.Collector
+	// Sleep is the sleeper maintenance backoff uses between conflicting
+	// insert attempts; nil selects time.Sleep (m-LIGHT only).
+	Sleep func(time.Duration)
+	// WriterBatch bounds how many queued inserts one group commit of the
+	// m-LIGHT Writer drains.
+	WriterBatch int
 }
 
 // Option is one functional configuration step applied to a Tuning. The
@@ -168,4 +177,16 @@ func WithRetry(p dht.RetryPolicy) Option {
 // WithTrace attaches c as the operation-trace collector. A nil c detaches.
 func WithTrace(c *trace.Collector) Option {
 	return OptionFunc(func(t *Tuning) { t.Trace = c })
+}
+
+// WithSleep sets the maintenance backoff sleeper. Pass dht.NoSleep for
+// deterministic tests over simulated substrates; nil restores time.Sleep.
+func WithSleep(sleep func(time.Duration)) Option {
+	return OptionFunc(func(t *Tuning) { t.Sleep = sleep })
+}
+
+// WithWriter bounds how many queued inserts one group commit of the m-LIGHT
+// Writer drains (Index.Writer). 0 restores the default.
+func WithWriter(maxBatch int) Option {
+	return OptionFunc(func(t *Tuning) { t.WriterBatch = maxBatch })
 }

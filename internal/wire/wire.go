@@ -160,7 +160,11 @@ type ByteDHT struct {
 	codec Codec
 }
 
-var _ dht.DHT = (*ByteDHT)(nil)
+var (
+	_ dht.DHT         = (*ByteDHT)(nil)
+	_ dht.Batcher     = (*ByteDHT)(nil)
+	_ dht.BatchWriter = (*ByteDHT)(nil)
+)
 
 // NewByteDHT builds the adapter.
 func NewByteDHT(inner dht.DHT, codec Codec) *ByteDHT {
@@ -235,6 +239,107 @@ func (b *ByteDHT) Apply(key dht.Key, fn dht.ApplyFunc) error {
 // Owner implements dht.DHT.
 func (b *ByteDHT) Owner(key dht.Key) (string, error) {
 	return b.inner.Owner(key)
+}
+
+// GetBatch implements dht.Batcher: the whole batch is forwarded to the inner
+// substrate's batch path (keys need no encoding), then each returned payload
+// is decoded in place.
+func (b *ByteDHT) GetBatch(keys []dht.Key, maxInFlight int) []dht.BatchResult {
+	results := dht.GetBatch(b.inner, keys, maxInFlight)
+	for i := range results {
+		if results[i].Err != nil || !results[i].Found {
+			continue
+		}
+		data, ok := results[i].Value.([]byte)
+		if !ok {
+			results[i] = dht.BatchResult{Err: fmt.Errorf("wire: substrate returned %T, want bytes", results[i].Value)}
+			continue
+		}
+		decoded, err := b.codec.Unmarshal(data)
+		if err != nil {
+			results[i] = dht.BatchResult{Err: err}
+			continue
+		}
+		results[i].Value = decoded
+	}
+	return results
+}
+
+// PutBatch implements dht.BatchWriter with encode-once semantics: every
+// value is marshalled exactly once up front, on the caller's goroutine;
+// operations whose values fail to encode get their positional error without
+// touching the substrate, and only the encodable remainder is forwarded as
+// one inner batch round.
+func (b *ByteDHT) PutBatch(ops []dht.PutOp, maxInFlight int) []error {
+	errs := make([]error, len(ops))
+	encoded := make([]dht.PutOp, 0, len(ops))
+	// positions[j] is the caller-visible index of forwarded operation j.
+	positions := make([]int, 0, len(ops))
+	for i, op := range ops {
+		data, err := b.codec.Marshal(op.Value)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		encoded = append(encoded, dht.PutOp{Key: op.Key, Value: data})
+		positions = append(positions, i)
+	}
+	if len(encoded) == 0 {
+		return errs
+	}
+	inner := dht.PutBatch(b.inner, encoded, maxInFlight)
+	for j, i := range positions {
+		errs[i] = inner[j]
+	}
+	return errs
+}
+
+// ApplyBatch implements dht.BatchWriter: each transform is wrapped with the
+// same decode/re-encode shim as Apply (run at the owning peer), and the
+// wrapped batch is forwarded as one inner round. Codec failures surface as
+// that operation's positional error while leaving the stored bytes intact.
+func (b *ByteDHT) ApplyBatch(ops []dht.ApplyOp, maxInFlight int) []error {
+	wrapped := make([]dht.ApplyOp, len(ops))
+	codecErrs := make([]error, len(ops))
+	for i, op := range ops {
+		fn := op.Fn
+		slot := &codecErrs[i]
+		wrapped[i] = dht.ApplyOp{Key: op.Key, Fn: func(cur any, exists bool) (any, bool) {
+			// A re-issued attempt must not inherit a stale codec error.
+			*slot = nil
+			var decoded any
+			if exists {
+				data, ok := cur.([]byte)
+				if !ok {
+					*slot = fmt.Errorf("wire: substrate holds %T, want bytes", cur)
+					return cur, true
+				}
+				var err error
+				decoded, err = b.codec.Unmarshal(data)
+				if err != nil {
+					*slot = err
+					return cur, true
+				}
+			}
+			next, keep := fn(decoded, exists)
+			if !keep {
+				return nil, false
+			}
+			encoded, err := b.codec.Marshal(next)
+			if err != nil {
+				*slot = err
+				return cur, exists
+			}
+			return encoded, true
+		}}
+	}
+	errs := dht.ApplyBatch(b.inner, wrapped, maxInFlight)
+	for i := range errs {
+		if errs[i] == nil {
+			errs[i] = codecErrs[i]
+		}
+	}
+	return errs
 }
 
 // Range implements dht.Enumerator when the substrate does, decoding each

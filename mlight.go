@@ -90,6 +90,10 @@ type (
 
 	// Index is the m-LIGHT index client.
 	Index = core.Index
+	// Writer is the group-commit insert engine (Index.Writer): concurrent
+	// Insert callers coalesce into batched commits that share lookup,
+	// apply, and placement round trips.
+	Writer = core.Writer
 	// Options configures an Index.
 	Options = core.Options
 	// PHT is the Prefix Hash Tree baseline index client.
@@ -232,6 +236,12 @@ var (
 	// WithTrace attaches a trace collector to every operation the index
 	// performs; nil disables tracing.
 	WithTrace = index.WithTrace
+	// WithSleep sets the maintenance backoff sleeper (NoSleep makes insert
+	// retries deterministic over simulated substrates).
+	WithSleep = index.WithSleep
+	// WithWriter bounds how many queued inserts one group commit of the
+	// Writer drains (Index.Writer / Index.InsertBatch).
+	WithWriter = index.WithWriter
 )
 
 // NewLocalDHT creates the in-process substrate with the given number of
