@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListPasses pins the -list surface: all four invariant passes are
+// registered and documented.
+func TestListPasses(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, pass := range []string{"determinism", "droppederr", "decoratorcomplete", "locksafety"} {
+		if !strings.Contains(out.String(), pass) {
+			t.Errorf("-list output missing pass %q:\n%s", pass, out.String())
+		}
+	}
+}
+
+// TestCleanTreeExitsZero runs the full pass set over this repository from
+// the command's own entry point: the tree must stay clean, which is the
+// same gate CI enforces.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-C", "../..", "./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("lint over the repository exited %d:\n%s", code, out.String())
+	}
+}
+
+// TestJSONOutput pins the -json contract: a valid (possibly empty) array of
+// {file, line, col, pass, message} objects and nothing else on stdout.
+func TestJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-json", "-C", "../..", "./internal/analysis"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Pass    string `json:"pass"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected a clean package, got %d findings", len(diags))
+	}
+}
+
+// TestUnknownPassRejected pins the -passes validation.
+func TestUnknownPassRejected(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run([]string{"-passes", "nosuch"}, &out); err == nil || code != 2 {
+		t.Fatalf("run(-passes nosuch) = %d, %v; want 2 and an error", code, err)
+	}
+}

@@ -237,7 +237,7 @@ func printDistribution(ov overlay, out io.Writer) {
 		buckets, records int
 	}
 	perPeer := map[string]*load{}
-	_ = ov.Range(func(k dht.Key, v any) bool {
+	rangeErr := ov.Range(func(k dht.Key, v any) bool {
 		b, ok := v.(core.Bucket)
 		if !ok {
 			return true
@@ -273,6 +273,9 @@ func printDistribution(ov overlay, out io.Writer) {
 		}
 	}
 	fmt.Fprintf(out, "storage distribution over %d data-holding peers:\n", len(perPeer))
+	if rangeErr != nil {
+		fmt.Fprintf(out, "  WARNING: walk incomplete (%v); counts below understate the load\n", rangeErr)
+	}
 	fmt.Fprintf(out, "  records per peer: min=%d max=%d mean=%.0f normalised variance=%.3f\n\n",
 		minR, maxR, metrics.Mean(recs), metrics.NormalizedVariance(recs))
 }

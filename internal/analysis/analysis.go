@@ -1,0 +1,264 @@
+// Package analysis implements mlight-lint, a multi-pass static analyzer
+// that machine-checks the repository's correctness conventions — the
+// invariants the compiler cannot see but every PR so far has had to audit
+// by hand:
+//
+//   - determinism: no wall-clock reads or global (unseeded) math/rand use
+//     outside the experiment/driver packages, so simulations replay
+//     identically for a given seed (pass "determinism");
+//   - no silently dropped RPC or DHT errors — the class of bug behind the
+//     silent replica loss fixed in the fault-tolerance PR
+//     (pass "droppederr");
+//   - every DHT decorator forwards the optional capability interfaces
+//     (Batcher, BatchWriter, SpanGetter) its inner substrate may have, so
+//     wrapping never silently disables batching or trace attribution
+//     (pass "decoratorcomplete");
+//   - mutexes are never copied by value or passed across function
+//     boundaries by value (pass "locksafety").
+//
+// The analyzer is built purely on the standard library's go/ast, go/parser,
+// go/types, and go/importer (no golang.org/x/tools dependency), honoring
+// the repository's stdlib-only rule. It runs as `go run ./cmd/mlight-lint
+// ./...` and exits nonzero on findings.
+//
+// # Suppression
+//
+// A finding is suppressed by a directive comment
+//
+//	//lint:allow <pass> <reason>
+//
+// placed on the flagged line or on the line immediately above it (the last
+// line of a declaration's doc comment works). The reason is mandatory: a
+// directive without one is itself reported, as is a directive that
+// suppresses nothing, so the suppression inventory stays honest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package under analysis.
+type Package struct {
+	Path  string // import path ("<path>_test" for external test packages)
+	Dir   string // directory holding the source files
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is one finding, positioned at the offending syntax node.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Col     int            `json:"col"`
+	Pass    string         `json:"pass"`
+	Message string         `json:"message"`
+}
+
+// String renders the canonical "file:line:col: [pass] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Pass, d.Message)
+}
+
+// Pass is one invariant checker.
+type Pass interface {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Run reports every violation in pkg. Suppression is applied by the
+	// driver, not the pass.
+	Run(pkg *Package, cfg *Config) []Diagnostic
+}
+
+// Config tunes the passes. The zero value selects the repository defaults;
+// the golden tests override individual fields.
+type Config struct {
+	// DeterminismAllow lists package-path fragments exempt from the
+	// determinism pass. A package is exempt when any fragment equals its
+	// import path, one of its path segments' prefixes, or a suffix of it —
+	// "cmd" matches both "mlight/cmd/mlight-bench" and "cmd/x".
+	// Nil selects DefaultDeterminismAllow.
+	DeterminismAllow []string
+	// DroppedErrCalls lists callee names whose blank-assigned error results
+	// the droppederr pass flags even when other results are used. Nil
+	// selects DefaultDroppedErrCalls.
+	DroppedErrCalls []string
+	// DecoratorPackages lists final import-path segments of the packages
+	// the decoratorcomplete pass inspects. Nil selects
+	// DefaultDecoratorPackages.
+	DecoratorPackages []string
+}
+
+// DefaultDeterminismAllow exempts the experiment drivers and the command
+// and example mains — the only places wall time and convenience randomness
+// are part of the job (measuring real elapsed time, seeding demos).
+var DefaultDeterminismAllow = []string{"internal/experiments", "cmd", "examples"}
+
+// DefaultDroppedErrCalls are the operations whose errors the repository has
+// been burned by dropping: simulated-network RPCs (net.Call), the DHT
+// substrate interface, the batch planes, and the retry executor.
+var DefaultDroppedErrCalls = []string{
+	"Call",
+	"Put", "Get", "Remove", "Apply", "Owner",
+	"PutBatch", "ApplyBatch", "GetBatch",
+	"Do", "DoTraced",
+}
+
+// DefaultDecoratorPackages are the packages holding DHT decorators: the
+// dht package itself, its test-double kit, and the byte-codec adapter.
+var DefaultDecoratorPackages = []string{"dht", "dhttest", "wire"}
+
+func (c *Config) determinismAllow() []string {
+	if c == nil || c.DeterminismAllow == nil {
+		return DefaultDeterminismAllow
+	}
+	return c.DeterminismAllow
+}
+
+func (c *Config) droppedErrCalls() []string {
+	if c == nil || c.DroppedErrCalls == nil {
+		return DefaultDroppedErrCalls
+	}
+	return c.DroppedErrCalls
+}
+
+func (c *Config) decoratorPackages() []string {
+	if c == nil || c.DecoratorPackages == nil {
+		return DefaultDecoratorPackages
+	}
+	return c.DecoratorPackages
+}
+
+// pathMatches reports whether the import path matches the fragment, per the
+// Config.DeterminismAllow rules.
+func pathMatches(path, frag string) bool {
+	return path == frag ||
+		strings.HasPrefix(path, frag+"/") ||
+		strings.HasSuffix(path, "/"+frag) ||
+		strings.Contains(path, "/"+frag+"/")
+}
+
+// Passes returns the full pass set in reporting order.
+func Passes() []Pass {
+	return []Pass{determinismPass{}, droppedErrPass{}, decoratorCompletePass{}, lockSafetyPass{}}
+}
+
+// AllowName is the pseudo-pass under which directive hygiene problems
+// (missing reasons, suppressions that suppress nothing) are reported.
+const AllowName = "allow"
+
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_]+)(?:\s+(.*))?$`)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos    token.Position
+	pass   string
+	reason string
+	used   bool
+}
+
+// collectDirectives parses every //lint:allow directive in pkg.
+func collectDirectives(pkg *Package) []*directive {
+	var ds []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				ds = append(ds, &directive{
+					pos:    pkg.Fset.Position(c.Pos()),
+					pass:   m[1],
+					reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return ds
+}
+
+// Run executes the given passes over pkg, applies //lint:allow suppression,
+// and reports directive-hygiene problems. Diagnostics come back sorted by
+// position.
+func Run(pkg *Package, passes []Pass, cfg *Config) []Diagnostic {
+	ds := collectDirectives(pkg)
+	selected := make(map[string]bool, len(passes))
+	var out []Diagnostic
+	for _, p := range passes {
+		selected[p.Name()] = true
+		for _, diag := range p.Run(pkg, cfg) {
+			if d := matchDirective(ds, diag); d != nil {
+				d.used = true
+				continue
+			}
+			out = append(out, diag)
+		}
+	}
+	for _, d := range ds {
+		if !selected[d.pass] && d.pass != AllowName {
+			continue
+		}
+		switch {
+		case d.reason == "":
+			out = append(out, diagAt(d.pos, AllowName,
+				fmt.Sprintf("allow directive for %q is missing a reason", d.pass)))
+		case !d.used:
+			out = append(out, diagAt(d.pos, AllowName,
+				fmt.Sprintf("allow directive for %q suppresses nothing", d.pass)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+// matchDirective finds a directive covering diag: same pass, same file, on
+// the diagnosed line or the line immediately above it. Directives without a
+// reason never suppress, so a reason cannot be omitted accidentally.
+func matchDirective(ds []*directive, diag Diagnostic) *directive {
+	for _, d := range ds {
+		if d.pass != diag.Pass || d.reason == "" || d.pos.Filename != diag.File {
+			continue
+		}
+		if d.pos.Line == diag.Line || d.pos.Line == diag.Line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+func diagAt(pos token.Position, pass, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:     pos,
+		File:    pos.Filename,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Pass:    pass,
+		Message: msg,
+	}
+}
+
+func (p *Package) diag(pos token.Pos, pass, format string, args ...any) Diagnostic {
+	return diagAt(p.Fset.Position(pos), pass, fmt.Sprintf(format, args...))
+}

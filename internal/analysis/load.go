@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Standard     bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+}
+
+// Load resolves the given `go list` patterns (e.g. "./...") relative to dir
+// and typechecks every matched package, including its in-package test files.
+// External test packages (package foo_test) are loaded as separate packages
+// named "<path>_test".
+//
+// The loader is built purely on the standard library: one `go list -export`
+// invocation supplies compiled export data for every dependency (the same
+// mechanism golang.org/x/tools/go/packages uses), and the matched packages
+// themselves are parsed and typechecked from source so the passes get
+// syntax trees with comments.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	targetSet := make(map[string]*listPackage)
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		// Test variants are listed as "path [root.test]"; fold their export
+		// data onto the plain path only when the plain entry has none.
+		path := p.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i]
+		}
+		if p.Export != "" {
+			if _, ok := exports[path]; !ok || path == p.ImportPath {
+				exports[path] = p.Export
+			}
+		}
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") ||
+			strings.IndexByte(p.ImportPath, ' ') >= 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, dup := targetSet[p.ImportPath]; !dup {
+			targetSet[p.ImportPath] = p
+			order = append(order, p.ImportPath)
+		}
+	}
+	sort.Strings(order)
+
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, exports: exports, source: make(map[string]*types.Package)}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+
+	var pkgs []*Package
+	for _, path := range order {
+		lp := targetSet[path]
+		files := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+		files = append(files, lp.TestGoFiles...)
+		pkg, err := ld.check(path, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			// The external test package imports the base package from the
+			// same export data every other dependency references, keeping
+			// type identities consistent. An xtest that reaches into
+			// helpers declared in the base package's _test.go files is
+			// retried with the source-checked (test-augmented) base.
+			xpkg, err := ld.check(path+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil && pkg != nil {
+				ld.override = map[string]*types.Package{path: pkg.Types}
+				xpkg, err = ld.check(path+"_test", lp.Dir, lp.XTestGoFiles)
+				ld.override = nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if xpkg != nil {
+				pkgs = append(pkgs, xpkg)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir typechecks the single package rooted at dir under the given import
+// path, resolving imports first against extra source directories (import
+// path → directory), then against compiled export data for the import paths
+// listed in stdlib. It exists for test harnesses that check packages outside
+// the enclosing module (testdata trees).
+func LoadDir(dir, path string, extra map[string]string, stdlib map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		exports: stdlib,
+		srcDirs: extra,
+		source:  make(map[string]*types.Package),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookup)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	return ld.check(path, dir, files)
+}
+
+// ListExports runs `go list -deps -export` over the given packages (typically
+// a handful of standard-library paths) and returns import path → export data
+// file, for use as LoadDir's stdlib argument.
+func ListExports(dir string, pkgs []string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list -export %s: %v\n%s", strings.Join(pkgs, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// loader typechecks packages from source, resolving imports through shared
+// compiled export data so all loaded packages agree on imported types.
+type loader struct {
+	fset     *token.FileSet
+	exports  map[string]string // import path → export data file
+	srcDirs  map[string]string // import path → source dir (LoadDir mode)
+	gc       types.Importer
+	source   map[string]*types.Package // source-checked srcDirs packages
+	override map[string]*types.Package // per-check import overrides (xtest base)
+}
+
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Import implements types.Importer. Export data wins over source so that
+// every package in one load agrees on imported type identities; source is
+// used only for the xtest-base override and for srcDirs trees (testdata),
+// which have no export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.override[path]; ok {
+		return p, nil
+	}
+	if _, ok := l.exports[path]; ok {
+		return l.gc.Import(path)
+	}
+	if p, ok := l.source[path]; ok {
+		return p, nil
+	}
+	if dir, ok := l.srcDirs[path]; ok {
+		return l.checkDepDir(path, dir)
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) checkDepDir(path, dir string) (*types.Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	pkg, err := l.check(path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.source[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// check parses and typechecks one package from the named files under dir.
+// A package with no files yields (nil, nil).
+func (l *loader) check(path, dir string, files []string) (*Package, error) {
+	if len(files) == 0 {
+		return nil, nil
+	}
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", filepath.Join(dir, name), err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, asts, info)
+	if err != nil && len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: typechecking %s: %v", path, typeErrs[0])
+	} else if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %v", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: asts,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockSafetyPass flags mutex values that escape their owner by copy:
+//
+//   - function/method parameters, results, and receivers declared by value
+//     with a type that holds a lock (sync.Mutex, sync.RWMutex, or any
+//     struct/array transitively containing one) — "a mutex field passed
+//     across a function boundary" guards a different lock on each side of
+//     the call;
+//   - assignments and variable declarations that copy an existing lock-
+//     holding value (`x := *node`, `cp := ring.state`). Fresh composite
+//     literals and function-call results are not copies of a *shared* lock
+//     and are allowed.
+//
+// The dynamic race detector only catches a copied mutex when two
+// goroutines actually collide on it in a given run; this pass rejects the
+// copy statically. Lock-holding types are recognized structurally — a
+// named type whose pointer method set has Lock and Unlock while its value
+// method set does not — so the pass needs no dependency on the sync
+// package itself.
+type lockSafetyPass struct{}
+
+func (lockSafetyPass) Name() string { return "locksafety" }
+
+func (lockSafetyPass) Doc() string {
+	return "flag mutex-by-value copies and mutexes passed across function boundaries"
+}
+
+func (lockSafetyPass) Run(pkg *Package, cfg *Config) []Diagnostic {
+	seen := make(map[types.Type]string)
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, checkFuncType(pkg, node.Type, node.Recv, seen)...)
+			case *ast.FuncLit:
+				out = append(out, checkFuncType(pkg, node.Type, nil, seen)...)
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if i < len(node.Lhs) && isBlank(node.Lhs[i]) {
+						continue
+					}
+					out = append(out, checkCopy(pkg, rhs, seen)...)
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					out = append(out, checkCopy(pkg, v, seen)...)
+				}
+			case *ast.RangeStmt:
+				// `for _, v := range slice` copies each element into v.
+				if node.Value != nil && !isBlank(node.Value) {
+					if t := exprType(pkg, node.Value); t != nil {
+						if lock := lockIn(t, seen); lock != "" {
+							out = append(out, pkg.diag(node.Value.Pos(), "locksafety",
+								"range copies a value containing %s; iterate by index or store pointers", lock))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFuncType flags by-value lock-holding parameters, results, and
+// receivers in a function signature.
+func checkFuncType(pkg *Package, ft *ast.FuncType, recv *ast.FieldList, seen map[types.Type]string) []Diagnostic {
+	var out []Diagnostic
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pkg.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lock := lockIn(t, seen); lock != "" {
+				out = append(out, pkg.diag(field.Pos(), "locksafety",
+					"%s passes %s by value across a function boundary; use a pointer", kind, lock))
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+	return out
+}
+
+// checkCopy flags expressions that copy an existing lock-holding value:
+// dereferences, plain variable reads, field selections, and indexing.
+// Composite literals, calls, and conversions build fresh values and pass.
+func checkCopy(pkg *Package, rhs ast.Expr, seen map[types.Type]string) []Diagnostic {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return nil
+	}
+	tv, ok := pkg.Info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	// Taking an address or reading a pointer-typed variable is not a copy.
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	if lock := lockIn(tv.Type, seen); lock != "" {
+		return []Diagnostic{pkg.diag(rhs.Pos(), "locksafety",
+			"assignment copies a value containing %s; use a pointer", lock)}
+	}
+	return nil
+}
+
+// exprType resolves e's type, falling back to the defined or used object
+// for identifiers — range variables introduced with `:=` are recorded in
+// Info.Defs, not Info.Types.
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// lockIn reports the name of a lock type reachable in t by value, or "".
+func lockIn(t types.Type, seen map[types.Type]string) string {
+	if name, ok := seen[t]; ok {
+		return name
+	}
+	seen[t] = "" // cycle guard; overwritten below on a find
+	name := findLock(t, seen)
+	seen[t] = name
+	return name
+}
+
+func findLock(t types.Type, seen map[types.Type]string) string {
+	if isLockType(t) {
+		return types.TypeString(t, types.RelativeTo(nil))
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockIn(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return ""
+}
+
+// isLockType reports whether *t has Lock and Unlock methods that t itself
+// lacks — the shape of sync.Mutex and sync.RWMutex.
+func isLockType(t types.Type) bool {
+	if _, ok := t.(interface{ Obj() *types.TypeName }); !ok {
+		return false
+	}
+	ptr := types.NewMethodSet(types.NewPointer(t))
+	val := types.NewMethodSet(t)
+	return hasMethod(ptr, "Lock") && hasMethod(ptr, "Unlock") &&
+		!hasMethod(val, "Lock")
+}
+
+func hasMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

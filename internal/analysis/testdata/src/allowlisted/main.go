@@ -1,0 +1,16 @@
+// Package main is golden-test input loaded under the import path
+// "example.com/cmd/demo": the "cmd" fragment of DeterminismAllow exempts
+// driver packages, so the wall-clock read and global rand draw below carry
+// no want expectations.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	_ = rand.Intn(10)
+	_ = time.Since(start)
+}

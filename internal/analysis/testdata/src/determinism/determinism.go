@@ -1,0 +1,48 @@
+// Package determinism is golden-test input for the determinism pass: wall
+// clock reads and global math/rand draws are flagged, explicitly seeded
+// generators are not, and //lint:allow directives suppress (or are
+// themselves reported when unhygienic).
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()    // want "wall-clock read time.Now"
+	d := time.Since(t) // want "wall-clock read time.Since"
+	d += time.Until(t) // want "wall-clock read time.Until"
+	return d
+}
+
+func globalRand() float64 {
+	n := rand.Intn(10) // want `global rand.Intn draws from a process-wide source`
+	_ = n
+	return rand.Float64() // want `global rand.Float64`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	return rng.Intn(10)                   // method on *rand.Rand: allowed
+}
+
+func suppressed() time.Time {
+	//lint:allow determinism this fixture pins that a reasoned directive suppresses
+	return time.Now()
+}
+
+func clean() int {
+	// The next directive suppresses nothing and must be reported for it.
+	//lint:allow determinism stale suppression left behind
+	// want:prev "suppresses nothing"
+	return 1
+}
+
+func reasonless() time.Time {
+	// A directive without a reason never suppresses and is reported, so the
+	// wall-clock read below it is still flagged too.
+	//lint:allow determinism
+	// want:prev "missing a reason"
+	return time.Now() // want "wall-clock read time.Now"
+}

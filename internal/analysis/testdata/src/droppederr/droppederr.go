@@ -1,0 +1,50 @@
+// Package droppederr is golden-test input for the dropped-error pass. The
+// watched callee names (Call, Get, PutBatch, …) are matched by name, so
+// local stand-ins exercise the same rules the real net/dht/retry surfaces
+// hit.
+package droppederr
+
+// Call mimics the simulated network RPC surface.
+func Call(dst string, msg any) (any, error) { return msg, nil }
+
+// Get mimics the DHT read surface.
+func Get(k string) (any, bool, error) { return k, true, nil }
+
+// PutBatch mimics the batch write plane: a positional []error carrier.
+func PutBatch(ks []string) []error { return nil }
+
+// helper is deliberately NOT a watched name.
+func helper() (int, error) { return 0, nil }
+
+func fireAndForget() {
+	_, _ = Call("peer", 1) // want "fire-and-forget call to Call"
+	// The all-blank rule is name-agnostic: unwatched callees count too.
+	_, _ = helper() // want "fire-and-forget call to helper"
+}
+
+func blankedError() {
+	v, _, _ := Get("k") // want "error result of Get assigned to _"
+	_ = v
+}
+
+func discarded() {
+	Get("k")      // want "result of Get discarded"
+	PutBatch(nil) // want "result of PutBatch discarded"
+}
+
+func handled() error {
+	// Blanking data results while keeping the error is fine.
+	_, _, err := Get("k")
+	if err != nil {
+		return err
+	}
+	// Unwatched callees may blank their error when other results are kept.
+	n, _ := helper()
+	_ = n
+	return nil
+}
+
+func suppressed() {
+	//lint:allow droppederr probe issued purely to warm the route cache
+	_, _ = Call("peer", 2)
+}

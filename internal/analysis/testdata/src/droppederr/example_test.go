@@ -1,0 +1,12 @@
+package droppederr
+
+import "fmt"
+
+// ExampleGet drops errors the way godoc examples conventionally do; the
+// pass exempts Example functions in _test.go files, so nothing here carries
+// a want expectation.
+func ExampleGet() {
+	v, _, _ := Get("k")
+	fmt.Println(v)
+	// Output: k
+}

@@ -1,0 +1,52 @@
+// Package locksafety is golden-test input for the mutex-copy pass: locks
+// (and structs transitively holding them) must move by pointer, never by
+// value.
+package locksafety
+
+import "sync"
+
+// guarded transitively contains a lock, so copying it copies the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { return g.n } // want "parameter passes sync.Mutex by value"
+
+func byValueResult() (g guarded) { return } // want "result passes sync.Mutex by value"
+
+func (g guarded) byValueReceiver() int { return g.n } // want "receiver passes sync.Mutex by value"
+
+func byPointer(g *guarded) int { return g.n }
+
+func copies(src *guarded) {
+	deref := *src // want "assignment copies a value containing sync.Mutex"
+	_ = deref
+
+	var local guarded
+	dup := local // want "assignment copies a value containing sync.Mutex"
+	_ = dup
+
+	// Fresh composite literals and pointer reads are not copies of a
+	// shared lock.
+	fresh := guarded{n: 1}
+	_ = fresh
+	ptr := &local
+	_ = ptr
+
+	slots := []guarded{{n: 2}}
+	one := slots[0] // want "assignment copies a value containing sync.Mutex"
+	_ = one
+	for _, v := range slots { // want "range copies a value containing sync.Mutex"
+		_ = v.n
+	}
+	for i := range slots { // iterating by index is the sanctioned form
+		slots[i].n++
+	}
+}
+
+func suppressed(src *guarded) {
+	//lint:allow locksafety snapshotting a quiescent value in a single-threaded test fixture
+	snap := *src
+	_ = snap.n
+}

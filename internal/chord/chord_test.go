@@ -91,7 +91,9 @@ func TestPutGetRemoveAcrossRing(t *testing.T) {
 	if err := ring.Remove("k0"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := ring.Get("k0"); ok {
+	if _, ok, err := ring.Get("k0"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("Remove left value")
 	}
 	// Values are spread over several nodes, not piled on one.
@@ -132,7 +134,9 @@ func TestApply(t *testing.T) {
 	if err := ring.Apply("acc", func(any, bool) (any, bool) { return nil, false }); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := ring.Get("acc"); ok {
+	if _, ok, err := ring.Get("acc"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("Apply(keep=false) left value")
 	}
 }

@@ -1,0 +1,41 @@
+package chord
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMaintenanceErrorsCountNotifyFailures pins the fix for the last
+// fire-and-forget maintenance RPC: a notify lost to the network must land
+// in MaintenanceErrors/LastMaintenanceError instead of vanishing in a
+// `_, _ =` assignment.
+func TestMaintenanceErrorsCountNotifyFailures(t *testing.T) {
+	ring := buildReplicatedRing(t, 8, 1)
+	if got := ring.MaintenanceErrors.Load(); got != 0 {
+		t.Fatalf("MaintenanceErrors = %d on a healthy ring, want 0", got)
+	}
+	if err := ring.LastMaintenanceError(); err != nil {
+		t.Fatalf("LastMaintenanceError = %v on a healthy ring, want nil", err)
+	}
+
+	ring.net.SetDropRate(1.0)
+	ring.Stabilize(1)
+	if got := ring.MaintenanceErrors.Load(); got == 0 {
+		t.Fatal("MaintenanceErrors = 0 after stabilizing under total loss, want > 0")
+	}
+	err := ring.LastMaintenanceError()
+	if err == nil {
+		t.Fatal("LastMaintenanceError = nil after dropped notifies")
+	}
+	if !strings.Contains(err.Error(), "notify") {
+		t.Fatalf("LastMaintenanceError = %v, want a notify failure", err)
+	}
+
+	// Repair: once the network heals, rounds stop accumulating errors.
+	ring.net.SetDropRate(0)
+	before := ring.MaintenanceErrors.Load()
+	ring.Stabilize(2)
+	if got := ring.MaintenanceErrors.Load(); got != before {
+		t.Fatalf("MaintenanceErrors grew from %d to %d on a healed network", before, got)
+	}
+}

@@ -94,7 +94,9 @@ func TestNoReplicationLosesDataOnCrash(t *testing.T) {
 	ring.Stabilize(2)
 	lost := 0
 	for i := 0; i < 300; i++ {
-		if _, ok, _ := ring.Get(dht.Key(fmt.Sprintf("nk%d", i))); !ok {
+		// An unreachable key counts as lost whether the miss is a clean
+		// not-found or a routing error to the dead node.
+		if _, ok, err := ring.Get(dht.Key(fmt.Sprintf("nk%d", i))); err != nil || !ok {
 			lost++
 		}
 	}
@@ -134,7 +136,9 @@ func TestReplicationApplySurvivesCrash(t *testing.T) {
 	if err := ring.Apply("counter", inc); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := ring.Get("counter"); v != 6 {
+	if v, _, err := ring.Get("counter"); err != nil {
+		t.Fatal(err)
+	} else if v != 6 {
 		t.Fatalf("counter after post-crash apply = %v", v)
 	}
 }
@@ -158,7 +162,9 @@ func TestReplicationRemoveDropsReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	ring.Stabilize(2)
-	if _, ok, _ := ring.Get("gone"); ok {
+	if _, ok, err := ring.Get("gone"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("removed key resurrected from a replica")
 	}
 }

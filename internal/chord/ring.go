@@ -56,6 +56,7 @@ type Ring struct {
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
+	lastMaintErr   error
 
 	// Lookups counts completed iterative lookups; Hops counts every
 	// lookup-step RPC issued, so Hops/Lookups is the mean route length.
@@ -65,6 +66,12 @@ type Ring struct {
 	// after the retry budget — replicas that will stay missing until the
 	// next stabilization round repairs them.
 	ReplicationErrors metrics.Counter
+	// MaintenanceErrors counts failed maintenance RPCs — the stabilize
+	// notify that keeps predecessor pointers fresh. A failed notify is not
+	// fatal (the next round retries it), but a rising counter means churn
+	// or loss is outpacing repair, the signal the old fire-and-forget
+	// `_, _ = net.Call(...)` discarded.
+	MaintenanceErrors metrics.Counter
 }
 
 var (
@@ -110,6 +117,22 @@ func (r *Ring) LastReplicationError() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.lastReplicaErr
+}
+
+// LastMaintenanceError returns the most recent failed maintenance RPC, or
+// nil. Pair with MaintenanceErrors to see both rate and cause.
+func (r *Ring) LastMaintenanceError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastMaintErr
+}
+
+// noteMaintenanceError records one failed maintenance RPC.
+func (r *Ring) noteMaintenanceError(err error) {
+	r.MaintenanceErrors.Inc()
+	r.mu.Lock()
+	r.lastMaintErr = err
+	r.mu.Unlock()
 }
 
 // AddNode creates a node at addr and joins it to the ring. The first node
@@ -472,7 +495,9 @@ func (r *Ring) stabilizeNode(n *Node) {
 		}
 	}
 	if succ.Addr != n.addr {
-		_, _ = r.net.Call(n.addr, succ.Addr, notifyReq{Candidate: n.self()})
+		if _, err := r.net.Call(n.addr, succ.Addr, notifyReq{Candidate: n.self()}); err != nil {
+			r.noteMaintenanceError(fmt.Errorf("chord: notify %q from %q: %w", succ.Addr, n.addr, err))
+		}
 	}
 	// Replication repair: promote replica entries this node now owns, then
 	// refresh this node's copies on its current successors.

@@ -116,6 +116,11 @@ type Options struct {
 	// WriterBatch bounds how many queued inserts one group commit of the
 	// Writer drains (see Index.Writer). Default 256.
 	WriterBatch int
+	// Seed seeds the index's internal randomness — the depth-probe sampling
+	// of EstimateDepth. The index never reads the global rand source or the
+	// wall clock, so any fixed Seed (including the zero value) makes runs
+	// replayable.
+	Seed int64
 }
 
 // Apply implements index.Option: an Options value used as a functional
@@ -135,6 +140,7 @@ func (o Options) Apply(t *index.Tuning) {
 		Trace:          o.Trace,
 		Sleep:          o.Sleep,
 		WriterBatch:    o.WriterBatch,
+		Seed:           o.Seed,
 	}
 }
 
@@ -153,6 +159,7 @@ func FromTuning(t index.Tuning) Options {
 		Trace:       t.Trace,
 		Sleep:       t.Sleep,
 		WriterBatch: t.WriterBatch,
+		Seed:        t.Seed,
 	}
 }
 

@@ -274,12 +274,13 @@ func samePoint(a, b spatial.Point) bool {
 // ("estimated by apriori knowledge or by probing certain values before
 // query processing"). It returns the maximum leaf depth observed below the
 // ordinary root; callers typically add a safety margin before using it as
-// MaxDepth elsewhere.
-func (ix *Index) EstimateDepth(samples int, seed int64) (int, error) {
+// MaxDepth elsewhere. The probe points are drawn from a source seeded by
+// Options.Seed (WithSeed), so repeated runs sample identically.
+func (ix *Index) EstimateDepth(samples int) (int, error) {
 	if samples < 1 {
 		return 0, fmt.Errorf("core: samples must be ≥ 1, got %d", samples)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(ix.opts.Seed))
 	m := ix.opts.Dims
 	maxDepth := 0
 	for i := 0; i < samples; i++ {

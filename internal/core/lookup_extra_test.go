@@ -5,13 +5,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"mlight/internal/index"
 	"mlight/internal/spatial"
 )
 
 func TestEstimateDepth(t *testing.T) {
-	ix := newIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5})
+	ix := newIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5, Seed: 1})
 	// Empty index: only the root leaf, depth 0.
-	d, err := ix.EstimateDepth(50, 1)
+	d, err := ix.EstimateDepth(50)
 	if err != nil || d != 0 {
 		t.Fatalf("empty index depth = %d, %v", d, err)
 	}
@@ -21,7 +22,7 @@ func TestEstimateDepth(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	d, err = ix.EstimateDepth(300, 1)
+	d, err = ix.EstimateDepth(300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,31 @@ func TestEstimateDepth(t *testing.T) {
 	if d > trueMax {
 		t.Errorf("estimate %d above true max %d", d, trueMax)
 	}
-	if _, err := ix.EstimateDepth(0, 1); err == nil {
+	if _, err := ix.EstimateDepth(0); err == nil {
 		t.Error("samples=0 accepted")
+	}
+	// The probe sampling is seeded from Options, so on an unchanged index
+	// repeated estimates are replayable bit-for-bit.
+	d2, err := ix.EstimateDepth(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d {
+		t.Errorf("repeated estimate = %d, first = %d; sampling not replayable", d2, d)
+	}
+}
+
+// TestSeedRoundTripsThroughTuning pins the Options↔Tuning mapping for Seed:
+// a facade-level WithSeed must reach EstimateDepth's probe source.
+func TestSeedRoundTripsThroughTuning(t *testing.T) {
+	o := Options{Seed: 42}
+	var tun struct{ index.Tuning }
+	o.Apply(&tun.Tuning)
+	if tun.Seed != 42 {
+		t.Fatalf("Apply lost Seed: %d", tun.Seed)
+	}
+	back := FromTuning(tun.Tuning)
+	if back.Seed != 42 {
+		t.Fatalf("FromTuning lost Seed: %d", back.Seed)
 	}
 }

@@ -43,8 +43,8 @@ func TestPutBatchNativeAndFallbackAgree(t *testing.T) {
 				}
 			}
 			for i := 0; i < n; i++ {
-				if v, ok, _ := local.Get(Key(fmt.Sprintf("k%d", i))); !ok || v != i*i {
-					t.Fatalf("k%d holds %v, %v; want %d", i, v, ok, i*i)
+				if v, ok, err := local.Get(Key(fmt.Sprintf("k%d", i))); err != nil || !ok || v != i*i {
+					t.Fatalf("k%d holds %v, %v, %v; want %d", i, v, ok, err, i*i)
 				}
 			}
 		})
@@ -73,8 +73,8 @@ func TestApplyBatchNativeAndFallbackAgree(t *testing.T) {
 				}
 			}
 			for i := 0; i < 3; i++ {
-				if v, _, _ := local.Get(Key(fmt.Sprintf("c%d", i))); v != n/3 {
-					t.Fatalf("c%d absorbed %v increments, want %d (lost update)", i, v, n/3)
+				if v, _, err := local.Get(Key(fmt.Sprintf("c%d", i))); err != nil || v != n/3 {
+					t.Fatalf("c%d absorbed %v increments (err %v), want %d (lost update)", i, v, err, n/3)
 				}
 			}
 		})

@@ -38,8 +38,8 @@ func RunConformance(t *testing.T, newDHT Factory) {
 		if err := d.Put("k", "v2"); err != nil {
 			t.Fatal(err)
 		}
-		if v, _, _ := d.Get("k"); v != "v2" {
-			t.Fatalf("Put did not replace: %v", v)
+		if v, _, err := d.Get("k"); err != nil || v != "v2" {
+			t.Fatalf("Put did not replace: %v (err %v)", v, err)
 		}
 	})
 
@@ -51,8 +51,8 @@ func RunConformance(t *testing.T, newDHT Factory) {
 		if err := d.Remove("k"); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := d.Get("k"); ok {
-			t.Fatal("Remove left value")
+		if _, ok, err := d.Get("k"); err != nil || ok {
+			t.Fatalf("Remove left value: ok=%v err=%v", ok, err)
 		}
 		if err := d.Remove("k"); err != nil {
 			t.Fatalf("second Remove errored: %v", err)
@@ -78,14 +78,14 @@ func RunConformance(t *testing.T, newDHT Factory) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if v, ok, _ := d.Get("a"); !ok || v != 11 {
-			t.Fatalf("after Apply: %v, %v", v, ok)
+		if v, ok, err := d.Get("a"); err != nil || !ok || v != 11 {
+			t.Fatalf("after Apply: %v, %v, %v", v, ok, err)
 		}
 		if err := d.Apply("a", func(any, bool) (any, bool) { return nil, false }); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := d.Get("a"); ok {
-			t.Fatal("Apply(keep=false) left value")
+		if _, ok, err := d.Get("a"); err != nil || ok {
+			t.Fatalf("Apply(keep=false) left value: ok=%v err=%v", ok, err)
 		}
 	})
 
@@ -223,8 +223,8 @@ func RunConformance(t *testing.T, newDHT Factory) {
 				t.Fatalf("replacing PutBatch op %d: %v", i, err)
 			}
 		}
-		if v, _, _ := d.Get("pb-7"); v != 1007 {
-			t.Fatalf("PutBatch did not replace: %v", v)
+		if v, _, err := d.Get("pb-7"); err != nil || v != 1007 {
+			t.Fatalf("PutBatch did not replace: %v (err %v)", v, err)
 		}
 	})
 
@@ -262,8 +262,8 @@ func RunConformance(t *testing.T, newDHT Factory) {
 		if errs := dht.ApplyBatch(d, del, 1); errs[0] != nil {
 			t.Fatal(errs[0])
 		}
-		if _, ok, _ := d.Get("ab-0"); ok {
-			t.Fatal("ApplyBatch(keep=false) left value")
+		if _, ok, err := d.Get("ab-0"); err != nil || ok {
+			t.Fatalf("ApplyBatch(keep=false) left value: ok=%v err=%v", ok, err)
 		}
 	})
 

@@ -20,6 +20,8 @@ var ErrInjected = dht.Retryable(errors.New("dhttest: injected fault"))
 // NEITHER dht.Batcher NOR dht.BatchWriter: batched reads and writes issued
 // through it decompose into pooled per-key operations, so per-key injection
 // (and per-key retries above it) are exercised on the batch paths too.
+//
+//lint:allow decoratorcomplete Flaky is deliberately capability-free so batch and span paths decompose into per-key ops that fault injection can hit individually
 type Flaky struct {
 	inner dht.DHT
 

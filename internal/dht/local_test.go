@@ -10,7 +10,9 @@ import (
 
 func TestLocalPutGetRemove(t *testing.T) {
 	l := MustNewLocal(4)
-	if _, ok, _ := l.Get("absent"); ok {
+	if _, ok, err := l.Get("absent"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("Get(absent) found a value")
 	}
 	if err := l.Put("k", 42); err != nil {
@@ -23,13 +25,17 @@ func TestLocalPutGetRemove(t *testing.T) {
 	if err := l.Put("k", 43); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := l.Get("k"); v != 43 {
+	if v, _, err := l.Get("k"); err != nil {
+		t.Fatal(err)
+	} else if v != 43 {
 		t.Errorf("Put did not replace: %v", v)
 	}
 	if err := l.Remove("k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := l.Get("k"); ok {
+	if _, ok, err := l.Get("k"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("Remove left value behind")
 	}
 	if err := l.Remove("k"); err != nil {
@@ -59,7 +65,9 @@ func TestLocalApply(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := l.Get("counter"); v != 2 {
+	if v, _, err := l.Get("counter"); err != nil {
+		t.Fatal(err)
+	} else if v != 2 {
 		t.Errorf("counter = %v, want 2", v)
 	}
 	// Delete via Apply.
@@ -68,7 +76,9 @@ func TestLocalApply(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := l.Get("counter"); ok {
+	if _, ok, err := l.Get("counter"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("Apply(keep=false) did not delete")
 	}
 }
@@ -82,7 +92,10 @@ func TestLocalOwnerConsistent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		o2, _ := l.Owner(k)
+		o2, err := l.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if o1 != o2 {
 			t.Fatalf("Owner(%q) unstable: %q vs %q", k, o1, o2)
 		}
@@ -139,8 +152,8 @@ func TestLocalConcurrentAccess(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, ok, _ := l.Get(k); !ok {
-					t.Errorf("lost %q", k)
+				if _, ok, err := l.Get(k); err != nil || !ok {
+					t.Errorf("lost %q: ok=%v err=%v", k, ok, err)
 					return
 				}
 			}

@@ -259,7 +259,9 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	// Spend the new cooldown, then a successful trial closes it.
 	for i := 0; i < 2; i++ {
-		_ = r.Do("peer", func() error { return nil })
+		if err := r.Do("peer", func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("cooldown spend %d: err = %v, want ErrBreakerOpen", i, err)
+		}
 	}
 	if err := r.Do("peer", func() error { return nil }); err != nil {
 		t.Fatalf("successful trial = %v", err)
@@ -344,8 +346,8 @@ func TestResilientPutBatchSubBatchReissue(t *testing.T) {
 		}
 	}
 	for i, k := range []Key{"a", "b", "c", "d"} {
-		if v, ok, _ := script.Get(k); !ok || v != i {
-			t.Errorf("after recovery, %q = %v, %v; want %d", k, v, ok, i)
+		if v, ok, err := script.Get(k); err != nil || !ok || v != i {
+			t.Errorf("after recovery, %q = %v, %v, %v; want %d", k, v, ok, err, i)
 		}
 	}
 	if s := res.Stats().Snapshot(); s.Recovered != 2 || s.Retries != 3 {
@@ -387,8 +389,8 @@ func TestResilientApplyBatchOutcomesPositional(t *testing.T) {
 	if errs[3] != nil || calls != 1 {
 		t.Errorf("once slot: err %v after %d closure runs, want nil after exactly 1", errs[3], calls)
 	}
-	if v, ok, _ := script.Get("recovers"); !ok || v != 1 {
-		t.Errorf("recovers holds %v, %v; want 1 applied once", v, ok)
+	if v, ok, err := script.Get("recovers"); err != nil || !ok || v != 1 {
+		t.Errorf("recovers holds %v, %v, %v; want 1 applied once", v, ok, err)
 	}
 	if s := res.Stats().Snapshot(); s.Exhausted != 1 || s.Recovered != 1 {
 		t.Errorf("stats = %+v, want exhausted 1, recovered 1", s)

@@ -163,8 +163,11 @@ func NewRetrier(policy RetryPolicy, stats *metrics.ResilienceStats) *Retrier {
 	}
 	p := policy.withDefaults()
 	return &Retrier{
-		policy:   p,
-		stats:    stats,
+		policy: p,
+		stats:  stats,
+		// Backoff jitter draws from a private source seeded by the policy,
+		// never the global rand — the determinism invariant mlight-lint
+		// enforces: same policy, same jitter sequence, replayable runs.
 		rng:      rand.New(rand.NewSource(p.Seed)),
 		breakers: make(map[string]*breaker),
 	}

@@ -85,6 +85,7 @@ func (s SplitStrategy) String() string {
 //	Trace           Trace            Trace            Trace
 //	Sleep           Sleep            (ignored)        (ignored)
 //	WriterBatch     WriterBatch      (ignored)        (ignored)
+//	Seed            Seed             (ignored)        (ignored)
 type Tuning struct {
 	// Dims is the data dimensionality m.
 	Dims int
@@ -112,6 +113,11 @@ type Tuning struct {
 	// WriterBatch bounds how many queued inserts one group commit of the
 	// m-LIGHT Writer drains.
 	WriterBatch int
+	// Seed seeds the index's internal randomness — today the depth-probe
+	// sampling of EstimateDepth. Any fixed value keeps runs replayable; the
+	// zero value is itself a valid seed, so no field needs setting for
+	// deterministic behaviour.
+	Seed int64
 }
 
 // Option is one functional configuration step applied to a Tuning. The
@@ -189,4 +195,9 @@ func WithSleep(sleep func(time.Duration)) Option {
 // Writer drains (Index.Writer). 0 restores the default.
 func WithWriter(maxBatch int) Option {
 	return OptionFunc(func(t *Tuning) { t.WriterBatch = maxBatch })
+}
+
+// WithSeed seeds the index's internal randomness (depth-estimation probes).
+func WithSeed(seed int64) Option {
+	return OptionFunc(func(t *Tuning) { t.Seed = seed })
 }

@@ -329,14 +329,20 @@ type Overlay struct {
 	maxRounds   int
 	replication int
 
-	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID
-	rng   *rand.Rand
+	mu           sync.Mutex
+	nodes        map[simnet.NodeID]*Node
+	order        []simnet.NodeID
+	rng          *rand.Rand
+	lastMaintErr error
 
 	// Lookups counts iterative lookups; Hops counts FIND_NODE RPCs issued.
 	Lookups metrics.Counter
 	Hops    metrics.Counter
+	// MaintenanceErrors counts failed maintenance work — the bucket-refresh
+	// self-lookups Stabilize issues. A failed refresh leaves routing-table
+	// coverage stale until a later round; the counter surfaces what the old
+	// fire-and-forget `_, _ = o.iterativeFindNode(...)` discarded.
+	MaintenanceErrors metrics.Counter
 }
 
 var (
@@ -501,6 +507,22 @@ func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
 	return out
 }
 
+// LastMaintenanceError returns the most recent failed maintenance lookup,
+// or nil. Pair with MaintenanceErrors to see both rate and cause.
+func (o *Overlay) LastMaintenanceError() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastMaintErr
+}
+
+// noteMaintenanceError records one failed maintenance operation.
+func (o *Overlay) noteMaintenanceError(err error) {
+	o.MaintenanceErrors.Inc()
+	o.mu.Lock()
+	o.lastMaintErr = err
+	o.mu.Unlock()
+}
+
 // Stabilize runs bucket-refresh rounds: every node pings its contacts,
 // evicts the dead, and re-looks-up its own identifier to heal coverage.
 func (o *Overlay) Stabilize(rounds int) {
@@ -515,7 +537,11 @@ func (o *Overlay) Stabilize(rounds int) {
 					n.evict(c)
 				}
 			}
-			_, _ = o.iterativeFindNode(n.self(), n.id)
+			// Refresh self-lookup: failures mean the node could not rebuild
+			// bucket coverage this round. Count them; the next round retries.
+			if _, err := o.iterativeFindNode(n.self(), n.id); err != nil {
+				o.noteMaintenanceError(fmt.Errorf("kademlia: refresh find-node at %q: %w", n.addr, err))
+			}
 		}
 	}
 }

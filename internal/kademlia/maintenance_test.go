@@ -1,0 +1,41 @@
+package kademlia
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMaintenanceErrorsCountRefreshFailures pins the Stabilize fix: a
+// bucket-refresh self-lookup that fails lands in MaintenanceErrors and
+// LastMaintenanceError instead of vanishing in a `_, _ =` assignment.
+func TestMaintenanceErrorsCountRefreshFailures(t *testing.T) {
+	o := buildOverlay(t, 8)
+	if got := o.MaintenanceErrors.Load(); got != 0 {
+		t.Fatalf("MaintenanceErrors = %d on a healthy overlay, want 0", got)
+	}
+	if err := o.LastMaintenanceError(); err != nil {
+		t.Fatalf("LastMaintenanceError = %v on a healthy overlay, want nil", err)
+	}
+
+	o.net.SetDropRate(1.0)
+	o.Stabilize(1)
+	if got := o.MaintenanceErrors.Load(); got == 0 {
+		t.Fatal("MaintenanceErrors = 0 after refreshing under total loss, want > 0")
+	}
+	err := o.LastMaintenanceError()
+	if err == nil {
+		t.Fatal("LastMaintenanceError = nil after failed refresh lookups")
+	}
+	if !strings.Contains(err.Error(), "refresh find-node") {
+		t.Fatalf("LastMaintenanceError = %v, want a refresh failure", err)
+	}
+
+	// Healed network: refresh succeeds again and the counter stays put.
+	o.net.SetDropRate(0)
+	o.Stabilize(1)
+	before := o.MaintenanceErrors.Load()
+	o.Stabilize(1)
+	if got := o.MaintenanceErrors.Load(); got != before {
+		t.Fatalf("MaintenanceErrors grew from %d to %d on a healed network", before, got)
+	}
+}

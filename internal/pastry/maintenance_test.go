@@ -1,0 +1,50 @@
+package pastry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMaintenanceErrorsCountRetireFailures pins the RemoveNode fix: retire
+// notices lost to the network land in MaintenanceErrors instead of
+// vanishing in a `_, _ =` assignment, while the departure itself still
+// succeeds (peers re-probe the dead entry on their next stabilization).
+func TestMaintenanceErrorsCountRetireFailures(t *testing.T) {
+	net, o := buildOverlay(t, 6)
+	if got := o.MaintenanceErrors.Load(); got != 0 {
+		t.Fatalf("MaintenanceErrors = %d on a healthy overlay, want 0", got)
+	}
+
+	net.SetDropRate(1.0)
+	if err := o.RemoveNode("node-2"); err != nil {
+		t.Fatalf("RemoveNode under loss: %v", err)
+	}
+	if got := o.MaintenanceErrors.Load(); got == 0 {
+		t.Fatal("MaintenanceErrors = 0 after retiring under total loss, want > 0")
+	}
+	err := o.LastMaintenanceError()
+	if err == nil {
+		t.Fatal("LastMaintenanceError = nil after dropped retire notices")
+	}
+	if !strings.Contains(err.Error(), "retire") {
+		t.Fatalf("LastMaintenanceError = %v, want a retire failure", err)
+	}
+}
+
+// TestMaintenanceErrorsCountAnnounceFailures injects partial, seeded link
+// loss so stabilization adopts peers (pings get through) but some announce
+// messages are dropped — those must be counted, not discarded.
+func TestMaintenanceErrorsCountAnnounceFailures(t *testing.T) {
+	net, o := buildOverlay(t, 10)
+
+	net.SetDropRate(0.3)
+	o.Stabilize(3)
+	net.SetDropRate(0)
+
+	if got := o.MaintenanceErrors.Load(); got == 0 {
+		t.Fatal("MaintenanceErrors = 0 after stabilizing under 30% loss, want > 0")
+	}
+	if err := o.LastMaintenanceError(); err == nil {
+		t.Fatal("LastMaintenanceError = nil after lossy stabilization")
+	}
+}

@@ -408,6 +408,7 @@ type Overlay struct {
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
+	lastMaintErr   error
 
 	// Lookups counts routed lookups; Hops counts next-hop RPCs.
 	Lookups metrics.Counter
@@ -416,6 +417,12 @@ type Overlay struct {
 	// after the retry budget — replicas that stay missing until the next
 	// stabilization round repairs them.
 	ReplicationErrors metrics.Counter
+	// MaintenanceErrors counts failed maintenance RPCs — the retire
+	// notices a departing node sends and the announce messages that make
+	// stabilized links symmetric. Each failure leaves a peer with stale
+	// state until a later round repairs it; the counter surfaces what the
+	// old fire-and-forget `_, _ = net.Call(...)` discarded.
+	MaintenanceErrors metrics.Counter
 }
 
 var (
@@ -460,6 +467,22 @@ func (o *Overlay) LastReplicationError() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.lastReplicaErr
+}
+
+// LastMaintenanceError returns the most recent failed maintenance RPC, or
+// nil. Pair with MaintenanceErrors to see both rate and cause.
+func (o *Overlay) LastMaintenanceError() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastMaintErr
+}
+
+// noteMaintenanceError records one failed maintenance RPC.
+func (o *Overlay) noteMaintenanceError(err error) {
+	o.MaintenanceErrors.Inc()
+	o.mu.Lock()
+	o.lastMaintErr = err
+	o.mu.Unlock()
 }
 
 // AddNode creates and joins a node at addr.
@@ -546,9 +569,13 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 
 	entries := n.storeSnapshot()
 	peers := n.knownPeers()
-	// Tell peers to forget us before handing off, so re-routes skip us.
+	// Tell peers to forget us before handing off, so re-routes skip us. A
+	// peer that misses the notice keeps a dead routing entry until its next
+	// stabilization probe, so failures are counted rather than fatal.
 	for _, p := range peers {
-		_, _ = o.net.Call(addr, p.Addr, retireReq{Peer: n.self()})
+		if _, err := o.net.Call(addr, p.Addr, retireReq{Peer: n.self()}); err != nil {
+			o.noteMaintenanceError(fmt.Errorf("pastry: retire notice to %q from %q: %w", p.Addr, addr, err))
+		}
 	}
 	if len(entries) > 0 {
 		// Per-key handoff to the next-closest known peer.
@@ -658,8 +685,12 @@ func (o *Overlay) stabilizeNode(n *Node) {
 	}
 	n.integrate(adopted)
 	// Announce ourselves to newly learned peers so links become symmetric.
+	// A lost announce delays symmetry to a later round; count it so churn
+	// outpacing repair is visible.
 	for _, p := range adopted {
-		_, _ = o.net.Call(n.addr, p.Addr, announceReq{Peer: n.self()})
+		if _, err := o.net.Call(n.addr, p.Addr, announceReq{Peer: n.self()}); err != nil {
+			o.noteMaintenanceError(fmt.Errorf("pastry: announce to %q from %q: %w", p.Addr, n.addr, err))
+		}
 	}
 	o.promoteOwnedReplicas(n)
 	o.reReplicate(n)

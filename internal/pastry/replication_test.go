@@ -78,7 +78,9 @@ func TestLeafSetReplicationApply(t *testing.T) {
 	if err := o.Apply("ctr", inc); err != nil {
 		t.Fatal(err)
 	}
-	if v, _, _ := o.Get("ctr"); v != 7 {
+	if v, _, err := o.Get("ctr"); err != nil {
+		t.Fatal(err)
+	} else if v != 7 {
 		t.Fatalf("counter after post-crash apply = %v", v)
 	}
 }
@@ -100,7 +102,9 @@ func TestLeafSetReplicationRemoveDropsReplicas(t *testing.T) {
 		t.Fatal(err)
 	}
 	o.Stabilize(2)
-	if _, ok, _ := o.Get("gone"); ok {
+	if _, ok, err := o.Get("gone"); err != nil {
+		t.Fatal(err)
+	} else if ok {
 		t.Error("removed key resurrected from a replica")
 	}
 }

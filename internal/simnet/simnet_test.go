@@ -195,25 +195,31 @@ func TestRealDelayBlocks(t *testing.T) {
 	if err := n.Register("b", echoHandler()); err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	start := time.Now()
 	if _, err := n.Call("a", "b", 1); err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	if elapsed := time.Since(start); elapsed < 2*oneWay {
 		t.Errorf("remote call took %v, want ≥ %v", elapsed, 2*oneWay)
 	}
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	start = time.Now()
 	if _, err := n.Call("a", "a", 1); err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	if elapsed := time.Since(start); elapsed >= 2*oneWay {
 		t.Errorf("self call slept %v", elapsed)
 	}
 	n.SetRealDelay(false)
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	start = time.Now()
 	if _, err := n.Call("a", "b", 1); err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow determinism this test verifies RealDelay produces real wall-clock sleeps, so it must measure real time
 	if elapsed := time.Since(start); elapsed >= 2*oneWay {
 		t.Errorf("call after SetRealDelay(false) slept %v", elapsed)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"mlight/internal/dht"
 	"mlight/internal/dht/dhttest"
+	"mlight/internal/trace"
 	"mlight/internal/wire"
 )
 
@@ -108,6 +109,40 @@ func TestDecoratorStackCounting(t *testing.T) {
 				t.Errorf("DHTLookups = %d, want 20", got)
 			}
 		})
+	}
+}
+
+// TestByteDHTForwardsSpans pins that ByteDHT participates in trace
+// attribution: a GetSpan through the codec layer must reach the retry
+// layer below with the caller's parent span intact, so attempt spans nest
+// under the logical operation instead of detaching into flat orphans.
+func TestByteDHTForwardsSpans(t *testing.T) {
+	tc := trace.NewCollector()
+	res := dht.NewResilient(dht.MustNewLocal(8), dht.RetryPolicy{MaxAttempts: 3, Sleep: dht.NoSleep}, nil)
+	res.SetTracer(tc)
+	d := wire.NewByteDHT(res, valueCodec{})
+
+	if err := d.Put("k", 42); err != nil {
+		t.Fatal(err)
+	}
+	parent := tc.Begin(0, trace.KindQuery, "lookup")
+	v, found, err := d.GetSpan("k", parent)
+	tc.End(parent)
+	if err != nil || !found {
+		t.Fatalf("GetSpan = %v, %v, %v; want 42, true, nil", v, found, err)
+	}
+	if got, ok := v.(int); !ok || got != 42 {
+		t.Fatalf("GetSpan decoded %T %v, want int 42", v, v)
+	}
+
+	var nested int
+	for _, s := range tc.Spans() {
+		if s.Kind == trace.KindAttempt && s.Parent == parent {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Fatalf("no KindAttempt span nested under the caller's parent; spans: %+v", tc.Spans())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"mlight/internal/core"
 	"mlight/internal/dht"
 	"mlight/internal/spatial"
+	"mlight/internal/trace"
 )
 
 // ErrMalformed reports undecodable bytes.
@@ -164,6 +165,7 @@ var (
 	_ dht.DHT         = (*ByteDHT)(nil)
 	_ dht.Batcher     = (*ByteDHT)(nil)
 	_ dht.BatchWriter = (*ByteDHT)(nil)
+	_ dht.SpanGetter  = (*ByteDHT)(nil)
 )
 
 // NewByteDHT builds the adapter.
@@ -182,7 +184,20 @@ func (b *ByteDHT) Put(key dht.Key, value any) error {
 
 // Get implements dht.DHT.
 func (b *ByteDHT) Get(key dht.Key) (any, bool, error) {
-	v, found, err := b.inner.Get(key)
+	return b.decodeGet(b.inner.Get(key))
+}
+
+// GetSpan implements dht.SpanGetter: trace attribution is forwarded to the
+// inner substrate (which may itself be a decorator recording spans), and
+// the returned payload is decoded exactly as Get decodes it. Without this
+// forwarding, wrapping a traced stack in ByteDHT would silently detach
+// every retry/attempt span from its query.
+func (b *ByteDHT) GetSpan(key dht.Key, parent trace.SpanID) (any, bool, error) {
+	return b.decodeGet(dht.GetWithSpan(b.inner, key, parent))
+}
+
+// decodeGet translates one Get-shaped result from stored bytes.
+func (b *ByteDHT) decodeGet(v any, found bool, err error) (any, bool, error) {
 	if err != nil || !found {
 		return nil, found, err
 	}

@@ -242,6 +242,9 @@ var (
 	// WithWriter bounds how many queued inserts one group commit of the
 	// Writer drains (Index.Writer / Index.InsertBatch).
 	WithWriter = index.WithWriter
+	// WithSeed seeds the index's internal randomness (depth-estimation
+	// probes), keeping repeated runs replayable.
+	WithSeed = index.WithSeed
 )
 
 // NewLocalDHT creates the in-process substrate with the given number of
