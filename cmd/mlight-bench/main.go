@@ -19,6 +19,14 @@
 //
 //	mlight-bench -figs concurrency -quick -concjson BENCH_concurrency.json
 //
+// The lookup section (not part of "all": its overlay RPCs sleep for their
+// modeled delays) measures the overlay-lookup accelerations: per-Get wall
+// clock of the serial vs α-parallel iterative Kademlia lookup, lossless and
+// under link loss, plus prefix-multicast range dissemination against blind
+// lookahead, writing a machine-readable summary:
+//
+//	mlight-bench -figs lookup -quick -lookupjson BENCH_lookup.json
+//
 // The resilience section (not part of "all") sweeps message-loss rates over
 // a small Chord ring and reports range-query availability with and without
 // the dht.Resilient retry layer, writing a machine-readable summary:
@@ -76,11 +84,12 @@ func run(args []string, out io.Writer) error {
 		depth    = fs.Int("depth", 28, "index depth bound D")
 		seed     = fs.Int64("seed", 1, "random seed for data and queries")
 		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,resilience,ingest,trace or all (all excludes concurrency, resilience, ingest and trace)")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,trace or all (all excludes concurrency, lookup, resilience, ingest and trace)")
 		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
 		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
 		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
 		concJSON = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
+		lookJSON = fs.String("lookupjson", "BENCH_lookup.json", "where the lookup section writes its JSON summary")
 		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
 		ingJSON  = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
 		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
@@ -246,6 +255,42 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *concJSON)
 		}
 		fmt.Fprintf(out, "(concurrency took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["lookup"] {
+		if *hopDelay <= 0 {
+			return fmt.Errorf("-hopdelay must be positive, got %v (a zero-delay overlay would make the wall-clock comparison meaningless)", *hopDelay)
+		}
+		start := time.Now()
+		fmt.Fprintln(out, "== Lookup: overlay lookup acceleration (beyond the paper) ==")
+		lcfg := experiments.LookupConfig{Config: cfg, HopDelay: *hopDelay}
+		if *quick {
+			lcfg.DataSize = 3000
+			lcfg.Nodes = 16
+			lcfg.Keys = 30
+			lcfg.RangeQueries = 3
+		}
+		res, err := experiments.Lookup(lcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "per-Get p99: serial %.1fms lossless / %.1fms lossy, parallel %.1fms lossless / %.1fms lossy (max %d RPCs in flight)\n",
+			res.SerialLossless.P99MS, res.SerialLossy.P99MS,
+			res.ParallelLossless.P99MS, res.ParallelLossy.P99MS, res.ParallelMaxInFlight)
+		fmt.Fprintf(out, "dissemination at span %.2f (%d queries, %d records): multicast %d lookups / %d rounds vs lookahead h=%d %d lookups / %d rounds\n",
+			res.Span, res.RangeQueries, res.RangeRecords,
+			res.MulticastLookups, res.MulticastRounds,
+			res.Lookahead, res.LookaheadLookups, res.LookaheadRounds)
+		if *lookJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*lookJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *lookJSON)
+		}
+		fmt.Fprintf(out, "(lookup took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want["resilience"] {
 		start := time.Now()

@@ -104,10 +104,11 @@ type Config struct {
 var DefaultDeterminismAllow = []string{"internal/experiments", "cmd", "examples"}
 
 // DefaultDroppedErrCalls are the operations whose errors the repository has
-// been burned by dropping: simulated-network RPCs (net.Call), the DHT
-// substrate interface, the batch planes, and the retry executor.
+// been burned by dropping: simulated-network RPCs (net.Call and the
+// kademlia overlay's deadline wrapper timedCall), the DHT substrate
+// interface, the batch planes, and the retry executor.
 var DefaultDroppedErrCalls = []string{
-	"Call",
+	"Call", "timedCall",
 	"Put", "Get", "Remove", "Apply", "Owner",
 	"PutBatch", "ApplyBatch", "GetBatch",
 	"Do", "DoTraced",

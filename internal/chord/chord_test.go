@@ -343,3 +343,19 @@ func TestFaultTolerance(t *testing.T) {
 		return ring
 	})
 }
+
+// TestLookupUnderLoss runs the shared lookup-under-loss conformance case:
+// seeded link loss, bounded retries, ≥90% resolution, no terminal errors.
+func TestLookupUnderLoss(t *testing.T) {
+	dhttest.RunLookupUnderLoss(t, func(t *testing.T, seed int64) (dht.DHT, func(float64)) {
+		net := simnet.New(simnet.Options{Seed: seed})
+		ring := NewRing(net, Config{Seed: seed, Replication: 3})
+		for i := 0; i < 12; i++ {
+			if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+				t.Fatalf("AddNode(%d): %v", i, err)
+			}
+		}
+		ring.Stabilize(2)
+		return ring, net.SetDropRate
+	})
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/spatial"
+)
+
+// benchRangeIndex builds an index with n seeded uniform records.
+func benchRangeIndex(b *testing.B, multicast bool, n int) *Index {
+	b.Helper()
+	ix, err := New(dht.MustNewLocal(16), Options{
+		ThetaSplit:  16,
+		ThetaMerge:  8,
+		MaxInFlight: 8,
+		Multicast:   multicast,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		p := spatial.Point{rng.Float64(), rng.Float64()}
+		if err := ix.Insert(spatial.Record{Key: p, Data: fmt.Sprintf("r%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ix
+}
+
+// BenchmarkRangeDissemination answers one large-span range query per
+// iteration, comparing prefix-multicast dissemination against the blind
+// h = 4 lookahead on identically loaded indexes.
+func BenchmarkRangeDissemination(b *testing.B) {
+	const records = 800
+	q := spatial.Rect{Lo: spatial.Point{0.2, 0.3}, Hi: spatial.Point{0.7, 0.8}}
+	b.Run("lookahead-4", func(b *testing.B) {
+		ix := benchRangeIndex(b, false, records)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.RangeQueryParallel(q, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multicast", func(b *testing.B) {
+		ix := benchRangeIndex(b, true, records)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.RangeQuery(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"mlight/internal/bitlabel"
@@ -319,6 +320,133 @@ func TestSequentialConcurrentIdenticalAccounting(t *testing.T) {
 				t.Errorf("h=%d q#%d %v: sequential (L=%d R=%d) vs concurrent (L=%d R=%d)",
 					h, qi, q, a.Lookups, a.Rounds, b.Lookups, b.Rounds)
 			}
+		}
+	}
+}
+
+// sortedByData returns a copy of recs ordered by Data. Record data strings
+// are unique in these tests ("r%d"), so the order is total and the sorted
+// slices compare positionally.
+func sortedByData(recs []spatial.Record) []spatial.Record {
+	out := append([]spatial.Record(nil), recs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Data < out[j].Data })
+	return out
+}
+
+// TestMulticastMatchesBaseline pins the prefix-multicast engine to the
+// round-synchronous baseline it accelerates: for every query the two must
+// return the same record set. Piece scheduling differs (the multicast split
+// emits the prefix-tree frontier in breadth-first order, the baseline
+// recursion descends branch by branch), so only the set — not the ordering —
+// is common; the multicast engine's own ordering and accounting must in turn
+// be exactly reproducible run over run, which the second half asserts.
+func TestMulticastMatchesBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+		n    int
+	}{
+		{"2d-threshold", Options{ThetaSplit: 10, ThetaMerge: 5}, 1200},
+		{"3d-threshold", Options{Dims: 3, ThetaSplit: 8, ThetaMerge: 4}, 900},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix := equivIndex(t, tc.opts, tc.n, 42)
+			m := ix.opts.Dims
+			rng := rand.New(rand.NewSource(19))
+			queries := []spatial.Rect{wholeSpace(m)}
+			for i := 0; i < 40; i++ {
+				queries = append(queries, randomRect(rng, m))
+			}
+			for qi, q := range queries {
+				base, err := ix.rangeQuery(q, queryCtx{h: 1})
+				if err != nil {
+					t.Fatalf("q#%d baseline: %v", qi, err)
+				}
+				mc, err := ix.rangeQuery(q, queryCtx{h: 1, multicast: true})
+				if err != nil {
+					t.Fatalf("q#%d multicast: %v", qi, err)
+				}
+				if !sameRecords(sortedByData(mc.Records), sortedByData(base.Records)) {
+					t.Fatalf("q#%d %v: multicast returned %d records, baseline %d (or sets differ)",
+						qi, q, len(mc.Records), len(base.Records))
+				}
+				// Determinism: the multicast engine replays exactly — same
+				// records in the same order, same Lookups, same Rounds.
+				again, err := ix.rangeQuery(q, queryCtx{h: 1, multicast: true})
+				if err != nil {
+					t.Fatalf("q#%d multicast replay: %v", qi, err)
+				}
+				if !sameRecords(again.Records, mc.Records) {
+					t.Fatalf("q#%d %v: multicast replay changed records/ordering", qi, q)
+				}
+				if again.Lookups != mc.Lookups || again.Rounds != mc.Rounds {
+					t.Errorf("q#%d %v: multicast replay (L=%d R=%d) vs first run (L=%d R=%d)",
+						qi, q, again.Lookups, again.Rounds, mc.Lookups, mc.Rounds)
+				}
+			}
+			if splits := ix.Stats().MulticastSplits; splits == 0 {
+				t.Error("multicast queries ran but MulticastSplits stayed 0")
+			}
+		})
+	}
+}
+
+// TestMulticastShapeMatchesBaseline repeats the set-equivalence check for
+// shape queries, exercising the multicast split's shape-pruning branch.
+func TestMulticastShapeMatchesBaseline(t *testing.T) {
+	ix := equivIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5}, 1000, 11)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		c := spatial.Circle{
+			Center: spatial.Point{rng.Float64(), rng.Float64()},
+			Radius: 0.05 + 0.3*rng.Float64(),
+		}
+		bound := c.BoundingBox()
+		q := spatial.Rect{Lo: clampPoint(bound.Lo), Hi: clampPoint(bound.Hi)}
+		base, err := ix.rangeQuery(q, queryCtx{h: 1, shape: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := ix.rangeQuery(q, queryCtx{h: 1, shape: c, multicast: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecords(sortedByData(mc.Records), sortedByData(base.Records)) {
+			t.Fatalf("circle #%d: multicast %d records, baseline %d (or sets differ)",
+				i, len(mc.Records), len(base.Records))
+		}
+	}
+}
+
+// TestMulticastSequentialConcurrentIdenticalAccounting extends the engine's
+// core guarantee to the multicast path: MaxInFlight bounds only how probes
+// overlap in time, so sequential and concurrent multicast execution return
+// identical Records, Lookups, and Rounds.
+func TestMulticastSequentialConcurrentIdenticalAccounting(t *testing.T) {
+	seq := equivIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5, MaxInFlight: 1, Multicast: true}, 1200, 42)
+	conc := equivIndex(t, Options{ThetaSplit: 10, ThetaMerge: 5, MaxInFlight: 16, Multicast: true}, 1200, 42)
+	m := 2
+	rng := rand.New(rand.NewSource(13))
+	queries := []spatial.Rect{wholeSpace(m)}
+	for i := 0; i < 25; i++ {
+		queries = append(queries, randomRect(rng, m))
+	}
+	for qi, q := range queries {
+		a, err := seq.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := conc.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRecords(a.Records, b.Records) {
+			t.Fatalf("q#%d: sequential %d records, concurrent %d (or ordering differs)",
+				qi, len(a.Records), len(b.Records))
+		}
+		if a.Lookups != b.Lookups || a.Rounds != b.Rounds {
+			t.Errorf("q#%d %v: sequential (L=%d R=%d) vs concurrent (L=%d R=%d)",
+				qi, q, a.Lookups, a.Rounds, b.Lookups, b.Rounds)
 		}
 	}
 }

@@ -19,13 +19,15 @@ import (
 type QueryResult = index.Result
 
 // queryCtx carries the per-query options through the decomposition: the
-// parallel lookahead h and, for arbitrary-shape queries, the shape used for
-// subtree pruning and final filtering. span is the query's trace span (zero
-// when tracing is disabled).
+// parallel lookahead h, the multicast engine switch, and, for
+// arbitrary-shape queries, the shape used for subtree pruning and final
+// filtering. span is the query's trace span (zero when tracing is
+// disabled).
 type queryCtx struct {
-	h     int
-	shape spatial.Shape
-	span  trace.SpanID
+	h         int
+	multicast bool
+	shape     spatial.Shape
+	span      trace.SpanID
 }
 
 // RangeQuery answers a multi-dimensional range query with the basic
@@ -84,12 +86,21 @@ func (ix *Index) shapeQuery(s spatial.Shape, h int) (*QueryResult, error) {
 // execution with identical Records, Lookups, and Rounds: the cap changes
 // only how probes overlap, never what is probed.
 func (ix *Index) rangeQuery(q spatial.Rect, ctx queryCtx) (res *QueryResult, err error) {
+	// Options.Multicast switches the engine for every public entry point;
+	// internal callers (tests, experiments) may also set ctx.multicast
+	// directly to drive one query through the multicast path.
+	ctx.multicast = ctx.multicast || ix.opts.Multicast
 	if tc := ix.opts.Trace; tc != nil {
 		kind := "range"
 		if ctx.shape != nil {
 			kind = "shape"
 		}
-		ctx.span = tc.Begin(0, trace.KindQuery, kind, trace.Int("h", int64(ctx.h)))
+		engine := "rounds"
+		if ctx.multicast {
+			engine = "multicast"
+		}
+		ctx.span = tc.Begin(0, trace.KindQuery, kind,
+			trace.Int("h", int64(ctx.h)), trace.Str("engine", engine))
 		defer func() {
 			if err != nil {
 				tc.End(ctx.span, trace.Str("error", err.Error()))
@@ -167,6 +178,14 @@ type rangeEngine struct {
 	lookups     int
 	barriers    int
 	extraRounds int
+
+	// candMu guards candResults, the current round's shared hedge-probe
+	// outcomes keyed by probed name (multicast engine only; the wide
+	// multicast frontier makes sibling pieces hedge heavily overlapping
+	// ancestor ladders, so each distinct name is probed and charged once
+	// per round — see coalesceCands and resolveHedged).
+	candMu      sync.Mutex
+	candResults map[bitlabel.Label]bucketProbe
 }
 
 // execNode is one node of the query's execution tree. Each frontier item
@@ -203,6 +222,11 @@ const (
 	// round failed to surface the covering leaf (possible only under
 	// concurrent restructuring).
 	itemFallback
+	// itemHedge probes one ancestor-ladder name of the multicast engine's
+	// speculative pieces in the same round as the pieces themselves, so an
+	// overshot piece resolves its covering leaf at this round's barrier
+	// instead of waiting for a follow-up candidate round.
+	itemHedge
 )
 
 // frontierItem is one unit of work inside a round.
@@ -214,6 +238,12 @@ type frontierItem struct {
 	// candidate's priority position inside it.
 	group *coverGroup
 	slot  int
+	// name is the DHT name an itemHedge probes.
+	name bitlabel.Label
+	// dup marks a hedge whose name is already probed by an earlier item of
+	// the same round (see coalesceCands); the item executes as a no-op and
+	// overshot pieces read the owner's shared result.
+	dup bool
 }
 
 // coverGroup gathers the covering-leaf candidate probes of one overshot
@@ -221,14 +251,19 @@ type frontierItem struct {
 // paper's parallel recovery implies: the first candidate (in that order)
 // whose bucket is a prefix of the overshot node is the covering leaf.
 //
-// Probing early-exits on the first hit, like the sequential reference: a
-// candidate slot launches only while no lower slot has already qualified,
-// so under sequential execution the scan stops exactly where the recursive
-// algorithm stopped. Under concurrent execution slots past the first hit
-// may race and probe anyway; those probes are physical overhead only — the
-// logical charge, computed at adjudication, is always the deterministic
-// "slots up to and including the first hit" (or all slots on a total miss),
-// identical to the sequential cost.
+// In the lookahead engine probing early-exits on the first hit, like the
+// sequential reference: a candidate slot launches only while no lower slot
+// has already qualified, so under sequential execution the scan stops
+// exactly where the recursive algorithm stopped. Under concurrent execution
+// slots past the first hit may race and probe anyway; those probes are
+// physical overhead only — the logical charge, computed at adjudication, is
+// always the deterministic "slots up to and including the first hit" (or
+// all slots on a total miss), identical to the sequential cost.
+//
+// The multicast engine does not use candidate groups at all: it hedges
+// every speculative piece's ancestor ladder in the piece's own round and
+// resolves overshoots at that round's barrier — see expand, executeHedge,
+// and resolveHedged.
 type coverGroup struct {
 	p     piece
 	node  *execNode
@@ -272,6 +307,10 @@ type itemResult struct {
 	lookups     int
 	extraRounds int
 	err         error
+	// missed marks a multicast piece probe that found no bucket: its
+	// covering leaf is resolved at the barrier from the round's hedge
+	// results (see resolveHedged).
+	missed bool
 }
 
 // run executes rounds until the frontier drains. Each round is one
@@ -281,6 +320,9 @@ type itemResult struct {
 func (e *rangeEngine) run(frontier []frontierItem) error {
 	tc := e.ix.opts.Trace
 	for len(frontier) > 0 {
+		if e.ctx.multicast {
+			e.coalesceCands(frontier)
+		}
 		e.barriers++
 		e.ix.stats.BatchRounds.Inc()
 		e.ix.stats.BatchProbes.Add(int64(len(frontier)))
@@ -313,6 +355,14 @@ func (e *rangeEngine) run(frontier []frontierItem) error {
 				e.extraRounds = r.extraRounds
 			}
 			next = append(next, r.next...)
+			if r.missed {
+				// An overshot multicast piece: its ancestor-ladder hedges
+				// ran in this same round, so the covering leaf resolves at
+				// this barrier from the shared results.
+				if item, ok := e.resolveHedged(frontier[i]); !ok {
+					next = append(next, item)
+				}
+			}
 			// All candidate probes of a group live in this same round, so
 			// the group is adjudicable as soon as its first member is
 			// reached in order.
@@ -327,6 +377,28 @@ func (e *rangeEngine) run(frontier []frontierItem) error {
 		frontier = next
 	}
 	return nil
+}
+
+// coalesceCands prepares one multicast round's hedge probes: the first
+// item carrying each distinct name owns its probe, later items with the
+// same name are marked dup and read the shared result at the barrier. The
+// ownership assignment follows frontier order, so the probed-name set — and
+// with it the round's lookup charge — is deterministic regardless of how
+// the round's items are scheduled.
+func (e *rangeEngine) coalesceCands(frontier []frontierItem) {
+	e.candResults = make(map[bitlabel.Label]bucketProbe)
+	owned := make(map[bitlabel.Label]bool)
+	for i := range frontier {
+		it := &frontier[i]
+		if it.kind != itemHedge {
+			continue
+		}
+		if owned[it.name] {
+			it.dup = true
+			continue
+		}
+		owned[it.name] = true
+	}
 }
 
 // runBatch executes one round's items concurrently, bounded by
@@ -373,6 +445,8 @@ func (e *rangeEngine) execute(it frontierItem, round trace.SpanID) itemResult {
 		res = e.executeProbe(it, span)
 	case itemCand:
 		res = e.executeCand(it, span)
+	case itemHedge:
+		res = e.executeHedge(it, span)
 	case itemFallback:
 		res = e.executeFallback(it, span)
 	default:
@@ -395,6 +469,8 @@ func probeName(it frontierItem) string {
 		return it.p.node.String()
 	case itemCand:
 		return "cand " + it.group.names[it.slot].String() + " slot " + strconv.Itoa(it.slot)
+	case itemHedge:
+		return "hedge " + it.name.String()
 	case itemFallback:
 		return "fallback"
 	default:
@@ -417,6 +493,12 @@ func (e *rangeEngine) executeProbe(it frontierItem, span trace.SpanID) itemResul
 		return res
 	}
 	if !found {
+		if e.ctx.multicast {
+			// The ancestor-ladder hedges of this piece ran in this same
+			// round; the barrier resolves the covering leaf from them.
+			res.missed = true
+			return res
+		}
 		names := coverCandidates(it.p, m)
 		if len(names) == 0 {
 			// No intermediate ancestors to try: go straight to the
@@ -444,6 +526,44 @@ func (e *rangeEngine) executeProbe(it frontierItem, span trace.SpanID) itemResul
 	}
 	res.next = next
 	return res
+}
+
+// executeHedge probes one ancestor-ladder name on behalf of every
+// speculative piece of the round that lists it; dup items (same name, later
+// frontier position) are no-ops. Each distinct name costs exactly one
+// charged lookup whatever the round's scheduling, so the multicast engine's
+// accounting stays deterministic.
+func (e *rangeEngine) executeHedge(it frontierItem, span trace.SpanID) itemResult {
+	if it.dup {
+		return itemResult{}
+	}
+	b, found, err := e.ix.getBucketRawSpan(it.name, span)
+	if err != nil {
+		return itemResult{err: err}
+	}
+	e.candMu.Lock()
+	e.candResults[it.name] = bucketProbe{b: b, found: found}
+	e.candMu.Unlock()
+	e.ix.stats.DHTLookups.Inc()
+	return itemResult{lookups: 1}
+}
+
+// resolveHedged settles an overshot multicast piece at its round's barrier:
+// the deepest ancestor-ladder name holding a bucket that covers the piece's
+// node is the covering leaf. The hedges were emitted alongside the piece
+// (see expand), so the shared results are complete here. When none
+// qualifies (possible only under concurrent restructuring) the sequential
+// recovery item is scheduled and ok is false.
+func (e *rangeEngine) resolveHedged(it frontierItem) (item frontierItem, ok bool) {
+	for _, name := range coverCandidates(it.p, e.ix.opts.Dims) {
+		pr := e.candResults[name]
+		if pr.found && pr.b.Label.IsPrefixOf(it.p.node) {
+			e.ix.cacheLeaf(pr.b)
+			it.node.records = filterRecords(pr.b.Records, it.p.q, e.ctx.shape)
+			return frontierItem{}, true
+		}
+	}
+	return frontierItem{kind: itemFallback, p: it.p, node: it.node}, false
 }
 
 // executeCand probes one covering-leaf candidate, recording the outcome in
@@ -565,13 +685,37 @@ func (e *rangeEngine) expand(q spatial.Rect, beta bitlabel.Label, b Bucket, node
 			continue // the shape provably misses this subtree
 		}
 		pieces := []piece{{node: branch, base: branch, q: sub}}
-		if e.ctx.h > 1 {
+		if e.ctx.multicast {
+			pieces = e.multicastSplit(branch, sub, b.Label.Len())
+		} else if e.ctx.h > 1 {
 			pieces = e.ix.speculate(branch, sub, e.ctx)
 		}
 		for _, p := range pieces {
 			child := &execNode{}
 			node.children = append(node.children, child)
 			items = append(items, frontierItem{kind: itemProbe, p: p, node: child})
+		}
+		if e.ctx.multicast {
+			// Hedge the speculative pieces: probe their ancestor-ladder
+			// names in the same round, so any piece that overshoots the
+			// tree resolves its covering leaf at this round's barrier
+			// instead of paying a follow-up candidate round. Sibling
+			// pieces share most of their ladder (and the fmd ray folds
+			// aligned prefixes onto one name), so the deduplicated hedge
+			// set stays far smaller than the per-piece ladders combined.
+			seen := map[bitlabel.Label]bool{}
+			for _, p := range pieces {
+				if p.node == p.base {
+					continue // nothing speculative to hedge
+				}
+				for _, name := range coverCandidates(p, m) {
+					if seen[name] {
+						continue
+					}
+					seen[name] = true
+					items = append(items, frontierItem{kind: itemHedge, name: name})
+				}
+			}
 		}
 	}
 	return items, nil
@@ -624,6 +768,109 @@ func (ix *Index) speculate(beta bitlabel.Label, q spatial.Rect, ctx queryCtx) []
 		}
 	}
 	return append(done, queue...)
+}
+
+const (
+	// multicastMinAdvance is the guaranteed depth progress of one split,
+	// independent of the corner estimate, so deep subtrees discovered
+	// incrementally still descend several levels per round.
+	multicastMinAdvance = 2
+	// multicastMaxAdvance caps how many levels below a branch node one
+	// multicast split may descend, bounding the worst-case candidate scan
+	// an overshot piece can trigger.
+	multicastMaxAdvance = 16
+	// multicastMaxFan caps the pieces one split emits; a capped split
+	// leaves the remaining subranges at intermediate depth, where the next
+	// round splits them further.
+	multicastMaxFan = 256
+)
+
+// multicastSplit builds one forwarding step of the prefix-multicast
+// dissemination (the "Optimally Efficient Prefix Search and Multicast"
+// construction adapted to m-LIGHT's label space): the subrange q below
+// branch node β is partitioned along the globally known space partitioning
+// into the full prefix-tree frontier at an estimated leaf depth, and every
+// frontier label is probed in the same round. No DHT traffic is needed to
+// build the tree (§3.2: every peer knows the partitioning rule); resolving
+// a frontier label via fmd's ray property either hits a leaf exactly, lands
+// on a deeper corner leaf (the next round continues from it), or overshoots
+// below a leaf — resolved in the same round by the hedged ancestor-ladder
+// probes expand emits alongside the pieces (see executeHedge/resolveHedged).
+//
+// est is the label length of the corner leaf just fetched for β's subtree —
+// the best locally available depth estimate for β's other leaves. Estimating
+// per subtree rather than globally matters: a global estimate is dragged to
+// the shallowest leaf anywhere in the query range, which degenerates deep
+// subtrees back to one-level-per-round descent. The split targets half the
+// estimated gap (never less than multicastMinAdvance levels): sibling
+// subtrees are routinely deeper than the corner estimate suggests, and
+// overshooting k levels below a leaf spawns 2^k redundant pieces, so a
+// half-step converges geometrically while keeping overshoot cheap. Compared
+// with the blind h-piece lookahead, the split adapts its depth to what the
+// query has already learned, so large ranges reach their leaves in a handful
+// of forwarding steps without speculative over-probing at every level.
+func (e *rangeEngine) multicastSplit(beta bitlabel.Label, q spatial.Rect, est int) []piece {
+	target := beta.Len() + (est-beta.Len())/2
+	if min := beta.Len() + multicastMinAdvance; target < min {
+		target = min
+	}
+	if max := beta.Len() + multicastMaxAdvance; target > max {
+		target = max
+	}
+	if max := e.ix.opts.Dims + 1 + e.ix.opts.MaxDepth; target > max {
+		target = max
+	}
+	if target > bitlabel.MaxLen {
+		target = bitlabel.MaxLen
+	}
+	if target <= beta.Len() {
+		return []piece{{node: beta, base: beta, q: q}}
+	}
+	m := e.ix.opts.Dims
+	queue := []piece{{node: beta, base: beta, q: q}}
+	var done []piece
+	for len(queue) > 0 {
+		if len(queue)+len(done) >= multicastMaxFan {
+			break
+		}
+		p := queue[0]
+		queue = queue[1:]
+		if p.node.Len() >= target {
+			done = append(done, p)
+			continue
+		}
+		expanded := false
+		for _, bit := range []byte{0, 1} {
+			child := p.node.MustAppend(bit)
+			g, err := spatial.RegionOf(child, m)
+			if err != nil {
+				continue
+			}
+			sub, overlaps := g.Intersect(p.q)
+			if !overlaps {
+				continue
+			}
+			if e.ctx.shape != nil && !e.ctx.shape.IntersectsRect(sub) {
+				continue
+			}
+			queue = append(queue, piece{node: child, base: beta, q: sub})
+			expanded = true
+		}
+		if !expanded {
+			done = append(done, p)
+		}
+	}
+	pieces := append(done, queue...)
+	e.ix.stats.MulticastSplits.Inc()
+	e.ix.stats.MulticastPieces.Add(int64(len(pieces)))
+	deepest := 0
+	for _, p := range pieces {
+		if l := p.node.Len(); l > deepest {
+			deepest = l
+		}
+	}
+	e.ix.stats.MulticastDepth.Observe(int64(deepest))
+	return pieces
 }
 
 // filterRecords returns the records inside q (and inside the shape, when

@@ -1,0 +1,56 @@
+package dhttest
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+)
+
+// LossyFactory builds a DHT over a substrate that can inject link loss at
+// runtime. The returned setLoss switches the loss probability of the
+// underlying network. The build must start lossless so the preload phase
+// populates the overlay deterministically.
+type LossyFactory func(t *testing.T, seed int64) (d dht.DHT, setLoss func(rate float64))
+
+// RunLookupUnderLoss drives the shared lookup-under-loss conformance case
+// against any overlay substrate: preload a key set losslessly, inject
+// seeded link loss at increasing rates, and require that a bounded retry
+// budget still resolves at least 90% of reads with zero terminal failures
+// (loss must classify as retryable all the way up the stack). The loss
+// pattern is keyed on MLIGHT_TEST_SEED — CI runs the {1, 7, 42} matrix —
+// so a failure reproduces locally under the same seed.
+func RunLookupUnderLoss(t *testing.T, build LossyFactory) {
+	seed := SeedFromEnv(1)
+	for _, rate := range []float64{0.02, 0.05, 0.10} {
+		rate := rate
+		t.Run(fmt.Sprintf("drop=%g", rate), func(t *testing.T) {
+			d, setLoss := build(t, seed)
+			res := dht.NewResilient(d, dht.RetryPolicy{
+				MaxAttempts: 8,
+				Sleep:       dht.NoSleep,
+				Seed:        seed,
+			}, nil)
+			const keys = 40
+			for i := 0; i < keys; i++ {
+				if err := res.Put(dht.Key(fmt.Sprintf("loss-key-%d", i)), i); err != nil {
+					t.Fatalf("lossless preload Put(%d): %v", i, err)
+				}
+			}
+			setLoss(rate)
+			resolved := 0
+			for i := 0; i < keys; i++ {
+				v, found, err := res.Get(dht.Key(fmt.Sprintf("loss-key-%d", i)))
+				if err == nil && found && v == i {
+					resolved++
+				}
+			}
+			if min := keys * 9 / 10; resolved < min {
+				t.Errorf("resolved %d/%d keys at drop rate %g, want ≥ %d", resolved, keys, rate, min)
+			}
+			if s := res.Stats().Snapshot(); s.Terminal != 0 {
+				t.Errorf("terminal failures under loss = %d, want 0 (loss must stay retryable)", s.Terminal)
+			}
+		})
+	}
+}

@@ -86,6 +86,7 @@ func (s SplitStrategy) String() string {
 //	Sleep           Sleep            (ignored)        (ignored)
 //	WriterBatch     WriterBatch      (ignored)        (ignored)
 //	Seed            Seed             (ignored)        (ignored)
+//	Multicast       Multicast        (ignored)        (ignored)
 type Tuning struct {
 	// Dims is the data dimensionality m.
 	Dims int
@@ -118,6 +119,10 @@ type Tuning struct {
 	// zero value is itself a valid seed, so no field needs setting for
 	// deterministic behaviour.
 	Seed int64
+	// Multicast switches m-LIGHT range queries to prefix-multicast
+	// dissemination: one prefix tree over the covering-leaf label space is
+	// resolved by recursive splitting instead of blind per-level lookahead.
+	Multicast bool
 }
 
 // Option is one functional configuration step applied to a Tuning. The
@@ -200,4 +205,10 @@ func WithWriter(maxBatch int) Option {
 // WithSeed seeds the index's internal randomness (depth-estimation probes).
 func WithSeed(seed int64) Option {
 	return OptionFunc(func(t *Tuning) { t.Seed = seed })
+}
+
+// WithMulticast switches m-LIGHT range queries to the prefix-multicast
+// dissemination engine (m-LIGHT only; baselines ignore it).
+func WithMulticast(on bool) Option {
+	return OptionFunc(func(t *Tuning) { t.Multicast = on })
 }

@@ -33,10 +33,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"mlight/internal/dht"
 	"mlight/internal/metrics"
 	"mlight/internal/simnet"
+	"mlight/internal/trace"
 )
 
 const (
@@ -55,6 +57,59 @@ const clientAddr simnet.NodeID = "kademlia-client"
 // is marked retryable: routing tables heal after Refresh, so a retry layer
 // may usefully try again.
 var ErrLookupFailed = dht.Retryable(errors.New("kademlia: lookup failed"))
+
+// ErrRPCTimeout is returned when a single overlay RPC exceeds its adaptive
+// deadline. It is retryable: a hung peer may answer the next attempt, and
+// the iterative lookup treats a timed-out candidate exactly like an
+// unreachable one.
+var ErrRPCTimeout = dht.Retryable(errors.New("kademlia: rpc timed out"))
+
+// minRPCTimeout floors the adaptive per-RPC deadline so a few fast early
+// observations cannot starve slower links.
+const minRPCTimeout = 200 * time.Millisecond
+
+// rttEstimator maintains an EWMA of observed round-trip times and derives
+// the adaptive per-RPC timeout from it (Salah/Roos/Strufe: timeouts sized
+// from live RTT measurements, not a fixed worst case, are what make
+// α-parallel lookups cut tail latency instead of stacking full-deadline
+// waits). Before any observation the estimator answers with a
+// seeded-deterministic fallback in [minRPCTimeout, 2·minRPCTimeout), so a
+// fixed seed yields the same timeout schedule on every run.
+type rttEstimator struct {
+	mu       sync.Mutex
+	ewma     time.Duration // 0 = nothing observed yet
+	fallback time.Duration
+}
+
+// observe folds one measured round trip into the estimate (EWMA with
+// smoothing 1/4, the classic TCP SRTT weighting).
+func (e *rttEstimator) observe(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.ewma == 0 {
+		e.ewma = rtt
+	} else {
+		e.ewma = (3*e.ewma + rtt) / 4
+	}
+	e.mu.Unlock()
+}
+
+// timeout returns the current per-RPC deadline: 4× the smoothed RTT,
+// floored at minRPCTimeout, or the seeded fallback before any observation.
+func (e *rttEstimator) timeout() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ewma == 0 {
+		return e.fallback
+	}
+	t := 4 * e.ewma
+	if t < minRPCTimeout {
+		t = minRPCTimeout
+	}
+	return t
+}
 
 // ref names a remote node.
 type ref struct {
@@ -315,12 +370,29 @@ func (n *Node) knownContacts() []ref {
 type Config struct {
 	// MaxRounds bounds one iterative lookup; 0 means a generous default.
 	MaxRounds int
-	// Seed drives entry-point selection.
+	// Seed drives entry-point selection and the pre-observation RPC
+	// timeout fallback.
 	Seed int64
 	// Replication stores each key at the first Replication closest live
 	// nodes — the original paper's "store at the k closest" rule. 0 or 1
 	// means a single copy; the cap is K.
 	Replication int
+	// Alpha overrides the lookup concurrency factor; 0 means the package
+	// default Alpha. It bounds how many candidate RPCs one lookup round
+	// issues concurrently.
+	Alpha int
+	// Serial forces the historical one-RPC-at-a-time lookup and
+	// liveness-probe path. It is kept as the before/after yardstick for
+	// the α-parallel rewrite: accounting (Hops, Lookups) is identical in
+	// both modes for a fixed seed, only wall-clock and ping scheduling
+	// differ (serial liveness probing early-exits after the first count
+	// live contacts; parallel probing pings all candidates at once and
+	// adjudicates in closest order).
+	Serial bool
+	// RPCTimeout fixes the per-RPC deadline; 0 means adaptive (4× the
+	// EWMA of observed round trips, floored at 200ms, with a
+	// seeded-deterministic fallback before the first observation).
+	RPCTimeout time.Duration
 }
 
 // Overlay manages a set of Kademlia nodes and exposes them as one dht.DHT.
@@ -328,16 +400,33 @@ type Overlay struct {
 	net         *simnet.Network
 	maxRounds   int
 	replication int
+	alpha       int
+	serial      bool
+	rpcTimeout  time.Duration
+	rtt         rttEstimator
 
 	mu           sync.Mutex
 	nodes        map[simnet.NodeID]*Node
 	order        []simnet.NodeID
 	rng          *rand.Rand
 	lastMaintErr error
+	lastPingErr  error
+	tracer       *trace.Collector
 
 	// Lookups counts iterative lookups; Hops counts FIND_NODE RPCs issued.
 	Lookups metrics.Counter
 	Hops    metrics.Counter
+	// Pings counts liveness-probe RPCs; PingFailures counts the ones that
+	// failed (dead or unreachable contact). The lookup entry node vouches
+	// for itself and is never pinged, so Pings only meters real network
+	// probes.
+	Pings        metrics.Counter
+	PingFailures metrics.Counter
+	// LookupTimeouts counts overlay RPCs cut off by the adaptive deadline.
+	LookupTimeouts metrics.Counter
+	// LookupInFlight is the high-water mark of concurrently outstanding
+	// FIND_NODE RPCs within one lookup round.
+	LookupInFlight metrics.Gauge
 	// MaintenanceErrors counts failed maintenance work — the bucket-refresh
 	// self-lookups Stabilize issues. A failed refresh leaves routing-table
 	// coverage stale until a later round; the counter surfaces what the old
@@ -363,13 +452,42 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 	if replication > K {
 		replication = K
 	}
+	alpha := cfg.Alpha
+	if alpha < 1 {
+		alpha = Alpha
+	}
+	// The fallback timeout draws from its own derived source so the
+	// entry-selection stream stays byte-identical to earlier versions for
+	// a given seed.
+	fallbackRng := rand.New(rand.NewSource(cfg.Seed ^ 0x746d656f75747331))
 	return &Overlay{
 		net:         net,
 		maxRounds:   maxRounds,
 		replication: replication,
-		nodes:       make(map[simnet.NodeID]*Node),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		alpha:       alpha,
+		serial:      cfg.Serial,
+		rpcTimeout:  cfg.RPCTimeout,
+		rtt: rttEstimator{
+			fallback: minRPCTimeout + time.Duration(fallbackRng.Int63n(int64(minRPCTimeout))),
+		},
+		nodes: make(map[simnet.NodeID]*Node),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+}
+
+// SetTracer attaches a trace collector: every iterative lookup is recorded
+// as a KindLookup span with one KindRound child per α-batch. A nil
+// collector, the default, records nothing.
+func (o *Overlay) SetTracer(c *trace.Collector) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tracer = c
+}
+
+func (o *Overlay) getTracer() *trace.Collector {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tracer
 }
 
 // AddNode creates and joins a node at addr: it seeds its routing table
@@ -576,9 +694,101 @@ func (o *Overlay) pickEntry() (*Node, error) {
 	return o.nodes[o.order[o.rng.Intn(len(o.order))]], nil
 }
 
+// timedCall issues one overlay RPC under the adaptive per-RPC deadline. On
+// success the modeled round trip feeds the RTT estimator, tightening future
+// deadlines. A timeout abandons the in-flight call (its goroutine drains
+// into a buffered channel) and returns ErrRPCTimeout.
+func (o *Overlay) timedCall(to simnet.NodeID, req any) (any, error) {
+	timeout := o.rpcTimeout
+	if timeout <= 0 {
+		timeout = o.rtt.timeout()
+	}
+	type result struct {
+		resp any
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := o.net.Call(clientAddr, to, req)
+		ch <- result{resp, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err == nil {
+			o.rtt.observe(o.net.OneWayLatency(clientAddr, to) + o.net.OneWayLatency(to, clientAddr))
+		}
+		return r.resp, r.err
+	case <-timer.C:
+		o.LookupTimeouts.Inc()
+		return nil, fmt.Errorf("%w: %q after %v", ErrRPCTimeout, to, timeout)
+	}
+}
+
+// findOutcome is the result of one FIND_NODE RPC in a lookup round. A
+// malformed response (failed findNodeResp assertion) is folded into err so
+// the merge step treats it exactly like an unreachable contact — it must
+// not keep its slot in the shortlist.
+type findOutcome struct {
+	resp findNodeResp
+	err  error
+}
+
+// findNodeRound issues the round's batch of FIND_NODE RPCs — concurrently
+// up to α in the default mode, one at a time under Config.Serial — and
+// returns outcomes positionally aligned with batch. Hops accounting happens
+// up front (one per issued RPC, identical in both modes), and results are
+// merged by the caller in batch order, so the counters and the shortlist
+// evolution for a fixed seed do not depend on goroutine scheduling.
+func (o *Overlay) findNodeRound(origin ref, target dht.ID, batch []ref) []findOutcome {
+	o.Hops.Add(int64(len(batch)))
+	out := make([]findOutcome, len(batch))
+	if o.serial || len(batch) == 1 {
+		o.LookupInFlight.Observe(1)
+		for i, c := range batch {
+			out[i] = o.findNodeOne(origin, target, c)
+		}
+		return out
+	}
+	o.LookupInFlight.Observe(int64(len(batch)))
+	var wg sync.WaitGroup
+	for i, c := range batch {
+		wg.Add(1)
+		go func(i int, c ref) {
+			defer wg.Done()
+			out[i] = o.findNodeOne(origin, target, c)
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+func (o *Overlay) findNodeOne(origin ref, target dht.ID, c ref) findOutcome {
+	respAny, err := o.timedCall(c.Addr, findNodeReq{From: origin, Target: target})
+	if err != nil {
+		return findOutcome{err: err}
+	}
+	resp, ok := respAny.(findNodeResp)
+	if !ok {
+		return findOutcome{err: fmt.Errorf("kademlia: bad find-node response %T from %q", respAny, c.Addr)}
+	}
+	return findOutcome{resp: resp}
+}
+
 // iterativeFindNode runs Kademlia's iterative node lookup from the given
-// origin, returning the K closest live contacts to target.
+// origin, returning the K closest live contacts to target. Each round
+// queries the α best unqueried candidates concurrently (findNodeRound);
+// outcomes are merged in batch order, so for a fixed seed the rounds, the
+// Hops counter, and the returned contacts are reproducible regardless of
+// how the concurrent RPCs interleave.
 func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
+	tracer := o.getTracer()
+	var span trace.SpanID
+	if tracer != nil {
+		span = tracer.Begin(0, trace.KindLookup, "kademlia find-node",
+			trace.Int("alpha", int64(o.alpha)))
+	}
 	type candidate struct {
 		ref     ref
 		queried bool
@@ -596,18 +806,19 @@ func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
 		})
 		return out
 	}
-	for round := 0; round < o.maxRounds; round++ {
+	rounds := 0
+	for ; rounds < o.maxRounds; rounds++ {
 		// Termination rule (per the paper): stop once the K closest known
 		// candidates have all been queried — not merely when a round adds
 		// nothing new, since an unqueried near candidate can still reveal
 		// closer nodes.
-		batch := make([]*candidate, 0, Alpha)
+		batch := make([]*candidate, 0, o.alpha)
 		top := sortedList()
 		if len(top) > K {
 			top = top[:K]
 		}
 		for _, c := range top {
-			if len(batch) >= Alpha {
+			if len(batch) >= o.alpha {
 				break
 			}
 			if !c.queried {
@@ -617,23 +828,35 @@ func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
 		if len(batch) == 0 {
 			break
 		}
-		for _, c := range batch {
+		refs := make([]ref, len(batch))
+		for i, c := range batch {
 			c.queried = true
-			respAny, err := o.net.Call(clientAddr, c.ref.Addr, findNodeReq{From: origin, Target: target})
-			o.Hops.Inc()
-			if err != nil {
-				delete(shortlist, c.ref.Addr)
+			refs[i] = c.ref
+		}
+		var roundSpan trace.SpanID
+		if tracer != nil {
+			roundSpan = tracer.Begin(span, trace.KindRound, "find-node round",
+				trace.Int("batch", int64(len(refs))))
+		}
+		outcomes := o.findNodeRound(origin, target, refs)
+		failed := 0
+		for i, oc := range outcomes {
+			if oc.err != nil {
+				// Call failure, timeout, or malformed response: the
+				// contact is useless — drop it from the shortlist so it
+				// neither occupies a top-K slot nor appears in the result.
+				delete(shortlist, refs[i].Addr)
+				failed++
 				continue
 			}
-			resp, ok := respAny.(findNodeResp)
-			if !ok {
-				continue
-			}
-			for _, found := range resp.Closest {
+			for _, found := range oc.resp.Closest {
 				if _, seen := shortlist[found.Addr]; !seen {
 					shortlist[found.Addr] = &candidate{ref: found}
 				}
 			}
+		}
+		if tracer != nil {
+			tracer.End(roundSpan, trace.Int("failed", int64(failed)))
 		}
 	}
 	out := make([]ref, 0, K)
@@ -643,10 +866,85 @@ func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
 		}
 		out = append(out, c.ref)
 	}
+	if tracer != nil {
+		tracer.End(span, trace.Int("rounds", int64(rounds)), trace.Int("found", int64(len(out))))
+	}
 	if len(out) == 0 {
 		return nil, ErrLookupFailed
 	}
 	return out, nil
+}
+
+// LastPingError returns the most recent failed liveness probe, or nil. Pair
+// with PingFailures to see both rate and cause.
+func (o *Overlay) LastPingError() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.lastPingErr
+}
+
+// notePingError records one failed liveness probe.
+func (o *Overlay) notePingError(err error) {
+	o.PingFailures.Inc()
+	o.mu.Lock()
+	o.lastPingErr = err
+	o.mu.Unlock()
+}
+
+// pingContact probes one contact for liveness. The lookup entry node just
+// answered the iterative lookup, so it vouches for itself without paying a
+// ping RPC (the old path pinged it redundantly). Failures are metered and
+// surfaced via LastPingError rather than silently discarded.
+func (o *Overlay) pingContact(entry ref, c ref) bool {
+	if c.Addr == entry.Addr {
+		return true
+	}
+	o.Pings.Inc()
+	if _, err := o.timedCall(c.Addr, pingReq{From: entry}); err != nil {
+		o.notePingError(fmt.Errorf("kademlia: liveness ping %q: %w", c.Addr, err))
+		return false
+	}
+	return true
+}
+
+// probeLive returns the first count live contacts from closest, preserving
+// closest-first order. The default mode pings every candidate concurrently
+// and then adjudicates in closest order — first-count-live wins, and the
+// winner set is deterministic because selection ignores arrival order.
+// Under Config.Serial it reproduces the historical behaviour: ping one at a
+// time, stop at count live (fewer Pings, sum-of-RTT wall-clock).
+func (o *Overlay) probeLive(entry ref, closest []ref, count int) []ref {
+	out := make([]ref, 0, count)
+	if o.serial {
+		for _, c := range closest {
+			if len(out) >= count {
+				break
+			}
+			if o.pingContact(entry, c) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	live := make([]bool, len(closest))
+	var wg sync.WaitGroup
+	for i, c := range closest {
+		wg.Add(1)
+		go func(i int, c ref) {
+			defer wg.Done()
+			live[i] = o.pingContact(entry, c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, c := range closest {
+		if len(out) >= count {
+			break
+		}
+		if live[i] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // ownersOf returns the first count live nodes closest to the target.
@@ -660,15 +958,7 @@ func (o *Overlay) ownersOf(target dht.ID, count int) ([]ref, error) {
 		return nil, err
 	}
 	o.Lookups.Inc()
-	out := make([]ref, 0, count)
-	for _, c := range closest {
-		if len(out) >= count {
-			break
-		}
-		if _, err := o.net.Call(clientAddr, c.Addr, pingReq{From: entry.self()}); err == nil {
-			out = append(out, c)
-		}
-	}
+	out := o.probeLive(entry.self(), closest, count)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
 	}
@@ -692,12 +982,11 @@ func (o *Overlay) route(target dht.ID, origin *Node) (ref, error) {
 		return ref{}, err
 	}
 	o.Lookups.Inc()
-	for _, c := range closest {
-		if _, err := o.net.Call(clientAddr, c.Addr, pingReq{From: entry.self()}); err == nil {
-			return c, nil
-		}
+	out := o.probeLive(entry.self(), closest, 1)
+	if len(out) == 0 {
+		return ref{}, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
 	}
-	return ref{}, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
+	return out[0], nil
 }
 
 // Put implements dht.DHT: the value is stored at the Replication closest
@@ -716,15 +1005,21 @@ func (o *Overlay) Put(key dht.Key, value any) error {
 }
 
 // Get implements dht.DHT: replicas are consulted closest-first, so a value
-// survives as long as any of its copies does.
+// survives as long as any of its copies does. "Not found" is only reported
+// when at least one replica authoritatively answered; if every consult
+// failed on the network the last error surfaces instead, so the retry
+// layer can distinguish a missing key from an unlucky loss burst.
 func (o *Overlay) Get(key dht.Key) (any, bool, error) {
 	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
 	if err != nil {
 		return nil, false, err
 	}
+	var lastErr error
+	answered := false
 	for _, owner := range owners {
 		respAny, err := o.net.Call(clientAddr, owner.Addr, retrieveReq{Key: key})
 		if err != nil {
+			lastErr = err
 			continue
 		}
 		resp, ok := respAny.(retrieveResp)
@@ -734,6 +1029,10 @@ func (o *Overlay) Get(key dht.Key) (any, bool, error) {
 		if resp.Found {
 			return resp.Value, true, nil
 		}
+		answered = true
+	}
+	if !answered && lastErr != nil {
+		return nil, false, lastErr
 	}
 	return nil, false, nil
 }

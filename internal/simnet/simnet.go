@@ -12,9 +12,10 @@
 package simnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -92,6 +93,12 @@ type Options struct {
 
 // Network is the simulated message fabric. The zero value is not usable;
 // construct with New.
+//
+// Call is safe for concurrent use: the α-parallel overlay lookups and the
+// multicast range fan-out drive one network from many goroutines at once.
+// Loss decisions come from per-edge Bernoulli streams (see nextDrop) rather
+// than one shared generator, so which messages are dropped for a given seed
+// does not depend on how concurrent callers happen to interleave.
 type Network struct {
 	mu        sync.Mutex
 	nodes     map[NodeID]Handler
@@ -99,7 +106,8 @@ type Network struct {
 	latency   LatencyModel
 	drop      float64
 	realDelay bool
-	rng       *rand.Rand
+	seed      int64
+	edgeSeq   map[edgeKey]uint64
 	tracer    *trace.Collector
 
 	// RPCs counts attempted remote procedure calls (including failed ones).
@@ -124,8 +132,41 @@ func New(opts Options) *Network {
 		latency:   lat,
 		drop:      opts.DropRate,
 		realDelay: opts.RealDelay,
-		rng:       rand.New(rand.NewSource(opts.Seed)),
+		seed:      opts.Seed,
+		edgeSeq:   make(map[edgeKey]uint64),
 	}
+}
+
+// edgeKey identifies a directed link for the per-edge drop streams.
+type edgeKey struct{ from, to NodeID }
+
+// nextDrop draws the next loss decision for the directed edge (from, to).
+// Each edge carries its own deterministic Bernoulli stream, keyed on (seed,
+// from, to, message position on that edge): the i-th message of a link is
+// dropped or delivered independently of every other link's traffic. A
+// single shared generator would make the loss pattern depend on the order
+// in which concurrent Call-ers reach it; per-edge streams keep a seeded run
+// reproducible when lookups and range queries issue RPCs in parallel.
+// (Two goroutines racing on the *same* edge still contend for adjacent
+// stream positions — the set of decisions is fixed, only their assignment
+// to the racing calls can swap.) Must be called with n.mu held.
+func (n *Network) nextDrop(from, to NodeID) bool {
+	k := edgeKey{from, to}
+	seq := n.edgeSeq[k]
+	n.edgeSeq[k] = seq + 1
+	h := fnv.New64a()
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(n.seed))
+	h.Write(word[:])
+	h.Write([]byte(from))
+	h.Write([]byte{0}) // separator: ("ab","c") and ("a","bc") are distinct edges
+	h.Write([]byte(to))
+	binary.LittleEndian.PutUint64(word[:], seq)
+	h.Write(word[:])
+	// Map the top 53 bits onto [0,1) — the same construction rand.Float64
+	// uses, so the drop probability is honoured uniformly.
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	return u < n.drop
 }
 
 // Register attaches a handler under id. It fails if id is already present.
@@ -249,7 +290,7 @@ func (n *Network) Call(from, to NodeID, req any) (any, error) {
 	isDown := n.down[to]
 	dropped := false
 	if ok && !isDown && n.drop > 0 && from != to {
-		dropped = n.rng.Float64() < n.drop
+		dropped = n.nextDrop(from, to)
 	}
 	var rtt time.Duration
 	if from != to {

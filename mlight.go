@@ -245,6 +245,10 @@ var (
 	// WithSeed seeds the index's internal randomness (depth-estimation
 	// probes), keeping repeated runs replayable.
 	WithSeed = index.WithSeed
+	// WithMulticast switches m-LIGHT range queries to prefix-multicast
+	// dissemination: one prefix tree over the covering-leaf label space
+	// replaces blind per-level lookahead (baselines ignore it).
+	WithMulticast = index.WithMulticast
 )
 
 // NewLocalDHT creates the in-process substrate with the given number of
