@@ -42,6 +42,15 @@
 //
 //	mlight-bench -figs ingest -quick -ingestjson BENCH_ingest.json
 //
+// The churn section (not part of "all") drives a replicated Chord ring
+// through deterministic schedules of crashes, graceful leaves, restarts,
+// and joins at increasing churn rates, reporting point-read availability
+// with and without the retry layer and the maintenance rounds needed to
+// reconverge to ground truth, plus the crash-recovery cost of the durable
+// bucket store with and without its write-ahead log:
+//
+//	mlight-bench -figs churn -quick -churnjson BENCH_churn.json
+//
 // The trace section (not part of "all") runs one fully instrumented range
 // query over a routed Chord cluster and exports the recorded span tree: a
 // Chrome trace_event JSON (open in Perfetto or chrome://tracing) and a
@@ -84,7 +93,7 @@ func run(args []string, out io.Writer) error {
 		depth    = fs.Int("depth", 28, "index depth bound D")
 		seed     = fs.Int64("seed", 1, "random seed for data and queries")
 		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,trace or all (all excludes concurrency, lookup, resilience, ingest and trace)")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,churn,trace or all (all excludes concurrency, lookup, resilience, ingest, churn and trace)")
 		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
 		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
 		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
@@ -92,6 +101,7 @@ func run(args []string, out io.Writer) error {
 		lookJSON = fs.String("lookupjson", "BENCH_lookup.json", "where the lookup section writes its JSON summary")
 		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
 		ingJSON  = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
+		chuJSON  = fs.String("churnjson", "BENCH_churn.json", "where the churn section writes its JSON summary")
 		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
 		traceTxt = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
 		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
@@ -366,6 +376,46 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *ingJSON)
 		}
 		fmt.Fprintf(out, "(ingest took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["churn"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Churn: availability and recovery under membership churn (beyond the paper) ==")
+		ccfg := experiments.ChurnExpConfig{Config: cfg}
+		// Same design point as the resilience section: a small ring keeps
+		// maintenance cost per round bounded and replication — not routing
+		// depth — the variable under test.
+		ccfg.Peers = 12
+		ccfg.DataSize = 1500
+		if *quick {
+			ccfg.DataSize = 600
+		}
+		res, err := experiments.Churn(ccfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res.Table()); err != nil {
+			return err
+		}
+		for _, p := range res.Points {
+			fmt.Fprintf(out, "churn %.2f: success %.1f%% with retry vs %.1f%% bare (%dc/%dl/%dr/%dj, reconverged in %d rounds, intact=%v)\n",
+				p.ChurnRate, 100*p.SuccessWithRetry, 100*p.SuccessWithoutRetry,
+				p.Crashes, p.Leaves, p.Restarts, p.Joins, p.RecoveryRounds, p.FinalIntact)
+		}
+		for _, rp := range res.Recovery {
+			fmt.Fprintf(out, "crash recovery (wal=%v): %d/%d records back in %.2fms, intact=%v\n",
+				rp.WAL, rp.RecoveredRecords, rp.Records, rp.ReplayMS, rp.Intact)
+		}
+		if *chuJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*chuJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *chuJSON)
+		}
+		fmt.Fprintf(out, "(churn took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want["trace"] || *traceOut != "" || *traceTxt != "" {
 		start := time.Now()

@@ -106,12 +106,16 @@ var DefaultDeterminismAllow = []string{"internal/experiments", "cmd", "examples"
 // DefaultDroppedErrCalls are the operations whose errors the repository has
 // been burned by dropping: simulated-network RPCs (net.Call and the
 // kademlia overlay's deadline wrapper timedCall), the DHT substrate
-// interface, the batch planes, and the retry executor.
+// interface, the batch planes, the retry executor, and the durability
+// plane (a dropped WAL Append or Sync error silently voids the
+// crash-recovery guarantee; a dropped Restore error silently boots from an
+// empty store).
 var DefaultDroppedErrCalls = []string{
 	"Call", "timedCall",
 	"Put", "Get", "Remove", "Apply", "Owner",
 	"PutBatch", "ApplyBatch", "GetBatch",
 	"Do", "DoTraced",
+	"Append", "Sync", "Restore",
 }
 
 // DefaultDecoratorPackages are the packages holding DHT decorators: the

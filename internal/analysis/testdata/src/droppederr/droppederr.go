@@ -13,6 +13,12 @@ func Get(k string) (any, bool, error) { return k, true, nil }
 // PutBatch mimics the batch write plane: a positional []error carrier.
 func PutBatch(ks []string) []error { return nil }
 
+// Append mimics the WAL journal write surface.
+func Append(recs []string) error { return nil }
+
+// Restore mimics the WAL replay surface.
+func Restore() (map[string]any, error) { return nil, nil }
+
 // helper is deliberately NOT a watched name.
 func helper() (int, error) { return 0, nil }
 
@@ -30,6 +36,12 @@ func blankedError() {
 func discarded() {
 	Get("k")      // want "result of Get discarded"
 	PutBatch(nil) // want "result of PutBatch discarded"
+	Append(nil)   // want "result of Append discarded"
+}
+
+func blankedDurability() {
+	state, _ := Restore() // want "error result of Restore assigned to _"
+	_ = state
 }
 
 func handled() error {

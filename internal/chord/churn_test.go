@@ -1,0 +1,67 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/dht/dhttest"
+	"mlight/internal/simnet"
+)
+
+// churnRing adapts the Ring management plane to the dhttest churn suite.
+type churnRing struct {
+	ring *Ring
+	d    dht.DHT
+}
+
+func (c *churnRing) DHT() dht.DHT                 { return c.d }
+func (c *churnRing) Live() []simnet.NodeID        { return c.ring.Nodes() }
+func (c *churnRing) Down() []simnet.NodeID        { return c.ring.CrashedNodes() }
+func (c *churnRing) Crash(id simnet.NodeID) error { return c.ring.CrashNode(id) }
+func (c *churnRing) Leave(id simnet.NodeID) error { return c.ring.RemoveNode(id) }
+func (c *churnRing) Settle()                      { c.ring.Stabilize(3) }
+
+func (c *churnRing) Restart(id simnet.NodeID) error {
+	_, err := c.ring.RestartNode(id)
+	return err
+}
+
+func (c *churnRing) Join(id simnet.NodeID) error {
+	_, err := c.ring.AddNode(id)
+	return err
+}
+
+func newChurnRing(t *testing.T, wrap func(dht.DHT) dht.DHT) dhttest.Churner {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	ring := NewRing(net, Config{Seed: 1, Replication: 3})
+	for i := 0; i < 10; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2)
+	return &churnRing{ring: ring, d: wrap(ring)}
+}
+
+// TestChurnSchedule pins the correctness gate of the churn suite on the
+// raw ring: after a deterministic schedule of joins, leaves, crashes, and
+// restarts under an active workload, a full scan equals ground truth.
+func TestChurnSchedule(t *testing.T) {
+	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
+		return newChurnRing(t, func(d dht.DHT) dht.DHT { return d })
+	})
+}
+
+// TestChurnScheduleDecorated runs the same gate through the decorator
+// stack an index deployment actually uses, so churn recovery is proven to
+// compose with retries and accounting.
+func TestChurnScheduleDecorated(t *testing.T) {
+	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
+		return newChurnRing(t, func(d dht.DHT) dht.DHT {
+			return dht.NewResilient(dht.NewCounting(d, nil),
+				dht.RetryPolicy{MaxAttempts: 4, Sleep: dht.NoSleep}, nil)
+		})
+	})
+}

@@ -47,6 +47,13 @@ type Node struct {
 	// replicas holds copies of other nodes' keys when the ring runs with
 	// Replication > 1; see replication.go.
 	replicas map[dht.Key]any
+	// replicaSeen records the local repair round at which each replica was
+	// last refreshed by its owner; repRound counts completed repair rounds.
+	// Together they implement the replica lease: a copy whose owner stops
+	// refreshing it (ownership moved — a join, or a restart reclaiming the
+	// keyspace) expires instead of lingering stale. See expireStaleReplicas.
+	replicaSeen map[dht.Key]uint64
+	repRound    uint64
 	// app is the application-level handler consulted for request types the
 	// node itself does not recognise — the over-DHT application layer
 	// (OpenDHT-style installed handlers). See SetAppHandler.
@@ -128,6 +135,22 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
+// OnCrash implements simnet.Crasher: a hard crash destroys everything this
+// process held in memory — stored keys, replicas, and all routing state.
+// The address and ring identifier survive (they are identity, not state),
+// so the node can restart and rejoin as the same peer with empty buckets.
+func (n *Node) OnCrash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store = make(map[dht.Key]any)
+	n.replicas = nil
+	n.replicaSeen = nil
+	n.repRound = 0
+	n.pred = ref{}
+	n.succs = nil
+	n.fingers = [dht.IDBits]ref{}
+}
+
 // Addr returns the node's network address.
 func (n *Node) Addr() simnet.NodeID { return n.addr }
 
@@ -175,6 +198,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		defer n.mu.Unlock()
 		delete(n.store, r.Key)
 		delete(n.replicas, r.Key)
+		delete(n.replicaSeen, r.Key)
 		return struct{}{}, nil
 	case applyReq:
 		n.mu.Lock()
@@ -201,6 +225,15 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 			n.store[k] = v
 		}
 		return struct{}{}, nil
+	case offerReq:
+		n.mu.Lock()
+		for k, v := range r.Entries {
+			if _, exists := n.store[k]; !exists {
+				n.store[k] = v
+			}
+		}
+		n.mu.Unlock()
+		return struct{}{}, nil
 	case claimReq:
 		return n.handleClaim(r.Joiner), nil
 	case replicateReq:
@@ -210,6 +243,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		delete(n.replicas, r.Key)
+		delete(n.replicaSeen, r.Key)
 		return struct{}{}, nil
 	case setPredReq:
 		n.mu.Lock()

@@ -1,6 +1,8 @@
 package chord
 
 import (
+	"sort"
+
 	"mlight/internal/dht"
 	"mlight/internal/simnet"
 )
@@ -26,15 +28,117 @@ type replicateReq struct{ Entries map[dht.Key]any }
 // dropReplicaReq removes a replica after a key is deleted.
 type dropReplicaReq struct{ Key dht.Key }
 
-// handleReplicate stores pushed replica copies.
+// offerReq hands a possibly-orphaned entry to the key's current owner.
+// Unlike handoffReq (a graceful-leave transfer, which is authoritative and
+// overwrites), an offer is speculative: the receiver keeps its own value if
+// it already has one and only adopts the entry when the key is absent.
+type offerReq struct{ Entries map[dht.Key]any }
+
+// handleReplicate stores pushed replica copies and stamps their lease: a
+// push is the owner saying "you are still in this key's line of
+// succession".
 func (n *Node) handleReplicate(entries map[dht.Key]any) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.replicas == nil {
 		n.replicas = make(map[dht.Key]any, len(entries))
 	}
+	if n.replicaSeen == nil {
+		n.replicaSeen = make(map[dht.Key]uint64, len(entries))
+	}
 	for k, v := range entries {
 		n.replicas[k] = v
+		n.replicaSeen[k] = n.repRound
+	}
+}
+
+// replicaGraceRounds is how many repair rounds an unrefreshed replica
+// survives before relocateStaleReplicas takes it as stale. One round of
+// grace absorbs a transiently failed re-push (the retry budget already
+// exhausted); two consecutive missed refreshes mean the owner no longer
+// counts this node among the key's targets — ownership moved (a join, or
+// a crashed node restarting and reclaiming its keyspace) — so keeping the
+// copy would serve stale reads and resurrect deleted keys on promotion.
+const replicaGraceRounds = 2
+
+// takeExpiredReplicas removes and returns the replica entries whose lease
+// ran out, and closes the repair round. Runs once per stabilization round,
+// after every node has re-pushed its primaries, so a current target is
+// always refreshed before its lease is checked.
+func (n *Node) takeExpiredReplicas() map[dht.Key]any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out map[dht.Key]any
+	for k, v := range n.replicas {
+		if n.repRound-n.replicaSeen[k] >= replicaGraceRounds {
+			if out == nil {
+				out = make(map[dht.Key]any)
+			}
+			out[k] = v
+			delete(n.replicas, k)
+			delete(n.replicaSeen, k)
+		}
+	}
+	n.repRound++
+	return out
+}
+
+// restoreReplica shelves an expired replica back with a fresh lease after a
+// failed relocation, so the copy survives until routing can resolve its
+// owner.
+func (n *Node) restoreReplica(k dht.Key, v any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.replicas == nil {
+		n.replicas = make(map[dht.Key]any)
+	}
+	if n.replicaSeen == nil {
+		n.replicaSeen = make(map[dht.Key]uint64)
+	}
+	n.replicas[k] = v
+	n.replicaSeen[k] = n.repRound
+}
+
+// relocateStaleReplicas resolves each lease-expired replica to the key's
+// current owner and moves the copy there instead of destroying it. A stale
+// lease usually means ownership moved and the owner already holds the key —
+// then the offer is a no-op and the stale copy just disappears. But after
+// an owner's crash the successor of the key's hash may be a node that never
+// held a copy (a joiner that slotted in between the dead primary and its
+// replica chain inherits the range with no data); destroying the expired
+// replica there would lose the record's last copies, so the holder offers
+// the entry to the resolved owner, which adopts it only if the key is
+// absent. Under the crash fault model this cannot resurrect deletes (an
+// unreachable replica holder has, by definition, lost its copies); healing
+// partitions as well would need per-record versions.
+func (r *Ring) relocateStaleReplicas(n *Node) {
+	stale := n.takeExpiredReplicas()
+	if len(stale) == 0 {
+		return
+	}
+	keys := make([]dht.Key, 0, len(stale))
+	for k := range stale {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		v := stale[k]
+		owner, err := r.trace(n.self(), dht.HashKey(k))
+		if err != nil || owner.isZero() {
+			n.restoreReplica(k, v)
+			continue
+		}
+		if owner.Addr == n.addr {
+			n.mu.Lock()
+			if _, exists := n.store[k]; !exists {
+				n.store[k] = v
+			}
+			n.mu.Unlock()
+			continue
+		}
+		if _, err := r.net.Call(n.addr, owner.Addr, offerReq{Entries: map[dht.Key]any{k: v}}); err != nil {
+			n.restoreReplica(k, v)
+		}
 	}
 }
 
@@ -50,6 +154,7 @@ func (n *Node) promoteOwnedReplicasLocked() {
 				n.store[k] = v
 			}
 			delete(n.replicas, k)
+			delete(n.replicaSeen, k)
 		}
 	}
 }

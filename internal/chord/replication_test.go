@@ -310,3 +310,78 @@ func TestReplicasAreBounded(t *testing.T) {
 		t.Errorf("replica copies = %d; repair seems not to be running", replicas)
 	}
 }
+
+// countCopiesPerKey tallies, across all live nodes, how many primary and
+// replica copies each key has.
+func countCopiesPerKey(ring *Ring) (primaries map[dht.Key]int, replicas map[dht.Key]int) {
+	primaries = make(map[dht.Key]int)
+	replicas = make(map[dht.Key]int)
+	for _, addr := range ring.Nodes() {
+		n, _ := ring.node(addr)
+		n.mu.Lock()
+		for k := range n.store {
+			primaries[k]++
+		}
+		for k := range n.replicas {
+			replicas[k]++
+		}
+		n.mu.Unlock()
+	}
+	return primaries, replicas
+}
+
+// TestReplicaPlacementExactAfterRestartCycle is the regression test for the
+// stale-replica leak: reReplicate only ever added copies, so when a crashed
+// node restarted and reclaimed its keyspace, the nodes that had covered for
+// it kept their now-stale copies forever — over-counted replica sets that
+// serve stale reads and resurrect deleted keys on promotion. With the
+// replica lease in place, the copy count per key must return to exactly
+// r-1 after a full crash → failover → restart → reconverge cycle.
+func TestReplicaPlacementExactAfterRestartCycle(t *testing.T) {
+	const keys = 200
+	ring := buildReplicatedRing(t, 12, 3)
+	for i := 0; i < keys; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("xk%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2)
+
+	checkExact := func(stage string) {
+		t.Helper()
+		primaries, replicas := countCopiesPerKey(ring)
+		for i := 0; i < keys; i++ {
+			k := dht.Key(fmt.Sprintf("xk%d", i))
+			if primaries[k] != 1 {
+				t.Errorf("%s: key %q has %d primary copies, want exactly 1", stage, k, primaries[k])
+			}
+			if replicas[k] != 2 {
+				t.Errorf("%s: key %q has %d replica copies, want exactly 2 (r=3)", stage, k, replicas[k])
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	checkExact("before churn")
+
+	if err := ring.CrashNode("node-5"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(3) // failover + lease expiry of displaced copies
+	checkExact("after crash")
+
+	if _, err := ring.RestartNode("node-5"); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stabilize(3) // rejoin, reclaim, and lease expiry of stale copies
+	checkExact("after restart")
+
+	for i := 0; i < keys; i++ {
+		k := dht.Key(fmt.Sprintf("xk%d", i))
+		v, ok, err := ring.Get(k)
+		if err != nil || !ok || v != i {
+			t.Fatalf("after restart cycle Get(%q) = %v, %v, %v", k, v, ok, err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
+
+// TestCrashWipesNodeState asserts crash semantics are destructive: the
+// crashed node's store and routing state are gone, not merely unreachable.
+func TestCrashWipesNodeState(t *testing.T) {
+	_, ring := buildRing(t, 8)
+	for i := 0; i < 100; i++ {
+		if err := ring.Put(dht.Key(fmt.Sprintf("k%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var victim *Node
+	for _, addr := range ring.Nodes() {
+		n, _ := ring.node(addr)
+		if n.StoreLen() > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no node holds data")
+	}
+	if err := ring.CrashNode(victim.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if victim.StoreLen() != 0 {
+		t.Errorf("crashed node still stores %d entries; crash must wipe volatile state", victim.StoreLen())
+	}
+	if _, ok := victim.Successor(); ok {
+		t.Error("crashed node kept its successor pointer")
+	}
+}
+
+// TestRestartRejoinsAndReconverges is the full crash → recover → restart
+// cycle on a replicated ring: no key may be lost while the node is down,
+// and after restart the ring must reconverge with the restarted node
+// holding its share of the keyspace again.
+func TestRestartRejoinsAndReconverges(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	ring := NewRing(net, Config{Seed: 1, Replication: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2)
+
+	want := map[dht.Key]int{}
+	for i := 0; i < 200; i++ {
+		k := dht.Key(fmt.Sprintf("rk%d", i))
+		want[k] = i
+		if err := ring.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2) // settle replica placement
+
+	if err := ring.CrashNode("node-4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.CrashedNodes(); len(got) != 1 || got[0] != "node-4" {
+		t.Fatalf("CrashedNodes = %v, want [node-4]", got)
+	}
+	ring.Stabilize(3) // failover: promote replicas, re-replicate
+
+	for k, v := range want {
+		got, ok, err := ring.Get(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("while down Get(%q) = %v, %v, %v; want %d", k, got, ok, err, v)
+		}
+	}
+
+	n, err := ring.RestartNode("node-4")
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if len(ring.CrashedNodes()) != 0 {
+		t.Errorf("CrashedNodes after restart = %v, want empty", ring.CrashedNodes())
+	}
+	found := false
+	for _, addr := range ring.Nodes() {
+		if addr == "node-4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restarted node missing from Nodes()")
+	}
+	ring.Stabilize(3)
+
+	// Full scan equals ground truth after the churn cycle.
+	got := map[dht.Key]int{}
+	if err := ring.Range(func(k dht.Key, v any) bool {
+		got[k], _ = v.(int)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries after restart, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	// The restarted node claimed its keyspace share back.
+	if n.StoreLen() == 0 {
+		t.Error("restarted node owns no keys; claim-on-rejoin did not run")
+	}
+	// Per-key routed reads still work.
+	for k, v := range want {
+		gotV, ok, err := ring.Get(k)
+		if err != nil || !ok || gotV != v {
+			t.Fatalf("after restart Get(%q) = %v, %v, %v; want %d", k, gotV, ok, err, v)
+		}
+	}
+}
+
+func TestRestartErrors(t *testing.T) {
+	_, ring := buildRing(t, 4)
+	if _, err := ring.RestartNode("node-1"); err == nil {
+		t.Error("RestartNode of a live node succeeded")
+	}
+	if _, err := ring.RestartNode("nope"); err == nil {
+		t.Error("RestartNode of an unknown node succeeded")
+	}
+	if err := ring.CrashNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.RestartNode("node-1"); err != nil {
+		t.Fatalf("first RestartNode: %v", err)
+	}
+	if _, err := ring.RestartNode("node-1"); err == nil {
+		t.Error("second RestartNode succeeded")
+	}
+}
+
+// TestRestartLastNode crashes every node, then restarts one: it must come
+// back as a fresh singleton ring that accepts writes.
+func TestRestartLastNode(t *testing.T) {
+	_, ring := buildRing(t, 3)
+	for _, addr := range []simnet.NodeID{"node-0", "node-1", "node-2"} {
+		if err := ring.CrashNode(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ring.RestartNode("node-0"); err != nil {
+		t.Fatalf("RestartNode into empty ring: %v", err)
+	}
+	if err := ring.Put("k", 1); err != nil {
+		t.Fatalf("Put on restarted singleton: %v", err)
+	}
+	v, ok, err := ring.Get("k")
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("Get = %v, %v, %v", v, ok, err)
+	}
+}
+
+// TestRestartResetsBreaker: the circuit breaker guarding replication RPCs
+// to a peer accumulates failure evidence while that peer is down; a
+// restart invalidates the evidence, so RestartNode must reset the owner's
+// breaker instead of leaving the healthy peer fenced off for the rest of
+// the cooldown.
+func TestRestartResetsBreaker(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	ring := NewRing(net, Config{Seed: 1, Replication: 2, Retry: &dht.RetryPolicy{
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  1000,
+		Sleep:            dht.NoSleep,
+	}})
+	for i := 0; i < 6; i++ {
+		if _, err := ring.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring.Stabilize(2)
+
+	if err := ring.CrashNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	// A replication push to the dead peer trips its breaker.
+	ring.replicaCall("node-0", "node-2", pingReq{})
+	if st := ring.ReplicationRetrier().BreakerState("node-2"); st != "open" {
+		t.Fatalf("breaker after crash pushes = %q, want open", st)
+	}
+
+	if _, err := ring.RestartNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := ring.ReplicationRetrier().BreakerState("node-2"); st != "closed" {
+		t.Errorf("breaker after restart = %q, want closed", st)
+	}
+}

@@ -50,9 +50,13 @@ type Ring struct {
 	maxHops     int
 	replication int
 
-	mu             sync.Mutex
-	nodes          map[simnet.NodeID]*Node
-	order          []simnet.NodeID // sorted addresses for deterministic iteration
+	mu    sync.Mutex
+	nodes map[simnet.NodeID]*Node
+	order []simnet.NodeID // sorted addresses for deterministic iteration
+	// crashed retains the node objects of crashed peers (their volatile
+	// state already wiped by simnet.Crasher) so RestartNode can revive them
+	// under the same identity.
+	crashed        map[simnet.NodeID]*Node
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
@@ -101,6 +105,7 @@ func NewRing(net *simnet.Network, cfg Config) *Ring {
 		maxHops:     maxHops,
 		replication: replication,
 		nodes:       make(map[simnet.NodeID]*Node),
+		crashed:     make(map[simnet.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retrier:     dht.NewRetrier(policy, nil),
 	}
@@ -280,21 +285,83 @@ func (r *Ring) RemoveNode(addr simnet.NodeID) error {
 	return nil
 }
 
-// CrashNode fails a node abruptly: it stops answering without transferring
-// state. Its keys are lost; stabilization repairs the ring around it.
+// CrashNode fails a node abruptly: it stops answering and its volatile
+// state — stored keys, replicas, routing tables — is destroyed
+// (simnet.Crash → Node.OnCrash), not merely hidden behind a partition.
+// Stabilization repairs the ring around it; RestartNode can later revive
+// the same identity with empty buckets.
 func (r *Ring) CrashNode(addr simnet.NodeID) error {
 	r.mu.Lock()
-	_, ok := r.nodes[addr]
+	n, ok := r.nodes[addr]
 	if ok {
 		delete(r.nodes, addr)
 		r.order = removeAddr(r.order, addr)
+		r.crashed[addr] = n
 	}
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("chord: node %q not in ring", addr)
 	}
-	r.net.SetDown(addr, true)
-	return nil
+	return r.net.Crash(addr)
+}
+
+// RestartNode revives a crashed node under its old identity: the network
+// registration comes back up, the node rejoins the ring (re-fetching the
+// keys it owns from its successor via the claim protocol), and the
+// replication retrier forgets the peer's past failures so its circuit
+// breaker does not shed traffic to a now-healthy node.
+func (r *Ring) RestartNode(addr simnet.NodeID) (*Node, error) {
+	r.mu.Lock()
+	n, ok := r.crashed[addr]
+	if ok {
+		delete(r.crashed, addr)
+	}
+	empty := len(r.nodes) == 0
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("chord: node %q is not crashed", addr)
+	}
+	if err := r.net.Restart(addr); err != nil {
+		r.mu.Lock()
+		r.crashed[addr] = n
+		r.mu.Unlock()
+		return nil, err
+	}
+	if empty {
+		n.mu.Lock()
+		n.succs = []ref{n.self()}
+		n.pred = n.self()
+		n.mu.Unlock()
+	} else if err := r.join(n); err != nil {
+		// Rejoin failed (e.g. every entry point unreachable): put the node
+		// back down so a later restart attempt starts from a clean slate.
+		r.net.SetDown(addr, true)
+		r.mu.Lock()
+		r.crashed[addr] = n
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Lock()
+	r.nodes[addr] = n
+	r.order = append(r.order, addr)
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	r.mu.Unlock()
+	r.fixFingers(n)
+	r.retrier.ResetOwner(string(addr))
+	return n, nil
+}
+
+// CrashedNodes returns the addresses of crashed, restartable nodes in
+// sorted order — the churn scheduler's restart candidates.
+func (r *Ring) CrashedNodes() []simnet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(r.crashed))
+	for addr := range r.crashed {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
@@ -420,6 +487,18 @@ func (r *Ring) Stabilize(rounds int) {
 		for _, addr := range r.Nodes() {
 			if n, ok := r.node(addr); ok {
 				r.fixFingers(n)
+			}
+		}
+		// Replica leases expire only after every node has re-pushed its
+		// primaries this round, so current targets are always refreshed
+		// before their lease is checked. Expired copies are offered to the
+		// key's current owner rather than destroyed — see
+		// relocateStaleReplicas.
+		if r.replication > 1 {
+			for _, addr := range r.Nodes() {
+				if n, ok := r.node(addr); ok {
+					r.relocateStaleReplicas(n)
+				}
 			}
 		}
 	}

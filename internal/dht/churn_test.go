@@ -1,0 +1,137 @@
+package dht_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/dht/dhttest"
+	"mlight/internal/simnet"
+)
+
+// durableChurner adapts a durable Local to the churn harness. A single-site
+// store has no membership, so the schedule degenerates to the faults the
+// substrate actually has: abrupt crashes that wipe the volatile state.
+// Settle models the supervised restart every durable deployment has — the
+// process comes back and replays its journal — so the full-scan gate pins
+// exactly the WAL's promise: no committed mutation is lost across a crash.
+type durableChurner struct {
+	local *dht.Local
+	d     dht.DHT
+	down  bool
+}
+
+const durableAddr = simnet.NodeID("local-0")
+
+func (c *durableChurner) DHT() dht.DHT { return c.d }
+
+func (c *durableChurner) Live() []simnet.NodeID {
+	if c.down {
+		return nil
+	}
+	return []simnet.NodeID{durableAddr}
+}
+
+func (c *durableChurner) Down() []simnet.NodeID {
+	if c.down {
+		return []simnet.NodeID{durableAddr}
+	}
+	return nil
+}
+
+func (c *durableChurner) Crash(simnet.NodeID) error {
+	c.local.CrashVolatile()
+	c.down = true
+	return nil
+}
+
+func (c *durableChurner) Restart(simnet.NodeID) error {
+	c.down = false
+	return c.local.Recover()
+}
+
+func (c *durableChurner) Leave(simnet.NodeID) error {
+	return fmt.Errorf("single-site store cannot leave")
+}
+
+func (c *durableChurner) Join(simnet.NodeID) error {
+	return fmt.Errorf("single-site store cannot join")
+}
+
+func (c *durableChurner) Settle() {
+	if c.down {
+		if err := c.local.Recover(); err != nil {
+			panic(fmt.Sprintf("durable Local recovery: %v", err))
+		}
+		c.down = false
+	}
+}
+
+// durableChurnOpts schedules crashes only: no leaves or joins (a
+// single-site store has no peers to hand keys to), every crash followed by
+// the supervised restart Settle performs.
+func durableChurnOpts() dhttest.ChurnOptions {
+	return dhttest.ChurnOptions{
+		Config: simnet.ChurnConfig{
+			Seed:      dhttest.SeedFromEnv(1),
+			CrashRate: 0.5,
+			// The single member may crash: -1 disables the MinLive floor.
+			MinLive:               -1,
+			MaxDeparturesPerRound: 1,
+		},
+	}
+}
+
+func newDurableChurner(t *testing.T, wrap func(dht.DHT) dht.DHT) *durableChurner {
+	t.Helper()
+	w, err := dht.OpenWAL(dht.WALOptions{
+		Dir: t.TempDir(), Codec: testWALCodec{}, CompactThreshold: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			t.Errorf("closing WAL: %v", err)
+		}
+	})
+	local, err := dht.NewDurableLocal(8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &durableChurner{local: local, d: wrap(local)}
+}
+
+func TestChurnScheduleDurableLocal(t *testing.T) {
+	dhttest.RunChurnOpts(t, func(t *testing.T) dhttest.Churner {
+		return newDurableChurner(t, func(d dht.DHT) dht.DHT { return d })
+	}, durableChurnOpts())
+}
+
+func TestChurnScheduleDurableLocalDecorated(t *testing.T) {
+	dhttest.RunChurnOpts(t, func(t *testing.T) dhttest.Churner {
+		return newDurableChurner(t, func(d dht.DHT) dht.DHT {
+			return dht.NewResilient(dht.NewCounting(d, nil),
+				dht.RetryPolicy{MaxAttempts: 4, Sleep: dht.NoSleep}, nil)
+		})
+	}, durableChurnOpts())
+}
+
+// testWALCodec round-trips the ints the churn workload stores.
+type testWALCodec struct{}
+
+func (testWALCodec) Marshal(v any) ([]byte, error) {
+	n, ok := v.(int)
+	if !ok {
+		return nil, fmt.Errorf("testWALCodec: cannot encode %T", v)
+	}
+	return []byte(fmt.Sprintf("%d", n)), nil
+}
+
+func (testWALCodec) Unmarshal(data []byte) (any, error) {
+	var n int
+	if _, err := fmt.Sscanf(string(data), "%d", &n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -19,6 +19,10 @@ type Local struct {
 	// peer at ring[i].
 	ring  []ID
 	peers []string
+	// wal, when non-nil, journals every mutation before it lands in store
+	// (write-ahead discipline) so CrashVolatile + Recover round-trips the
+	// state. Batch writes journal with a single group-commit Append.
+	wal *WAL
 }
 
 var (
@@ -64,12 +68,76 @@ func MustNewLocal(numPeers int) *Local {
 	return l
 }
 
+// NewDurableLocal creates a local DHT whose buckets persist in w: journaled
+// state is replayed into the store on open (so a restart resumes where the
+// last crash left off), and every subsequent mutation is journaled before
+// it is applied. The caller retains ownership of w and must Close it after
+// the Local is discarded; w.LastReplay reports what this open recovered.
+func NewDurableLocal(numPeers int, w *WAL) (*Local, error) {
+	l, err := NewLocal(numPeers)
+	if err != nil {
+		return nil, err
+	}
+	state, err := w.Restore()
+	if err != nil {
+		return nil, err
+	}
+	l.store = state
+	l.wal = w
+	return l, nil
+}
+
+// CrashVolatile destroys the in-memory store, exactly as a process crash
+// would: everything not journaled is gone. The ring layout (configuration,
+// not data) survives. Pair with Recover to model a crash/restart cycle on
+// the local substrate.
+func (l *Local) CrashVolatile() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.store = make(map[Key]any)
+}
+
+// Recover rebuilds the store from the journal, replacing whatever is in
+// memory. On a Local without a WAL it is a no-op: there is nothing to
+// recover from, which is precisely the gap the durable store closes.
+func (l *Local) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wal == nil {
+		return nil
+	}
+	state, err := l.wal.Restore()
+	if err != nil {
+		return err
+	}
+	l.store = state
+	return nil
+}
+
+// Durable reports whether mutations are journaled.
+func (l *Local) Durable() bool { return l.wal != nil }
+
+// maybeCompactLocked snapshots the store once the log passes its
+// compaction threshold. Called with l.mu held, after the mutation landed,
+// so the snapshot is a consistent cut that includes it.
+func (l *Local) maybeCompactLocked() error {
+	if l.wal != nil && l.wal.ShouldCompact() {
+		return l.wal.Compact(l.store)
+	}
+	return nil
+}
+
 // Put implements DHT.
 func (l *Local) Put(key Key, value any) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wal != nil {
+		if err := l.wal.Append([]WALRecord{{Op: WALPut, Key: key, Value: value}}); err != nil {
+			return err
+		}
+	}
 	l.store[key] = value
-	return nil
+	return l.maybeCompactLocked()
 }
 
 // Get implements DHT.
@@ -96,31 +164,100 @@ func (l *Local) GetBatch(keys []Key, maxInFlight int) []BatchResult {
 
 // PutBatch implements BatchWriter natively: all stores land under one
 // exclusive lock, so a batch costs the same as a single Put regardless of
-// size. The maxInFlight cap is irrelevant here — nothing blocks.
+// size. On a durable Local the whole batch journals as one group-commit
+// Append — either every op is recoverable or (if the journal write fails)
+// none of them touched the store. The maxInFlight cap is irrelevant here —
+// nothing blocks.
 func (l *Local) PutBatch(ops []PutOp, maxInFlight int) []error {
 	errs := make([]error, len(ops))
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wal != nil {
+		recs := make([]WALRecord, len(ops))
+		for i, op := range ops {
+			recs[i] = WALRecord{Op: WALPut, Key: op.Key, Value: op.Value}
+		}
+		if err := l.wal.Append(recs); err != nil {
+			for i := range errs {
+				errs[i] = err
+			}
+			return errs
+		}
+	}
 	for _, op := range ops {
 		l.store[op.Key] = op.Value
+	}
+	if err := l.maybeCompactLocked(); err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
 	}
 	return errs
 }
 
 // ApplyBatch implements BatchWriter natively: every transform runs under one
 // exclusive lock acquisition, preserving per-key atomicity while paying the
-// lock once for the whole round.
+// lock once for the whole round. On a durable Local the transforms run
+// against a staged view first, journal as one group-commit Append, and only
+// then land in the store — write-ahead discipline for the whole batch.
 func (l *Local) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
 	errs := make([]error, len(ops))
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wal == nil {
+		for _, op := range ops {
+			cur, ok := l.store[op.Key]
+			next, keep := op.Fn(cur, ok)
+			if keep {
+				l.store[op.Key] = next
+			} else {
+				delete(l.store, op.Key)
+			}
+		}
+		return errs
+	}
+	type staged struct {
+		val  any
+		keep bool
+	}
+	pending := make(map[Key]staged)
+	recs := make([]WALRecord, 0, len(ops))
 	for _, op := range ops {
-		cur, ok := l.store[op.Key]
-		next, keep := op.Fn(cur, ok)
-		if keep {
-			l.store[op.Key] = next
+		var cur any
+		var ok bool
+		if s, hit := pending[op.Key]; hit {
+			cur, ok = s.val, s.keep
 		} else {
-			delete(l.store, op.Key)
+			cur, ok = l.store[op.Key]
+		}
+		next, keep := op.Fn(cur, ok)
+		pending[op.Key] = staged{val: next, keep: keep}
+		if keep {
+			recs = append(recs, WALRecord{Op: WALPut, Key: op.Key, Value: next})
+		} else {
+			recs = append(recs, WALRecord{Op: WALRemove, Key: op.Key})
+		}
+	}
+	if err := l.wal.Append(recs); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for k, s := range pending {
+		if s.keep {
+			l.store[k] = s.val
+		} else {
+			delete(l.store, k)
+		}
+	}
+	if err := l.maybeCompactLocked(); err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
 		}
 	}
 	return errs
@@ -130,22 +267,38 @@ func (l *Local) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
 func (l *Local) Remove(key Key) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.wal != nil {
+		if err := l.wal.Append([]WALRecord{{Op: WALRemove, Key: key}}); err != nil {
+			return err
+		}
+	}
 	delete(l.store, key)
-	return nil
+	return l.maybeCompactLocked()
 }
 
-// Apply implements DHT.
+// Apply implements DHT. On a durable Local the transform's outcome is
+// journaled (as the resulting put or delete — closures cannot replay)
+// before the store changes.
 func (l *Local) Apply(key Key, fn ApplyFunc) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur, ok := l.store[key]
 	next, keep := fn(cur, ok)
+	if l.wal != nil {
+		rec := WALRecord{Op: WALRemove, Key: key}
+		if keep {
+			rec = WALRecord{Op: WALPut, Key: key, Value: next}
+		}
+		if err := l.wal.Append([]WALRecord{rec}); err != nil {
+			return err
+		}
+	}
 	if keep {
 		l.store[key] = next
 	} else {
 		delete(l.store, key)
 	}
-	return nil
+	return l.maybeCompactLocked()
 }
 
 // Owner implements DHT: the peer owning a key is the first peer at or after

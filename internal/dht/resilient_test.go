@@ -446,3 +446,43 @@ func TestResilientRangeForwarding(t *testing.T) {
 		t.Errorf("Range over opaque inner = %v, want ErrNotEnumerable", err)
 	}
 }
+
+// TestResetOwnerClearsBreaker: a peer restart invalidates the failure
+// evidence its breaker accumulated, so ResetOwner must return the owner to
+// closed immediately — without it, a restarted-and-healthy peer stays
+// fenced off for the whole cooldown, turning recovery time into shed
+// operations.
+func TestResetOwnerClearsBreaker(t *testing.T) {
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  1000, // long enough that only ResetOwner can help
+		Sleep:            NoSleep,
+	}, nil)
+	failing := func() error { return errScripted }
+	for i := 0; i < 2; i++ {
+		if err := r.Do("peer", failing); err == nil {
+			t.Fatal("failing op succeeded")
+		}
+	}
+	if st := r.BreakerState("peer"); st != "open" {
+		t.Fatalf("after threshold: state %q, want open", st)
+	}
+	if err := r.Do("peer", func() error { return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("pre-reset op = %v, want ErrBreakerOpen", err)
+	}
+
+	r.ResetOwner("peer")
+	if st := r.BreakerState("peer"); st != "closed" {
+		t.Fatalf("after ResetOwner: state %q, want closed", st)
+	}
+	calls := 0
+	if err := r.Do("peer", func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("post-reset op: err %v calls %d, want nil and 1", err, calls)
+	}
+	// Resetting an unknown owner is a harmless no-op.
+	r.ResetOwner("never-seen")
+	if st := r.BreakerState("never-seen"); st != "closed" {
+		t.Errorf("unknown owner state %q, want closed", st)
+	}
+}

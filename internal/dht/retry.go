@@ -335,6 +335,19 @@ func (r *Retrier) backoff(attempt int) time.Duration {
 	return half + time.Duration(f*float64(delay-half))
 }
 
+// ResetOwner discards owner's breaker state entirely, as if the peer had
+// never failed. Call it when a peer is known to have restarted: breaker
+// state is evidence about a process that no longer exists, and without the
+// reset a recovered peer keeps shedding load (open state) or serving
+// repeated failure counts (closed-with-history) until a half-open trial
+// happens to land — indefinitely long under the operation-counted cooldown
+// if traffic to that owner is sparse.
+func (r *Retrier) ResetOwner(owner string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.breakers, owner)
+}
+
 // BreakerState reports owner's breaker state for tests and diagnostics:
 // "closed", "open", or "half-open".
 func (r *Retrier) BreakerState(owner string) string {

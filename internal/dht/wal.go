@@ -1,0 +1,427 @@
+package dht
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// This file implements the durable bucket store behind Local: a write-ahead
+// log plus snapshot, so a crashed node recovers exactly the entries it
+// journaled instead of silently resurrecting (or losing) its in-memory map.
+//
+// On disk a store is a directory with two files:
+//
+//	snapshot.bin — the full key/value state as of the last compaction
+//	wal.log      — records appended since that snapshot
+//
+// Both files share one record framing:
+//
+//	uvarint bodyLen | body | crc32(body), little-endian
+//	body = op byte ('P' put, 'D' delete) | uvarint keyLen | key | value
+//
+// Value payloads are opaque bytes produced by an injected Codec — in
+// production the fuzz-hardened wire.BucketCodec (declared structurally here
+// because wire imports dht, so dht cannot import wire). Recovery replays the
+// snapshot strictly (it was published by atomic rename, so damage means the
+// directory is not ours) and the log tolerantly: a torn or corrupt tail —
+// the signature of dying mid-append — is truncated at the last intact
+// record, and replay proceeds with everything before it.
+//
+// Compaction (triggered past CompactThreshold log records) snapshots the
+// live state and truncates the log. The snapshot-then-truncate pair is
+// atomic under the simulator's crash model — simnet crashes destroy a
+// node's volatile memory between operations, never mid-file-write; a real
+// deployment would use generation-numbered log segments to close that
+// window.
+
+// Codec encodes the values a durable Local journals. It is structurally
+// identical to wire.Codec so wire.BucketCodec satisfies it without dht
+// importing wire (wire already imports dht).
+type Codec interface {
+	Marshal(v any) ([]byte, error)
+	Unmarshal(data []byte) (any, error)
+}
+
+// WALOp tags a journaled mutation.
+type WALOp byte
+
+const (
+	// WALPut records a value stored under a key.
+	WALPut WALOp = 'P'
+	// WALRemove records a key's deletion.
+	WALRemove WALOp = 'D'
+)
+
+// WALRecord is one journaled mutation. Value is nil for WALRemove.
+type WALRecord struct {
+	Op    WALOp
+	Key   Key
+	Value any
+}
+
+// WALOptions configures OpenWAL.
+type WALOptions struct {
+	// Dir is the store directory; it is created if absent.
+	Dir string
+	// Codec encodes values. Required.
+	Codec Codec
+	// CompactThreshold is the number of log records after which
+	// ShouldCompact reports true. Default 4096; negative disables
+	// compaction hints.
+	CompactThreshold int
+	// SyncEveryAppend forces an fsync after every Append. Off by default:
+	// the simulator's crashes wipe process memory, not the kernel's page
+	// cache, so tests and experiments run at memory speed; deployments
+	// that fear power loss turn it on (BenchmarkWALAppend measures both).
+	SyncEveryAppend bool
+}
+
+// ReplayInfo summarises what Restore recovered.
+type ReplayInfo struct {
+	// SnapshotRecords is the number of entries loaded from the snapshot.
+	SnapshotRecords int
+	// LogRecords is the number of log records replayed on top.
+	LogRecords int
+	// TornTail reports that the log ended in a torn or corrupt record,
+	// which was discarded and truncated away.
+	TornTail bool
+}
+
+// WAL is the append-only journal + snapshot pair behind a durable Local.
+// It is safe for concurrent use.
+type WAL struct {
+	mu        sync.Mutex
+	dir       string
+	codec     Codec
+	log       *os.File
+	appended  int // log records since the last compaction
+	threshold int
+	syncEvery bool
+	replay    ReplayInfo
+}
+
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.bin"
+)
+
+// OpenWAL opens (creating if needed) the durable store in opts.Dir.
+func OpenWAL(opts WALOptions) (*WAL, error) {
+	if opts.Codec == nil {
+		return nil, errors.New("dht: OpenWAL requires a Codec")
+	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = 4096
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dht: wal dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(opts.Dir, walFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dht: wal log: %w", err)
+	}
+	return &WAL{
+		dir:       opts.Dir,
+		codec:     opts.Codec,
+		log:       f,
+		threshold: opts.CompactThreshold,
+		syncEvery: opts.SyncEveryAppend,
+	}, nil
+}
+
+// appendFrame appends one framed record to buf.
+func appendFrame(buf []byte, body []byte) []byte {
+	var frame [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(len(body)))
+	buf = append(buf, frame[:n]...)
+	buf = append(buf, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(buf, crc[:]...)
+}
+
+// encodeRecord builds the framed bytes for one record.
+func (w *WAL) encodeRecord(buf []byte, rec WALRecord) ([]byte, error) {
+	var val []byte
+	if rec.Op == WALPut {
+		var err error
+		val, err = w.codec.Marshal(rec.Value)
+		if err != nil {
+			return nil, fmt.Errorf("dht: wal encode %q: %w", rec.Key, err)
+		}
+	}
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(rec.Key)+len(val))
+	body = append(body, byte(rec.Op))
+	var klen [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(klen[:], uint64(len(rec.Key)))
+	body = append(body, klen[:n]...)
+	body = append(body, rec.Key...)
+	body = append(body, val...)
+	return appendFrame(buf, body), nil
+}
+
+// Append journals a group of records with a single write (group commit):
+// either callers see all of them on replay or, if the process dies mid-
+// write, the torn tail is discarded as a unit boundary at worst one frame
+// deep. Append returns after the OS accepts the bytes; call Sync (or set
+// SyncEveryAppend) to force them to stable storage.
+func (w *WAL) Append(recs []WALRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	var err error
+	for _, rec := range recs {
+		buf, err = w.encodeRecord(buf, rec)
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return errors.New("dht: wal closed")
+	}
+	if _, err := w.log.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("dht: wal seek: %w", err)
+	}
+	if _, err := w.log.Write(buf); err != nil {
+		return fmt.Errorf("dht: wal append: %w", err)
+	}
+	w.appended += len(recs)
+	if w.syncEvery {
+		if err := w.log.Sync(); err != nil {
+			return fmt.Errorf("dht: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync forces journaled records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return errors.New("dht: wal closed")
+	}
+	if err := w.log.Sync(); err != nil {
+		return fmt.Errorf("dht: wal sync: %w", err)
+	}
+	return nil
+}
+
+// readRecords decodes framed records from data, calling fn for each. When
+// strict, any malformed frame is an error; otherwise decoding stops at the
+// first malformed frame (torn tail) and returns its offset with torn=true.
+func (w *WAL) readRecords(data []byte, strict bool, fn func(WALRecord)) (goodEnd int, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		bodyLen, n := binary.Uvarint(data[off:])
+		if n <= 0 || bodyLen > uint64(len(data)-off-n) {
+			if strict {
+				return off, false, fmt.Errorf("dht: wal frame header at %d malformed", off)
+			}
+			return off, true, nil
+		}
+		bodyStart := off + n
+		bodyEnd := bodyStart + int(bodyLen)
+		if bodyEnd+4 > len(data) {
+			if strict {
+				return off, false, fmt.Errorf("dht: wal frame at %d truncated", off)
+			}
+			return off, true, nil
+		}
+		body := data[bodyStart:bodyEnd]
+		want := binary.LittleEndian.Uint32(data[bodyEnd : bodyEnd+4])
+		if crc32.ChecksumIEEE(body) != want {
+			if strict {
+				return off, false, fmt.Errorf("dht: wal frame at %d checksum mismatch", off)
+			}
+			return off, true, nil
+		}
+		rec, decErr := w.decodeBody(body)
+		if decErr != nil {
+			if strict {
+				return off, false, decErr
+			}
+			return off, true, nil
+		}
+		fn(rec)
+		off = bodyEnd + 4
+	}
+	return off, false, nil
+}
+
+// decodeBody parses one checksummed record body.
+func (w *WAL) decodeBody(body []byte) (WALRecord, error) {
+	if len(body) < 1 {
+		return WALRecord{}, errors.New("dht: wal record empty")
+	}
+	op := WALOp(body[0])
+	if op != WALPut && op != WALRemove {
+		return WALRecord{}, fmt.Errorf("dht: wal record op %q unknown", body[0])
+	}
+	keyLen, n := binary.Uvarint(body[1:])
+	if n <= 0 || keyLen > uint64(len(body)-1-n) {
+		return WALRecord{}, errors.New("dht: wal record key length malformed")
+	}
+	keyStart := 1 + n
+	keyEnd := keyStart + int(keyLen)
+	rec := WALRecord{Op: op, Key: Key(body[keyStart:keyEnd])}
+	if op == WALPut {
+		v, err := w.codec.Unmarshal(body[keyEnd:])
+		if err != nil {
+			return WALRecord{}, fmt.Errorf("dht: wal record value: %w", err)
+		}
+		rec.Value = v
+	} else if keyEnd != len(body) {
+		return WALRecord{}, errors.New("dht: wal delete record has trailing bytes")
+	}
+	return rec, nil
+}
+
+// Restore rebuilds the journaled state: snapshot entries first (strict — a
+// snapshot is published atomically, so damage is refused, not repaired),
+// then the log replayed on top, with a torn or corrupt tail truncated away
+// so subsequent Appends extend the last intact record.
+func (w *WAL) Restore() (map[Key]any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return nil, errors.New("dht: wal closed")
+	}
+	state := make(map[Key]any)
+	info := ReplayInfo{}
+	snap, err := os.ReadFile(filepath.Join(w.dir, snapshotFileName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("dht: wal snapshot read: %w", err)
+	}
+	if len(snap) > 0 {
+		if _, _, err := w.readRecords(snap, true, func(rec WALRecord) {
+			applyRecord(state, rec)
+			info.SnapshotRecords++
+		}); err != nil {
+			return nil, fmt.Errorf("dht: wal snapshot corrupt: %w", err)
+		}
+	}
+	if _, err := w.log.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("dht: wal seek: %w", err)
+	}
+	data, err := io.ReadAll(w.log)
+	if err != nil {
+		return nil, fmt.Errorf("dht: wal read: %w", err)
+	}
+	goodEnd, torn, err := w.readRecords(data, false, func(rec WALRecord) {
+		applyRecord(state, rec)
+		info.LogRecords++
+	})
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		info.TornTail = true
+		if err := w.log.Truncate(int64(goodEnd)); err != nil {
+			return nil, fmt.Errorf("dht: wal truncate torn tail: %w", err)
+		}
+	}
+	w.appended = info.LogRecords
+	w.replay = info
+	return state, nil
+}
+
+// applyRecord folds one record into state.
+func applyRecord(state map[Key]any, rec WALRecord) {
+	if rec.Op == WALPut {
+		state[rec.Key] = rec.Value
+	} else {
+		delete(state, rec.Key)
+	}
+}
+
+// LastReplay reports what the most recent Restore recovered.
+func (w *WAL) LastReplay() ReplayInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.replay
+}
+
+// ShouldCompact reports whether the log has grown past the compaction
+// threshold since the last snapshot.
+func (w *WAL) ShouldCompact() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.threshold > 0 && w.appended >= w.threshold
+}
+
+// Compact publishes state as the new snapshot (write-temp, fsync, atomic
+// rename) and truncates the log. The caller supplies the full live state;
+// a durable Local calls this under its own store lock so the snapshot is a
+// consistent cut.
+func (w *WAL) Compact(state map[Key]any) error {
+	var buf []byte
+	for k, v := range state {
+		var err error
+		buf, err = w.encodeRecord(buf, WALRecord{Op: WALPut, Key: k, Value: v})
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return errors.New("dht: wal closed")
+	}
+	tmp := filepath.Join(w.dir, snapshotFileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("dht: wal snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("dht: wal snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dht: wal snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dht: wal snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotFileName)); err != nil {
+		return fmt.Errorf("dht: wal snapshot publish: %w", err)
+	}
+	if err := w.log.Truncate(0); err != nil {
+		return fmt.Errorf("dht: wal truncate: %w", err)
+	}
+	w.appended = 0
+	return nil
+}
+
+// LogRecords returns the number of records appended since the last
+// compaction (or Restore), for tests and compaction diagnostics.
+func (w *WAL) LogRecords() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Close releases the log file handle. The WAL is unusable afterwards.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return nil
+	}
+	err := w.log.Close()
+	w.log = nil
+	if err != nil {
+		return fmt.Errorf("dht: wal close: %w", err)
+	}
+	return nil
+}

@@ -111,6 +111,41 @@ func (e *rttEstimator) timeout() time.Duration {
 	return t
 }
 
+// maxDecayedRTT caps how far repeated timeouts can inflate the estimate
+// (deadline cap: 4× this value).
+const maxDecayedRTT = 2 * time.Second
+
+// decay reacts to a timed-out RPC. Timeouts never produce an RTT sample,
+// so without decay an estimator trained on a fast pre-restart peer keeps
+// issuing the same too-tight deadline forever — every call to the slower
+// recovered peer times out, and no observation can ever correct the
+// profile. Doubling the estimate (capped) on each timeout breaks the loop
+// deterministically: deadlines grow until calls start succeeding, and the
+// successes then re-tighten the EWMA.
+func (e *rttEstimator) decay() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ewma == 0 {
+		// Pre-observation: start the backoff from the fallback deadline's
+		// implied RTT so the next timeout() answers 2× the fallback.
+		e.ewma = e.fallback / 2
+		return
+	}
+	e.ewma *= 2
+	if e.ewma > maxDecayedRTT {
+		e.ewma = maxDecayedRTT
+	}
+}
+
+// reset discards all observed history, returning the estimator to its
+// seeded pre-observation fallback — the clean-slate hook for tests and for
+// operators who know the network just changed under the estimator.
+func (e *rttEstimator) reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ewma = 0
+}
+
 // ref names a remote node.
 type ref struct {
 	Addr simnet.NodeID
@@ -195,6 +230,17 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 		return nil, fmt.Errorf("kademlia: register %q: %w", addr, err)
 	}
 	return n, nil
+}
+
+// OnCrash implements simnet.Crasher: a hard crash destroys the node's
+// volatile memory — stored keys and the entire routing table. Identity
+// (address, XOR position) survives so the node can restart and rejoin as
+// the same peer with empty buckets.
+func (n *Node) OnCrash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store = make(map[dht.Key]any)
+	n.buckets = [dht.IDBits][]ref{}
 }
 
 // Addr returns the node's network address.
@@ -405,9 +451,12 @@ type Overlay struct {
 	rpcTimeout  time.Duration
 	rtt         rttEstimator
 
-	mu           sync.Mutex
-	nodes        map[simnet.NodeID]*Node
-	order        []simnet.NodeID
+	mu    sync.Mutex
+	nodes map[simnet.NodeID]*Node
+	order []simnet.NodeID
+	// crashed retains crashed peers' node objects (volatile state already
+	// wiped) so RestartNode can revive them under the same identity.
+	crashed      map[simnet.NodeID]*Node
 	rng          *rand.Rand
 	lastMaintErr error
 	lastPingErr  error
@@ -470,8 +519,9 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 		rtt: rttEstimator{
 			fallback: minRPCTimeout + time.Duration(fallbackRng.Int63n(int64(minRPCTimeout))),
 		},
-		nodes: make(map[simnet.NodeID]*Node),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[simnet.NodeID]*Node),
+		crashed: make(map[simnet.NodeID]*Node),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -512,26 +562,9 @@ func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
 		return nil, err
 	}
 	if bootstrap != nil {
-		n.observe(bootstrap.self())
-		// Self-lookup populates the routing table and announces us.
-		closest, err := o.iterativeFindNode(n.self(), n.id)
-		if err != nil {
+		if err := o.join(n, bootstrap); err != nil {
 			o.net.Deregister(addr)
-			return nil, fmt.Errorf("kademlia: join %q: %w", addr, err)
-		}
-		for _, c := range closest {
-			n.observe(c)
-			claimAny, err := o.net.Call(n.addr, c.Addr, claimReq{Joiner: n.self()})
-			if err != nil {
-				continue
-			}
-			if claim, ok := claimAny.(claimResp); ok && len(claim.Entries) > 0 {
-				n.mu.Lock()
-				for k, v := range claim.Entries {
-					n.store[k] = v
-				}
-				n.mu.Unlock()
-			}
+			return nil, err
 		}
 	}
 	o.mu.Lock()
@@ -540,6 +573,33 @@ func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
 	sort.Slice(o.order, func(i, j int) bool { return o.order[i] < o.order[j] })
 	o.mu.Unlock()
 	return n, nil
+}
+
+// join bootstraps n into the overlay: seed the routing table from the
+// bootstrap contact, self-lookup to backfill buckets and announce, then
+// claim the keys n now owns from its closest neighbours.
+func (o *Overlay) join(n *Node, bootstrap *Node) error {
+	n.observe(bootstrap.self())
+	// Self-lookup populates the routing table and announces us.
+	closest, err := o.iterativeFindNode(n.self(), n.id)
+	if err != nil {
+		return fmt.Errorf("kademlia: join %q: %w", n.addr, err)
+	}
+	for _, c := range closest {
+		n.observe(c)
+		claimAny, err := o.net.Call(n.addr, c.Addr, claimReq{Joiner: n.self()})
+		if err != nil {
+			continue
+		}
+		if claim, ok := claimAny.(claimResp); ok && len(claim.Entries) > 0 {
+			n.mu.Lock()
+			for k, v := range claim.Entries {
+				n.store[k] = v
+			}
+			n.mu.Unlock()
+		}
+	}
+	return nil
 }
 
 // RemoveNode gracefully departs a node, handing each key to the closest
@@ -598,22 +658,97 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 	return nil
 }
 
-// CrashNode fails a node abruptly; its keys are lost and its contacts are
-// evicted during Stabilize.
+// CrashNode fails a node abruptly: its volatile state — stored keys and
+// routing table — is destroyed (simnet.Crash → Node.OnCrash), not merely
+// hidden behind a partition. Its contacts are evicted from peers during
+// Stabilize; RestartNode can later revive the identity.
 func (o *Overlay) CrashNode(addr simnet.NodeID) error {
 	o.mu.Lock()
-	_, ok := o.nodes[addr]
+	n, ok := o.nodes[addr]
 	if ok {
 		delete(o.nodes, addr)
 		o.order = removeAddr(o.order, addr)
+		o.crashed[addr] = n
 	}
 	o.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("kademlia: node %q not in overlay", addr)
 	}
-	o.net.SetDown(addr, true)
-	return nil
+	return o.net.Crash(addr)
 }
+
+// RestartNode revives a crashed node under its old identity: the network
+// registration comes back up and the node re-bootstraps from a live peer —
+// self-lookup to rebuild its buckets, then claims back the keys it owns
+// from its closest neighbours.
+func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
+	o.mu.Lock()
+	n, ok := o.crashed[addr]
+	if ok {
+		delete(o.crashed, addr)
+	}
+	var bootstrap *Node
+	for _, a := range o.order {
+		bootstrap = o.nodes[a]
+		break
+	}
+	o.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("kademlia: node %q is not crashed", addr)
+	}
+	if err := o.net.Restart(addr); err != nil {
+		o.mu.Lock()
+		o.crashed[addr] = n
+		o.mu.Unlock()
+		return nil, err
+	}
+	if bootstrap != nil {
+		if err := o.join(n, bootstrap); err != nil {
+			// Rejoin failed: put the node back down so a later restart
+			// attempt starts clean.
+			o.net.SetDown(addr, true)
+			o.mu.Lock()
+			o.crashed[addr] = n
+			o.mu.Unlock()
+			return nil, err
+		}
+	}
+	o.mu.Lock()
+	o.nodes[addr] = n
+	o.order = append(o.order, addr)
+	sort.Slice(o.order, func(i, j int) bool { return o.order[i] < o.order[j] })
+	o.mu.Unlock()
+	return n, nil
+}
+
+// CrashedNodes returns the addresses of crashed, restartable nodes in
+// sorted order — the churn scheduler's restart candidates.
+func (o *Overlay) CrashedNodes() []simnet.NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(o.crashed))
+	for addr := range o.crashed {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RPCDeadline exposes the current adaptive per-RPC deadline, for tests and
+// diagnostics.
+func (o *Overlay) RPCDeadline() time.Duration {
+	if o.rpcTimeout > 0 {
+		return o.rpcTimeout
+	}
+	return o.rtt.timeout()
+}
+
+// ResetRTTEstimate discards the adaptive timeout's observed history,
+// returning it to the seeded pre-observation fallback. Use when the
+// network demonstrably changed under the estimator (e.g. a latency model
+// swap in an experiment); routine restarts do not need it — the decay path
+// already un-sticks a stale-low profile.
+func (o *Overlay) ResetRTTEstimate() { o.rtt.reset() }
 
 func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
 	out := order[:0]
@@ -643,6 +778,8 @@ func (o *Overlay) noteMaintenanceError(err error) {
 
 // Stabilize runs bucket-refresh rounds: every node pings its contacts,
 // evicts the dead, and re-looks-up its own identifier to heal coverage.
+// Each round ends with a replica-repair pass (the paper's periodic
+// republish), which is what makes data placement reconverge after churn.
 func (o *Overlay) Stabilize(rounds int) {
 	for i := 0; i < rounds; i++ {
 		for _, addr := range o.Nodes() {
@@ -659,6 +796,92 @@ func (o *Overlay) Stabilize(rounds int) {
 			// bucket coverage this round. Count them; the next round retries.
 			if _, err := o.iterativeFindNode(n.self(), n.id); err != nil {
 				o.noteMaintenanceError(fmt.Errorf("kademlia: refresh find-node at %q: %w", n.addr, err))
+			}
+		}
+		o.repairReplicas()
+	}
+}
+
+// repairReplicas is the data half of one Stabilize round — the periodic
+// republish of the original paper, which this overlay previously lacked
+// entirely: joins erode replica sets (a joiner's claim consumes every
+// existing copy it is closer than), and crashes silently thin them, so
+// without republish a churn schedule steadily walks keys down to one copy
+// and then to zero. Each round, for every key, the holder closest to the
+// key pushes its value to the key's Replication closest live nodes, and
+// every holder outside that target set drops its copy (placement GC —
+// stale holders otherwise serve outdated values through Range and
+// resurrect deletes).
+//
+// The closest holder is authoritative. Under the crash model used here
+// that is sound: a crash wipes the node's store, so a copy can only be
+// stale if its holder silently left and re-entered the target set with old
+// memory intact — a partition, not a crash. Deployments that heal long
+// partitions need per-record versioning on top (sequence numbers in the
+// original paper); the management plane here never re-admits a partitioned
+// node's store without a claim cycle.
+func (o *Overlay) repairReplicas() {
+	addrs := o.Nodes()
+	live := make([]*Node, 0, len(addrs))
+	for _, addr := range addrs {
+		if n, ok := o.nodeAt(addr); ok {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	type holding struct {
+		n *Node
+		v any
+	}
+	holders := make(map[dht.Key][]holding)
+	for _, n := range live {
+		for k, v := range n.storeSnapshot() {
+			holders[k] = append(holders[k], holding{n: n, v: v})
+		}
+	}
+	keys := make([]dht.Key, 0, len(holders))
+	for k := range holders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, k := range keys {
+		h := dht.HashKey(k)
+		hs := holders[k]
+		// holders listed in live order (sorted addresses); pick the one
+		// closest to the key as the authoritative source.
+		src := hs[0]
+		for _, cand := range hs[1:] {
+			if closerTo(h, cand.n.id, src.n.id) {
+				src = cand
+			}
+		}
+		targets := append([]*Node(nil), live...)
+		sort.Slice(targets, func(i, j int) bool { return closerTo(h, targets[i].id, targets[j].id) })
+		r := o.replication
+		if r < 1 {
+			r = 1
+		}
+		if len(targets) > r {
+			targets = targets[:r]
+		}
+		inTargets := make(map[simnet.NodeID]bool, len(targets))
+		for _, tgt := range targets {
+			inTargets[tgt.addr] = true
+			if tgt.addr == src.n.addr {
+				continue
+			}
+			if _, err := o.net.Call(src.n.addr, tgt.addr, storeReq{From: src.n.self(), Key: k, Value: src.v}); err != nil {
+				o.noteMaintenanceError(fmt.Errorf("kademlia: republish %q from %q to %q: %w", k, src.n.addr, tgt.addr, err))
+			}
+		}
+		for _, hold := range hs {
+			if !inTargets[hold.n.addr] {
+				hold.n.mu.Lock()
+				delete(hold.n.store, k)
+				hold.n.mu.Unlock()
 			}
 		}
 	}
@@ -722,6 +945,11 @@ func (o *Overlay) timedCall(to simnet.NodeID, req any) (any, error) {
 		return r.resp, r.err
 	case <-timer.C:
 		o.LookupTimeouts.Inc()
+		if o.rpcTimeout <= 0 {
+			// Adaptive mode: widen the next deadline so a stale-low RTT
+			// profile cannot time out every future call indefinitely.
+			o.rtt.decay()
+		}
 		return nil, fmt.Errorf("%w: %q after %v", ErrRPCTimeout, to, timeout)
 	}
 }

@@ -1,0 +1,68 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/dht/dhttest"
+	"mlight/internal/simnet"
+)
+
+// churnOverlay adapts the Overlay management plane to the dhttest churn
+// suite.
+type churnOverlay struct {
+	o *Overlay
+	d dht.DHT
+}
+
+func (c *churnOverlay) DHT() dht.DHT                 { return c.d }
+func (c *churnOverlay) Live() []simnet.NodeID        { return c.o.Nodes() }
+func (c *churnOverlay) Down() []simnet.NodeID        { return c.o.CrashedNodes() }
+func (c *churnOverlay) Crash(id simnet.NodeID) error { return c.o.CrashNode(id) }
+func (c *churnOverlay) Leave(id simnet.NodeID) error { return c.o.RemoveNode(id) }
+func (c *churnOverlay) Settle()                      { c.o.Stabilize(3) }
+
+func (c *churnOverlay) Restart(id simnet.NodeID) error {
+	_, err := c.o.RestartNode(id)
+	return err
+}
+
+func (c *churnOverlay) Join(id simnet.NodeID) error {
+	_, err := c.o.AddNode(id)
+	return err
+}
+
+func newChurnOverlay(t *testing.T, wrap func(dht.DHT) dht.DHT) dhttest.Churner {
+	t.Helper()
+	net := simnet.New(simnet.Options{})
+	o := NewOverlay(net, Config{Seed: 1, Replication: 3})
+	for i := 0; i < 10; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(2)
+	return &churnOverlay{o: o, d: wrap(o)}
+}
+
+// TestChurnSchedule pins the correctness gate of the churn suite on the
+// raw overlay: after a deterministic schedule of joins, leaves, crashes,
+// and restarts under an active workload, a full scan equals ground truth.
+func TestChurnSchedule(t *testing.T) {
+	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
+		return newChurnOverlay(t, func(d dht.DHT) dht.DHT { return d })
+	})
+}
+
+// TestChurnScheduleDecorated runs the same gate through the decorator
+// stack an index deployment actually uses, so churn recovery is proven to
+// compose with retries and accounting.
+func TestChurnScheduleDecorated(t *testing.T) {
+	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
+		return newChurnOverlay(t, func(d dht.DHT) dht.DHT {
+			return dht.NewResilient(dht.NewCounting(d, nil),
+				dht.RetryPolicy{MaxAttempts: 4, Sleep: dht.NoSleep}, nil)
+		})
+	})
+}

@@ -84,6 +84,13 @@ type Node struct {
 	// replicas holds leaf-set copies of neighbours' keys when the overlay
 	// runs with Replication > 1; see replication.go.
 	replicas map[dht.Key]any
+	// replicaSeen records the local repair round at which each replica was
+	// last refreshed by its owner; repRound counts completed repair rounds.
+	// Together they implement the replica lease: a copy whose owner stops
+	// refreshing it (ownership moved — a join, or a restart reclaiming the
+	// keyspace) expires instead of lingering stale. See expireStaleReplicas.
+	replicaSeen map[dht.Key]uint64
+	repRound    uint64
 }
 
 // rpc request/response types.
@@ -136,6 +143,21 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
+// OnCrash implements simnet.Crasher: a hard crash destroys the node's
+// volatile memory — stored keys, replicas, leaf set, and routing table.
+// Identity (address, ring position) survives so the node can restart and
+// rejoin as the same peer with empty buckets.
+func (n *Node) OnCrash() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store = make(map[dht.Key]any)
+	n.replicas = nil
+	n.replicaSeen = nil
+	n.repRound = 0
+	n.leaves = make(map[simnet.NodeID]ref)
+	n.table = make([][numCols]ref, numRows)
+}
+
 // Addr returns the node's network address.
 func (n *Node) Addr() simnet.NodeID { return n.addr }
 
@@ -166,6 +188,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		delete(n.replicas, r.Key)
+		delete(n.replicaSeen, r.Key)
 		return struct{}{}, nil
 	case claimReq:
 		return n.handleClaim(r.Joiner), nil
@@ -174,6 +197,15 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		defer n.mu.Unlock()
 		for k, v := range r.Entries {
 			n.store[k] = v
+		}
+		return struct{}{}, nil
+	case offerReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for k, v := range r.Entries {
+			if _, exists := n.store[k]; !exists {
+				n.store[k] = v
+			}
 		}
 		return struct{}{}, nil
 	case storeReq:
@@ -196,6 +228,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		defer n.mu.Unlock()
 		delete(n.store, r.Key)
 		delete(n.replicas, r.Key)
+		delete(n.replicaSeen, r.Key)
 		return struct{}{}, nil
 	case applyReq:
 		n.mu.Lock()
@@ -402,9 +435,12 @@ type Overlay struct {
 	maxHops     int
 	replication int
 
-	mu             sync.Mutex
-	nodes          map[simnet.NodeID]*Node
-	order          []simnet.NodeID
+	mu    sync.Mutex
+	nodes map[simnet.NodeID]*Node
+	order []simnet.NodeID
+	// crashed retains crashed peers' node objects (volatile state already
+	// wiped) so RestartNode can revive them under the same identity.
+	crashed        map[simnet.NodeID]*Node
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
@@ -452,6 +488,7 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 		maxHops:     maxHops,
 		replication: replication,
 		nodes:       make(map[simnet.NodeID]*Node),
+		crashed:     make(map[simnet.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retrier:     dht.NewRetrier(policy, nil),
 	}
@@ -605,21 +642,79 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 	return nil
 }
 
-// CrashNode fails a node abruptly; its keys are lost and peers discover the
-// failure during Stabilize.
+// CrashNode fails a node abruptly: its volatile state — stored keys,
+// replicas, leaf set, routing table — is destroyed (simnet.Crash →
+// Node.OnCrash), not merely hidden behind a partition. Peers discover the
+// failure during Stabilize; RestartNode can later revive the identity.
 func (o *Overlay) CrashNode(addr simnet.NodeID) error {
 	o.mu.Lock()
-	_, ok := o.nodes[addr]
+	n, ok := o.nodes[addr]
 	if ok {
 		delete(o.nodes, addr)
 		o.order = removeAddr(o.order, addr)
+		o.crashed[addr] = n
 	}
 	o.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("pastry: node %q not in overlay", addr)
 	}
-	o.net.SetDown(addr, true)
-	return nil
+	return o.net.Crash(addr)
+}
+
+// RestartNode revives a crashed node under its old identity: the network
+// registration comes back up, the node rejoins (re-seeding its leaf set and
+// routing table from the current owner of its identifier and claiming back
+// the keys it owns), and the replication retrier forgets the peer's past
+// failures so its circuit breaker does not shed traffic to a now-healthy
+// node.
+func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
+	o.mu.Lock()
+	n, ok := o.crashed[addr]
+	if ok {
+		delete(o.crashed, addr)
+	}
+	empty := len(o.nodes) == 0
+	o.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pastry: node %q is not crashed", addr)
+	}
+	if err := o.net.Restart(addr); err != nil {
+		o.mu.Lock()
+		o.crashed[addr] = n
+		o.mu.Unlock()
+		return nil, err
+	}
+	if !empty {
+		if err := o.join(n); err != nil {
+			// Rejoin failed: put the node back down so a later restart
+			// attempt starts clean.
+			o.net.SetDown(addr, true)
+			o.mu.Lock()
+			o.crashed[addr] = n
+			o.mu.Unlock()
+			return nil, err
+		}
+	}
+	o.mu.Lock()
+	o.nodes[addr] = n
+	o.order = append(o.order, addr)
+	sort.Slice(o.order, func(i, j int) bool { return o.order[i] < o.order[j] })
+	o.mu.Unlock()
+	o.retrier.ResetOwner(string(addr))
+	return n, nil
+}
+
+// CrashedNodes returns the addresses of crashed, restartable nodes in
+// sorted order — the churn scheduler's restart candidates.
+func (o *Overlay) CrashedNodes() []simnet.NodeID {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(o.crashed))
+	for addr := range o.crashed {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
@@ -643,6 +738,18 @@ func (o *Overlay) Stabilize(rounds int) {
 				continue
 			}
 			o.stabilizeNode(n)
+		}
+		// Replica leases expire only after every node has re-pushed its
+		// primaries this round, so current targets are always refreshed
+		// before their lease is checked. Expired copies are offered to the
+		// key's current owner rather than destroyed — see
+		// relocateStaleReplicas.
+		if o.replication > 1 {
+			for _, addr := range o.Nodes() {
+				if n, ok := o.nodeAt(addr); ok {
+					o.relocateStaleReplicas(n)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package pastry
+
+import (
+	"fmt"
+	"testing"
+
+	"mlight/internal/dht"
+	"mlight/internal/simnet"
+)
+
+// TestCrashWipesNodeState asserts crash semantics are destructive: the
+// crashed node's store, leaf set, and routing table are gone, not merely
+// unreachable behind a partition.
+func TestCrashWipesNodeState(t *testing.T) {
+	_, o := buildOverlay(t, 8)
+	for i := 0; i < 100; i++ {
+		if err := o.Put(dht.Key(fmt.Sprintf("k%d", i)), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var victim *Node
+	for _, addr := range o.Nodes() {
+		n, _ := o.nodeAt(addr)
+		if n.StoreLen() > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no node holds data")
+	}
+	if err := o.CrashNode(victim.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if victim.StoreLen() != 0 {
+		t.Errorf("crashed node still stores %d entries; crash must wipe volatile state", victim.StoreLen())
+	}
+	if got := victim.LeafSet(); len(got) != 0 {
+		t.Errorf("crashed node kept leaf set %v", got)
+	}
+}
+
+// TestRestartRejoinsAndReconverges runs the crash → failover → restart
+// cycle on a replicated overlay: no key may be lost while the node is
+// down, and after restart the overlay reconverges with the restarted node
+// owning its share of the keyspace again.
+func TestRestartRejoinsAndReconverges(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	o := NewOverlay(net, Config{Seed: 1, Replication: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(2)
+
+	want := map[dht.Key]int{}
+	for i := 0; i < 200; i++ {
+		k := dht.Key(fmt.Sprintf("rk%d", i))
+		want[k] = i
+		if err := o.Put(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(2) // settle replica placement
+
+	if err := o.CrashNode("node-4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.CrashedNodes(); len(got) != 1 || got[0] != "node-4" {
+		t.Fatalf("CrashedNodes = %v, want [node-4]", got)
+	}
+	o.Stabilize(3) // failover: promote replicas, re-replicate
+
+	for k, v := range want {
+		got, ok, err := o.Get(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("while down Get(%q) = %v, %v, %v; want %d", k, got, ok, err, v)
+		}
+	}
+
+	n, err := o.RestartNode("node-4")
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if len(o.CrashedNodes()) != 0 {
+		t.Errorf("CrashedNodes after restart = %v, want empty", o.CrashedNodes())
+	}
+	found := false
+	for _, addr := range o.Nodes() {
+		if addr == "node-4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restarted node missing from Nodes()")
+	}
+	o.Stabilize(3)
+
+	got := map[dht.Key]int{}
+	if err := o.Range(func(k dht.Key, v any) bool {
+		got[k], _ = v.(int)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries after restart, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if n.StoreLen() == 0 {
+		t.Error("restarted node owns no keys; claim-on-rejoin did not run")
+	}
+	for k, v := range want {
+		gotV, ok, err := o.Get(k)
+		if err != nil || !ok || gotV != v {
+			t.Fatalf("after restart Get(%q) = %v, %v, %v; want %d", k, gotV, ok, err, v)
+		}
+	}
+}
+
+func TestRestartErrors(t *testing.T) {
+	_, o := buildOverlay(t, 4)
+	if _, err := o.RestartNode("node-1"); err == nil {
+		t.Error("RestartNode of a live node succeeded")
+	}
+	if _, err := o.RestartNode("nope"); err == nil {
+		t.Error("RestartNode of an unknown node succeeded")
+	}
+	if err := o.CrashNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.RestartNode("node-1"); err != nil {
+		t.Fatalf("first RestartNode: %v", err)
+	}
+	if _, err := o.RestartNode("node-1"); err == nil {
+		t.Error("second RestartNode succeeded")
+	}
+}
+
+// TestRestartResetsBreaker: the circuit breaker guarding replication RPCs
+// to a peer accumulates failure evidence while that peer is down; a
+// restart invalidates the evidence, so RestartNode must reset the owner's
+// breaker instead of leaving the healthy peer fenced off for the rest of
+// the cooldown.
+func TestRestartResetsBreaker(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	o := NewOverlay(net, Config{Seed: 1, Replication: 2, Retry: &dht.RetryPolicy{
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  1000,
+		Sleep:            dht.NoSleep,
+	}})
+	for i := 0; i < 6; i++ {
+		if _, err := o.AddNode(simnet.NodeID(fmt.Sprintf("node-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize(2)
+
+	if err := o.CrashNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	// A replication push to the dead peer trips its breaker.
+	o.replicaCall("node-0", "node-2", pingReq{})
+	if st := o.ReplicationRetrier().BreakerState("node-2"); st != "open" {
+		t.Fatalf("breaker after crash pushes = %q, want open", st)
+	}
+
+	if _, err := o.RestartNode("node-2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := o.ReplicationRetrier().BreakerState("node-2"); st != "closed" {
+		t.Errorf("breaker after restart = %q, want closed", st)
+	}
+}

@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// This file implements the sustained-churn scheduler: a deterministic,
+// seeded source of join/leave/crash/restart events driven in rounds of
+// session time. Per-node per-round departure probabilities make session
+// lengths geometrically distributed (a node up under CrashRate p stays up
+// 1/p rounds in expectation), the discrete analogue of the exponential
+// session times measured on deployed DHTs; downtime is geometric under
+// RestartRate the same way. Every decision is a pure function of
+// (seed, round, purpose, node), so a schedule replays identically no matter
+// how the caller interleaves the driving loop — the same construction the
+// per-edge drop streams use.
+
+// EventKind classifies a churn event.
+type EventKind int
+
+const (
+	// EventCrash kills a live node: its volatile state is destroyed
+	// (Network.Crash → Crasher.OnCrash) and it stays registered, down,
+	// until an EventRestart revives it.
+	EventCrash EventKind = iota
+	// EventLeave removes a live node gracefully: the overlay gets to hand
+	// off its keys before the node deregisters. The node does not return.
+	EventLeave
+	// EventRestart revives a crashed node under its old identity: durable
+	// state replays, the overlay rejoins.
+	EventRestart
+	// EventJoin adds a brand-new node to the overlay.
+	EventJoin
+)
+
+// String names the kind for logs and test failures.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventLeave:
+		return "leave"
+	case EventRestart:
+		return "restart"
+	case EventJoin:
+		return "join"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduled churn action. Node is empty for EventJoin — the
+// driver mints the new identity.
+type Event struct {
+	Round int
+	Kind  EventKind
+	Node  NodeID
+}
+
+// ChurnConfig parameterises a ChurnScheduler. All rates are per-round
+// probabilities in [0,1]; JoinRate is an expected joins-per-round and may
+// exceed 1.
+type ChurnConfig struct {
+	// Seed fixes the whole schedule.
+	Seed int64
+	// CrashRate is each live node's per-round probability of a hard crash
+	// (geometric session time with mean 1/CrashRate rounds).
+	CrashRate float64
+	// LeaveRate is each live node's per-round probability of a graceful
+	// departure.
+	LeaveRate float64
+	// RestartRate is each crashed node's per-round probability of coming
+	// back (geometric downtime with mean 1/RestartRate rounds).
+	RestartRate float64
+	// JoinRate is the expected number of fresh joins per round.
+	JoinRate float64
+	// MinLive is the floor below which crashes and leaves are suppressed,
+	// so a schedule can never extinguish the overlay. Defaults to 1; -1
+	// disables the floor entirely, for single-process schedules where a
+	// supervisor restarts the only member (a durable single-site store).
+	MinLive int
+	// MaxDeparturesPerRound caps crashes plus leaves drawn in one round.
+	// A substrate replicating each record r ways tolerates at most r-1
+	// failures between maintenance rounds, so schedules sized for a given
+	// r should cap departures at r-1; an uncapped schedule eventually
+	// destroys every copy of some record in a single round, which no
+	// protocol can survive. 0 means uncapped.
+	MaxDeparturesPerRound int
+}
+
+// ChurnScheduler draws churn events round by round. Construct with
+// NewChurnScheduler; drive with Step.
+type ChurnScheduler struct {
+	cfg   ChurnConfig
+	round int
+}
+
+// NewChurnScheduler creates a scheduler for the given configuration.
+func NewChurnScheduler(cfg ChurnConfig) *ChurnScheduler {
+	if cfg.MinLive == 0 {
+		cfg.MinLive = 1
+	}
+	if cfg.MinLive < 0 {
+		cfg.MinLive = 0
+	}
+	return &ChurnScheduler{cfg: cfg}
+}
+
+// Round returns the number of completed Step calls.
+func (s *ChurnScheduler) Round() int { return s.round }
+
+// draw maps (seed, round, purpose, node) onto [0,1). Hashing instead of a
+// sequential generator keeps each decision independent of how many other
+// nodes exist, so adding a peer to the overlay does not reshuffle every
+// other peer's fate.
+func (s *ChurnScheduler) draw(purpose byte, node NodeID) float64 {
+	h := fnv.New64a()
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(s.cfg.Seed))
+	h.Write(word[:])
+	binary.LittleEndian.PutUint64(word[:], uint64(s.round))
+	h.Write(word[:])
+	h.Write([]byte{purpose})
+	h.Write([]byte(node))
+	// FNV's final multiply diffuses the last input bytes into the middle of
+	// the word but barely into the top bits, and node ids differ mostly in
+	// their trailing characters — without extra mixing every "node-N" drew
+	// nearly the same value each round, making departures all-or-nothing
+	// across the cluster. A murmur3-style finalizer restores avalanche.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / (1 << 53)
+}
+
+// Step draws the events for the next session-time round. live is the set of
+// reachable overlay nodes, down the set of crashed-but-restartable ones; the
+// inputs are copied and sorted internally, so callers may pass map-iteration
+// order. Crashes and leaves are suppressed once the projected live
+// population (after this round's departures, before its restarts/joins)
+// reaches MinLive. The returned events are ordered: restarts, joins, then
+// departures over the sorted live set — drivers apply them in order.
+func (s *ChurnScheduler) Step(live, down []NodeID) []Event {
+	liveSorted := append([]NodeID(nil), live...)
+	sort.Slice(liveSorted, func(i, j int) bool { return liveSorted[i] < liveSorted[j] })
+	downSorted := append([]NodeID(nil), down...)
+	sort.Slice(downSorted, func(i, j int) bool { return downSorted[i] < downSorted[j] })
+
+	var events []Event
+	for _, id := range downSorted {
+		if s.draw('r', id) < s.cfg.RestartRate {
+			events = append(events, Event{Round: s.round, Kind: EventRestart, Node: id})
+		}
+	}
+	joins := int(s.cfg.JoinRate)
+	if frac := s.cfg.JoinRate - float64(joins); frac > 0 && s.draw('j', "") < frac {
+		joins++
+	}
+	for i := 0; i < joins; i++ {
+		events = append(events, Event{Round: s.round, Kind: EventJoin})
+	}
+	remaining := len(liveSorted)
+	departures := 0
+	for _, id := range liveSorted {
+		if remaining <= s.cfg.MinLive {
+			break
+		}
+		if s.cfg.MaxDeparturesPerRound > 0 && departures >= s.cfg.MaxDeparturesPerRound {
+			break
+		}
+		// One departure draw per node per round: the low half of the unit
+		// interval crashes, the band above it leaves. A node cannot do both.
+		u := s.draw('d', id)
+		switch {
+		case u < s.cfg.CrashRate:
+			events = append(events, Event{Round: s.round, Kind: EventCrash, Node: id})
+			remaining--
+			departures++
+		case u < s.cfg.CrashRate+s.cfg.LeaveRate:
+			events = append(events, Event{Round: s.round, Kind: EventLeave, Node: id})
+			remaining--
+			departures++
+		}
+	}
+	s.round++
+	return events
+}

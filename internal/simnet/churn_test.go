@@ -1,0 +1,308 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// crashable is a handler carrying volatile state, to observe the
+// crash/partition split.
+type crashable struct {
+	state    map[string]string
+	crashes  int
+	restarts int
+}
+
+func newCrashable() *crashable {
+	return &crashable{state: map[string]string{"k": "v"}}
+}
+
+func (c *crashable) HandleRPC(from NodeID, req any) (any, error) {
+	v, ok := c.state[req.(string)]
+	if !ok {
+		return nil, errors.New("missing")
+	}
+	return v, nil
+}
+
+func (c *crashable) OnCrash() {
+	c.crashes++
+	c.state = make(map[string]string)
+}
+
+func (c *crashable) OnRestart() { c.restarts++ }
+
+func TestCrashWipesVolatileState(t *testing.T) {
+	n := New(Options{})
+	h := newCrashable()
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	if h.crashes != 1 {
+		t.Fatalf("OnCrash ran %d times, want 1", h.crashes)
+	}
+	if !n.IsDown("a") {
+		t.Fatal("crashed node not marked down")
+	}
+	if _, err := n.Call("b", "a", "k"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to crashed node = %v, want ErrUnreachable", err)
+	}
+	if err := n.Restart("a"); err != nil {
+		t.Fatal(err)
+	}
+	if h.restarts != 1 {
+		t.Fatalf("OnRestart ran %d times, want 1", h.restarts)
+	}
+	// The crash destroyed the bucket; restart must not resurrect it.
+	if _, err := n.Call("b", "a", "k"); err == nil {
+		t.Fatal("ghost state survived a crash/restart cycle")
+	}
+}
+
+func TestPartitionPreservesState(t *testing.T) {
+	n := New(Options{})
+	h := newCrashable()
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("a", true)
+	if h.crashes != 0 {
+		t.Fatal("partition ran OnCrash")
+	}
+	n.SetDown("a", false)
+	v, err := n.Call("b", "a", "k")
+	if err != nil || v != "v" {
+		t.Fatalf("partitioned state lost: %v, %v", v, err)
+	}
+}
+
+func TestCrashRestartUnregistered(t *testing.T) {
+	n := New(Options{})
+	if err := n.Crash("ghost"); err == nil {
+		t.Error("Crash of unregistered node succeeded")
+	}
+	if err := n.Restart("ghost"); err == nil {
+		t.Error("Restart of unregistered node succeeded")
+	}
+}
+
+func TestCrashWhilePartitionedStillWipes(t *testing.T) {
+	n := New(Options{})
+	h := newCrashable()
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("a", true)
+	if err := n.Crash("a"); err != nil {
+		t.Fatal(err)
+	}
+	if h.crashes != 1 {
+		t.Fatalf("OnCrash ran %d times, want 1", h.crashes)
+	}
+}
+
+// names builds n node ids "n0".."n<n-1>".
+func names(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(fmt.Sprintf("n%d", i))
+	}
+	return out
+}
+
+func TestChurnScheduleDeterministic(t *testing.T) {
+	run := func() [][]Event {
+		s := NewChurnScheduler(ChurnConfig{
+			Seed: 7, CrashRate: 0.2, LeaveRate: 0.1, RestartRate: 0.5, JoinRate: 0.3, MinLive: 2,
+		})
+		live := names(8)
+		var down []NodeID
+		var all [][]Event
+		for r := 0; r < 20; r++ {
+			ev := s.Step(live, down)
+			all = append(all, ev)
+			for _, e := range ev {
+				switch e.Kind {
+				case EventCrash:
+					live = remove(live, e.Node)
+					down = append(down, e.Node)
+				case EventLeave:
+					live = remove(live, e.Node)
+				case EventRestart:
+					down = remove(down, e.Node)
+					live = append(live, e.Node)
+				}
+			}
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("round counts differ")
+	}
+	for r := range a {
+		if len(a[r]) != len(b[r]) {
+			t.Fatalf("round %d: %d vs %d events", r, len(a[r]), len(b[r]))
+		}
+		for i := range a[r] {
+			if a[r][i] != b[r][i] {
+				t.Fatalf("round %d event %d: %+v vs %+v", r, i, a[r][i], b[r][i])
+			}
+		}
+	}
+}
+
+func TestChurnScheduleInputOrderIrrelevant(t *testing.T) {
+	s1 := NewChurnScheduler(ChurnConfig{Seed: 3, CrashRate: 0.5, MinLive: 1})
+	s2 := NewChurnScheduler(ChurnConfig{Seed: 3, CrashRate: 0.5, MinLive: 1})
+	live := names(6)
+	reversed := make([]NodeID, len(live))
+	for i, id := range live {
+		reversed[len(live)-1-i] = id
+	}
+	e1 := s1.Step(live, nil)
+	e2 := s2.Step(reversed, nil)
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestChurnMinLiveFloor(t *testing.T) {
+	s := NewChurnScheduler(ChurnConfig{Seed: 1, CrashRate: 1.0, MinLive: 3})
+	live := names(8)
+	var down []NodeID
+	for r := 0; r < 10; r++ {
+		for _, e := range s.Step(live, down) {
+			switch e.Kind {
+			case EventCrash:
+				live = remove(live, e.Node)
+				down = append(down, e.Node)
+			case EventLeave:
+				live = remove(live, e.Node)
+			}
+		}
+		if len(live) < 3 {
+			t.Fatalf("round %d: live fell to %d, below MinLive 3", r, len(live))
+		}
+	}
+	if len(live) != 3 {
+		t.Fatalf("CrashRate 1.0 should pin live at the floor, got %d", len(live))
+	}
+}
+
+func TestChurnRestartTargetsOnlyDownNodes(t *testing.T) {
+	s := NewChurnScheduler(ChurnConfig{Seed: 5, RestartRate: 1.0, MinLive: 1})
+	down := []NodeID{"x", "y"}
+	ev := s.Step([]NodeID{"a"}, down)
+	var restarted []NodeID
+	for _, e := range ev {
+		if e.Kind != EventRestart {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		restarted = append(restarted, e.Node)
+	}
+	if len(restarted) != 2 || restarted[0] != "x" || restarted[1] != "y" {
+		t.Fatalf("restarts = %v, want [x y]", restarted)
+	}
+}
+
+func TestChurnJoinRateAboveOne(t *testing.T) {
+	s := NewChurnScheduler(ChurnConfig{Seed: 2, JoinRate: 2.0, MinLive: 1})
+	joins := 0
+	for _, e := range s.Step([]NodeID{"a"}, nil) {
+		if e.Kind == EventJoin {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Fatalf("JoinRate 2.0 produced %d joins in a round, want 2", joins)
+	}
+}
+
+// TestChurnDrawPerNodeIndependence is the regression test for the draw
+// bias: FNV without a finalizer left node ids that differ only in their
+// trailing characters with nearly identical top bits, so within any round
+// either every node departed (until the MinLive floor) or none did. With
+// proper mixing, a departure rate of 0.5 over 16 nodes must produce mixed
+// rounds — some nodes out, some staying — in nearly every round.
+func TestChurnDrawPerNodeIndependence(t *testing.T) {
+	s := NewChurnScheduler(ChurnConfig{Seed: 1, CrashRate: 0.5, MinLive: 1})
+	live := names(16)
+	mixed, total := 0, 0
+	for r := 0; r < 64; r++ {
+		ev := s.Step(live, nil) // fresh full population every round
+		total++
+		if len(ev) > 0 && len(ev) < len(live)-1 {
+			mixed++
+		}
+	}
+	if mixed < total/2 {
+		t.Fatalf("only %d/%d rounds had mixed departure outcomes; per-node draws are correlated", mixed, total)
+	}
+}
+
+// TestChurnMaxDeparturesCap pins the per-round failure-burst ceiling:
+// with CrashRate 1.0 every node wants to crash every round, but the cap
+// must hold departures to MaxDeparturesPerRound so a schedule sized for
+// replication r never destroys more than r-1 copies between maintenance
+// rounds.
+func TestChurnMaxDeparturesCap(t *testing.T) {
+	s := NewChurnScheduler(ChurnConfig{
+		Seed: 1, CrashRate: 1.0, MinLive: 1, MaxDeparturesPerRound: 2,
+	})
+	live := names(10)
+	var down []NodeID
+	for r := 0; r < 3; r++ {
+		deps := 0
+		for _, e := range s.Step(live, down) {
+			switch e.Kind {
+			case EventCrash:
+				live = remove(live, e.Node)
+				down = append(down, e.Node)
+				deps++
+			case EventLeave:
+				live = remove(live, e.Node)
+				deps++
+			}
+		}
+		if deps != 2 {
+			t.Fatalf("round %d: %d departures, want exactly 2 (rate 1.0, cap 2)", r, deps)
+		}
+	}
+}
+
+func remove(ids []NodeID, id NodeID) []NodeID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestChurnMinLiveDisabled(t *testing.T) {
+	// MinLive -1 removes the floor: a schedule may extinguish the
+	// population entirely — the single-process model, where a supervisor
+	// (the driver's Settle) restarts the only member.
+	s := NewChurnScheduler(ChurnConfig{Seed: 1, CrashRate: 1.0, MinLive: -1})
+	ev := s.Step([]NodeID{"only"}, nil)
+	if len(ev) != 1 || ev[0].Kind != EventCrash || ev[0].Node != "only" {
+		t.Fatalf("events = %+v, want the lone member crashed", ev)
+	}
+}

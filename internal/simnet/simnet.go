@@ -38,6 +38,25 @@ type HandlerFunc func(from NodeID, req any) (any, error)
 // HandleRPC implements Handler.
 func (f HandlerFunc) HandleRPC(from NodeID, req any) (any, error) { return f(from, req) }
 
+// Crasher is implemented by handlers whose node holds volatile state that a
+// hard crash destroys. Network.Crash invokes OnCrash after marking the node
+// down, so the handler wipes memory-resident buckets, routing tables, and
+// replicas exactly as a process kill would. Durable state (a write-ahead
+// log, a snapshot file) must survive OnCrash — that is the whole point of
+// the crash/partition split: a partition (SetDown) preserves everything, a
+// crash preserves only what was journaled.
+type Crasher interface {
+	OnCrash()
+}
+
+// Restarter is implemented by handlers that rebuild volatile state when the
+// process comes back: Network.Restart invokes OnRestart after clearing the
+// down mark, so recovery (log replay, rejoin) runs before any peer traffic
+// can observe the node.
+type Restarter interface {
+	OnRestart()
+}
+
 // temporaryError is a sentinel error that declares itself transient via the
 // net.Error Temporary() convention, so retry layers (dht.DefaultClassify)
 // recognize simulated network failures as retryable without simnet having to
@@ -221,8 +240,14 @@ func (n *Network) SetDropRate(rate float64) {
 	n.drop = rate
 }
 
-// SetDown marks a node as crashed (true) or recovered (false) without
+// SetDown marks a node as partitioned (true) or healed (false) without
 // removing its registration. RPCs to a down node fail with ErrUnreachable.
+//
+// SetDown models a *partition*: the node keeps all of its in-memory state
+// and simply cannot exchange messages. A process *crash* — which destroys
+// volatile state — is Crash; the distinction matters because fault-injection
+// tests that "recover" a node with SetDown(id, false) silently keep every
+// pre-failure bucket alive, proving nothing about recovery.
 func (n *Network) SetDown(id NodeID, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -231,6 +256,47 @@ func (n *Network) SetDown(id NodeID, down bool) {
 	} else {
 		delete(n.down, id)
 	}
+}
+
+// Crash marks a node down and destroys its volatile state: if the node's
+// handler implements Crasher, OnCrash runs (outside the network lock, with
+// the node already unreachable) and must wipe everything that would not
+// survive a process kill. The registration is kept so the node can Restart
+// under the same identity. Crashing an unregistered node is an error;
+// crashing an already-down node re-runs OnCrash (a partitioned process can
+// still die).
+func (n *Network) Crash(id NodeID) error {
+	n.mu.Lock()
+	h, ok := n.nodes[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: crash of unregistered node %q", id)
+	}
+	n.down[id] = true
+	n.mu.Unlock()
+	if c, ok := h.(Crasher); ok {
+		c.OnCrash()
+	}
+	return nil
+}
+
+// Restart clears the down mark of a crashed or partitioned node and, if its
+// handler implements Restarter, runs OnRestart so the node can replay
+// durable state and rejoin before serving traffic. Peers can reach the node
+// as soon as Restart returns.
+func (n *Network) Restart(id NodeID) error {
+	n.mu.Lock()
+	h, ok := n.nodes[id]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: restart of unregistered node %q", id)
+	}
+	delete(n.down, id)
+	n.mu.Unlock()
+	if r, ok := h.(Restarter); ok {
+		r.OnRestart()
+	}
+	return nil
 }
 
 // IsDown reports whether the node is currently marked crashed.
