@@ -51,6 +51,13 @@
 //
 //	mlight-bench -figs churn -quick -churnjson BENCH_churn.json
 //
+// The wire section (not part of "all") boots a real daemon cluster on
+// loopback TCP, dials it through the public client API, and reports
+// end-to-end latency percentiles for raw framed RPC echoes, inserts, and
+// range queries — what deployment over real sockets costs:
+//
+//	mlight-bench -figs wire -quick -wirejson BENCH_wire.json
+//
 // The trace section (not part of "all") runs one fully instrumented range
 // query over a routed Chord cluster and exports the recorded span tree: a
 // Chrome trace_event JSON (open in Perfetto or chrome://tracing) and a
@@ -93,7 +100,7 @@ func run(args []string, out io.Writer) error {
 		depth    = fs.Int("depth", 28, "index depth bound D")
 		seed     = fs.Int64("seed", 1, "random seed for data and queries")
 		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,churn,trace or all (all excludes concurrency, lookup, resilience, ingest, churn and trace)")
+		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,churn,wire,trace or all (all excludes concurrency, lookup, resilience, ingest, churn, wire and trace)")
 		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
 		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
 		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
@@ -102,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
 		ingJSON  = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
 		chuJSON  = fs.String("churnjson", "BENCH_churn.json", "where the churn section writes its JSON summary")
+		wireJSON = fs.String("wirejson", "BENCH_wire.json", "where the wire section writes its JSON summary")
 		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
 		traceTxt = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
 		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
@@ -416,6 +424,43 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *chuJSON)
 		}
 		fmt.Fprintf(out, "(churn took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["wire"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Wire: end-to-end latency over real sockets (beyond the paper) ==")
+		wcfg := experiments.WireExpConfig{Config: cfg}
+		wcfg.DataSize = 1000
+		wcfg.Queries = 50
+		if *quick {
+			wcfg.DataSize = 300
+			wcfg.Queries = 20
+			wcfg.Echoes = 200
+		}
+		res, err := experiments.Wire(wcfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(res.Table()); err != nil {
+			return err
+		}
+		report := func(name string, l experiments.WireLatency) {
+			fmt.Fprintf(out, "%s: %d ops, mean %.0fµs, p50 %.0fµs, p95 %.0fµs, p99 %.0fµs, worst %.0fµs\n",
+				name, l.Ops, l.MeanUS, l.P50US, l.P95US, l.P99US, l.WorstUS)
+		}
+		report("raw RPC echo", res.Echo)
+		report("insert", res.Insert)
+		report("range query", res.Query)
+		if *wireJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*wireJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *wireJSON)
+		}
+		fmt.Fprintf(out, "(wire took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want["trace"] || *traceOut != "" || *traceTxt != "" {
 		start := time.Now()

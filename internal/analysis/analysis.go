@@ -104,18 +104,19 @@ type Config struct {
 var DefaultDeterminismAllow = []string{"internal/experiments", "cmd", "examples"}
 
 // DefaultDroppedErrCalls are the operations whose errors the repository has
-// been burned by dropping: simulated-network RPCs (net.Call and the
-// kademlia overlay's deadline wrapper timedCall), the DHT substrate
-// interface, the batch planes, the retry executor, and the durability
-// plane (a dropped WAL Append or Sync error silently voids the
-// crash-recovery guarantee; a dropped Restore error silently boots from an
-// empty store).
+// been burned by dropping: transport RPCs (Call/Send and the kademlia
+// overlay's deadline wrapper timedCall), transport lifecycle (a dropped
+// Close error hides a leaked listener or an unflushed connection), the DHT
+// substrate interface, the batch planes, the retry executor, and the
+// durability plane (a dropped WAL Append, Sync, or journal Record error
+// silently voids the crash-recovery guarantee; a dropped Restore error
+// silently boots from an empty store).
 var DefaultDroppedErrCalls = []string{
-	"Call", "timedCall",
+	"Call", "Send", "timedCall", "Close",
 	"Put", "Get", "Remove", "Apply", "Owner",
 	"PutBatch", "ApplyBatch", "GetBatch",
 	"Do", "DoTraced",
-	"Append", "Sync", "Restore",
+	"Append", "Sync", "Restore", "Record",
 }
 
 // DefaultDecoratorPackages are the packages holding DHT decorators: the

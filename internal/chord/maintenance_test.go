@@ -18,7 +18,7 @@ func TestMaintenanceErrorsCountNotifyFailures(t *testing.T) {
 		t.Fatalf("LastMaintenanceError = %v on a healthy ring, want nil", err)
 	}
 
-	ring.net.SetDropRate(1.0)
+	ringNet(ring).SetDropRate(1.0)
 	ring.Stabilize(1)
 	if got := ring.MaintenanceErrors.Load(); got == 0 {
 		t.Fatal("MaintenanceErrors = 0 after stabilizing under total loss, want > 0")
@@ -32,7 +32,7 @@ func TestMaintenanceErrorsCountNotifyFailures(t *testing.T) {
 	}
 
 	// Repair: once the network heals, rounds stop accumulating errors.
-	ring.net.SetDropRate(0)
+	ringNet(ring).SetDropRate(0)
 	before := ring.MaintenanceErrors.Load()
 	ring.Stabilize(2)
 	if got := ring.MaintenanceErrors.Load(); got != before {

@@ -1,5 +1,6 @@
 // Package chord implements the Chord distributed hash table (Stoica et al.,
-// SIGCOMM 2001) over the simulated network in internal/simnet. It is one of
+// SIGCOMM 2001) over any transport.Interface — the simulated network in
+// internal/simnet or real framed TCP. It is one of
 // the pluggable substrates beneath the m-LIGHT index: the index only sees
 // the generic dht.DHT interface, demonstrating the paper's claim that an
 // over-DHT index "is adaptable to any DHT substrate".
@@ -19,7 +20,7 @@ import (
 	"sync"
 
 	"mlight/internal/dht"
-	"mlight/internal/simnet"
+	"mlight/internal/transport"
 )
 
 // SuccessorListLen is the length of each node's successor list.
@@ -27,7 +28,7 @@ const SuccessorListLen = 4
 
 // ref identifies a remote node: its network address and ring identifier.
 type ref struct {
-	Addr simnet.NodeID
+	Addr transport.NodeID
 	ID   dht.ID
 }
 
@@ -35,9 +36,9 @@ func (r ref) isZero() bool { return r.Addr == "" }
 
 // Node is one Chord peer.
 type Node struct {
-	addr simnet.NodeID
+	addr transport.NodeID
 	id   dht.ID
-	net  *simnet.Network
+	net  transport.Interface
 
 	mu      sync.Mutex
 	pred    ref
@@ -57,16 +58,97 @@ type Node struct {
 	// app is the application-level handler consulted for request types the
 	// node itself does not recognise — the over-DHT application layer
 	// (OpenDHT-style installed handlers). See SetAppHandler.
-	app simnet.Handler
+	app transport.Handler
+	// vers tracks per-key mutation versions for the remote (wire-safe)
+	// apply protocol; every primary-store write bumps it. See dht.RemoteApply.
+	vers dht.VersionedStore
+	// journal, when set, records every primary-store mutation before it is
+	// acknowledged — the daemon's WAL hook. See SetJournal.
+	journal Journal
+}
+
+// Journal receives every primary-store mutation of a node, in the critical
+// section that applies it, before the RPC is acknowledged. A non-nil error
+// fails the mutating RPC: a node that cannot journal must not accept
+// writes. The daemon wires a dht.WAL-backed implementation here so a
+// crashed process recovers its shard.
+type Journal interface {
+	Record(recs []dht.WALRecord) error
+}
+
+// SetJournal installs the node's durability hook (nil disables).
+func (n *Node) SetJournal(j Journal) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.journal = j
 }
 
 // SetAppHandler installs an application-level handler for requests the DHT
 // layer does not recognise, the hook an over-DHT index uses to run its
 // query logic on the peers themselves.
-func (n *Node) SetAppHandler(h simnet.Handler) {
+func (n *Node) SetAppHandler(h transport.Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.app = h
+}
+
+// journalLocked records mutations in the WAL hook, if any. Callers hold
+// n.mu; a failure means the mutation must not be applied.
+func (n *Node) journalLocked(recs ...dht.WALRecord) error {
+	if n.journal == nil {
+		return nil
+	}
+	if err := n.journal.Record(recs); err != nil {
+		return fmt.Errorf("chord: %s: journal: %w", n.addr, err)
+	}
+	return nil
+}
+
+// putLocked is the primary-store write funnel: journal, install, bump the
+// key's version. Callers hold n.mu.
+func (n *Node) putLocked(key dht.Key, value any) error {
+	if err := n.journalLocked(dht.WALRecord{Op: dht.WALPut, Key: key, Value: value}); err != nil {
+		return err
+	}
+	n.store[key] = value
+	n.vers.Bump(key)
+	return nil
+}
+
+// removeLocked is the primary-store delete funnel. Callers hold n.mu and
+// clear replica bookkeeping themselves where relevant.
+func (n *Node) removeLocked(key dht.Key) error {
+	if err := n.journalLocked(dht.WALRecord{Op: dht.WALRemove, Key: key}); err != nil {
+		return err
+	}
+	delete(n.store, key)
+	n.vers.Bump(key)
+	return nil
+}
+
+// absorbLocked merges a batch of entries into the primary store (handoffs,
+// claims), journaling them as one group commit. When overwrite is false an
+// existing entry wins (the offer semantics). Callers hold n.mu.
+func (n *Node) absorbLocked(entries map[dht.Key]any, overwrite bool) error {
+	recs := make([]dht.WALRecord, 0, len(entries))
+	keys := make([]dht.Key, 0, len(entries))
+	for k, v := range entries {
+		if !overwrite {
+			if _, exists := n.store[k]; exists {
+				continue
+			}
+		}
+		recs = append(recs, dht.WALRecord{Op: dht.WALPut, Key: k, Value: v})
+		keys = append(keys, k)
+	}
+	if err := n.journalLocked(recs...); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		n.store[k] = recs[i].Value
+		n.vers.Bump(k)
+	}
+	return nil
 }
 
 // LocalGet reads a value from this node's own store (no network traffic) —
@@ -122,7 +204,7 @@ type (
 )
 
 // newNode creates an unjoined node registered on the network.
-func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
+func newNode(net transport.Interface, addr transport.NodeID) (*Node, error) {
 	n := &Node{
 		addr:  addr,
 		id:    dht.HashString(string(addr)),
@@ -135,7 +217,7 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
-// OnCrash implements simnet.Crasher: a hard crash destroys everything this
+// OnCrash implements transport.Crasher: a hard crash destroys everything this
 // process held in memory — stored keys, replicas, and all routing state.
 // The address and ring identifier survive (they are identity, not state),
 // so the node can restart and rejoin as the same peer with empty buckets.
@@ -149,10 +231,11 @@ func (n *Node) OnCrash() {
 	n.pred = ref{}
 	n.succs = nil
 	n.fingers = [dht.IDBits]ref{}
+	n.vers.Reset()
 }
 
 // Addr returns the node's network address.
-func (n *Node) Addr() simnet.NodeID { return n.addr }
+func (n *Node) Addr() transport.NodeID { return n.addr }
 
 // ID returns the node's ring identifier.
 func (n *Node) ID() dht.ID { return n.id }
@@ -160,8 +243,8 @@ func (n *Node) ID() dht.ID { return n.id }
 // self returns the node's own ref.
 func (n *Node) self() ref { return ref{Addr: n.addr, ID: n.id} }
 
-// HandleRPC implements simnet.Handler.
-func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
+// HandleRPC implements transport.Handler.
+func (n *Node) HandleRPC(from transport.NodeID, req any) (any, error) {
 	switch r := req.(type) {
 	case pingReq:
 		return n.self(), nil
@@ -181,7 +264,9 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 	case storeReq:
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		n.store[r.Key] = r.Value
+		if err := n.putLocked(r.Key, r.Value); err != nil {
+			return nil, err
+		}
 		return struct{}{}, nil
 	case retrieveReq:
 		n.mu.Lock()
@@ -196,7 +281,9 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 	case removeReq:
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		delete(n.store, r.Key)
+		if err := n.removeLocked(r.Key); err != nil {
+			return nil, err
+		}
 		delete(n.replicas, r.Key)
 		delete(n.replicaSeen, r.Key)
 		return struct{}{}, nil
@@ -213,29 +300,68 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		}
 		next, keep := r.Fn(cur, ok)
 		if keep {
-			n.store[r.Key] = next
-		} else {
-			delete(n.store, r.Key)
+			if err := n.putLocked(r.Key, next); err != nil {
+				return nil, err
+			}
+		} else if err := n.removeLocked(r.Key); err != nil {
+			return nil, err
 		}
 		return applyResp{Value: next, Keep: keep}, nil
+	case dht.GetVerReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		v, ok := n.store[r.Key]
+		if !ok {
+			// Promote a crash-window replica before snapshotting, exactly
+			// as the inline apply path does: the version returned must name
+			// the state the CAS will be judged against.
+			if rv, rok := n.replicas[r.Key]; rok {
+				if err := n.putLocked(r.Key, rv); err != nil {
+					return nil, err
+				}
+				delete(n.replicas, r.Key)
+				v, ok = rv, true
+			}
+		}
+		return n.vers.Snapshot(r, v, ok), nil
+	case dht.CASReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		cur, ok := n.store[r.Key]
+		resp, apply := n.vers.CAS(r, cur, ok)
+		if !apply {
+			return resp, nil
+		}
+		if r.Keep {
+			if err := n.journalLocked(dht.WALRecord{Op: dht.WALPut, Key: r.Key, Value: r.Value}); err != nil {
+				return nil, err
+			}
+			n.store[r.Key] = r.Value
+		} else {
+			if err := n.journalLocked(dht.WALRecord{Op: dht.WALRemove, Key: r.Key}); err != nil {
+				return nil, err
+			}
+			delete(n.store, r.Key)
+			delete(n.replicas, r.Key)
+			delete(n.replicaSeen, r.Key)
+		}
+		return resp, nil
 	case handoffReq:
 		n.mu.Lock()
 		defer n.mu.Unlock()
-		for k, v := range r.Entries {
-			n.store[k] = v
+		if err := n.absorbLocked(r.Entries, true); err != nil {
+			return nil, err
 		}
 		return struct{}{}, nil
 	case offerReq:
 		n.mu.Lock()
-		for k, v := range r.Entries {
-			if _, exists := n.store[k]; !exists {
-				n.store[k] = v
-			}
+		defer n.mu.Unlock()
+		if err := n.absorbLocked(r.Entries, false); err != nil {
+			return nil, err
 		}
-		n.mu.Unlock()
 		return struct{}{}, nil
 	case claimReq:
-		return n.handleClaim(r.Joiner), nil
+		return n.handleClaim(r.Joiner)
 	case replicateReq:
 		n.handleReplicate(r.Entries)
 		return struct{}{}, nil
@@ -328,17 +454,27 @@ func (n *Node) closestPrecedingLocked(target dht.ID) ref {
 // handleClaim hands over the keys a joining predecessor now owns: with the
 // joiner at position j between our old predecessor and us, every stored key
 // whose hash is not in (j, us] moves to the joiner.
-func (n *Node) handleClaim(joiner ref) claimResp {
+func (n *Node) handleClaim(joiner ref) (claimResp, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(map[dht.Key]any)
+	recs := make([]dht.WALRecord, 0)
 	for k, v := range n.store {
 		if !dht.HashKey(k).Between(joiner.ID, n.id) {
 			out[k] = v
-			delete(n.store, k)
+			recs = append(recs, dht.WALRecord{Op: dht.WALRemove, Key: k})
 		}
 	}
-	return claimResp{Entries: out}
+	// Journal the departures as one group before handing anything over: a
+	// node that cannot record losing ownership must keep serving the keys.
+	if err := n.journalLocked(recs...); err != nil {
+		return claimResp{}, err
+	}
+	for _, rec := range recs {
+		delete(n.store, rec.Key)
+		n.vers.Bump(rec.Key)
+	}
+	return claimResp{Entries: out}, nil
 }
 
 // storeSnapshot copies the node's stored entries (for Ring.Range and leave
@@ -353,6 +489,12 @@ func (n *Node) storeSnapshot() map[dht.Key]any {
 	return out
 }
 
+// StoreSnapshot copies the node's primary store. The daemon uses it as the
+// WAL compaction source after a restart's replay.
+func (n *Node) StoreSnapshot() map[dht.Key]any {
+	return n.storeSnapshot()
+}
+
 // StoreLen returns how many entries the node currently stores.
 func (n *Node) StoreLen() int {
 	n.mu.Lock()
@@ -361,7 +503,7 @@ func (n *Node) StoreLen() int {
 }
 
 // Successor returns the node's immediate successor ref (zero if unjoined).
-func (n *Node) Successor() (simnet.NodeID, bool) {
+func (n *Node) Successor() (transport.NodeID, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if len(n.succs) == 0 {
@@ -371,7 +513,7 @@ func (n *Node) Successor() (simnet.NodeID, bool) {
 }
 
 // Predecessor returns the node's predecessor address (zero if unknown).
-func (n *Node) Predecessor() (simnet.NodeID, bool) {
+func (n *Node) Predecessor() (transport.NodeID, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.pred.isZero() {

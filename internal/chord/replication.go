@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"mlight/internal/dht"
-	"mlight/internal/simnet"
+	"mlight/internal/transport"
 )
 
 // Replication support (an extension beyond the m-LIGHT paper, mirroring
@@ -130,10 +130,12 @@ func (r *Ring) relocateStaleReplicas(n *Node) {
 		}
 		if owner.Addr == n.addr {
 			n.mu.Lock()
-			if _, exists := n.store[k]; !exists {
-				n.store[k] = v
-			}
+			err := n.absorbLocked(map[dht.Key]any{k: v}, false)
 			n.mu.Unlock()
+			if err != nil {
+				r.noteMaintenanceError(err)
+				n.restoreReplica(k, v)
+			}
 			continue
 		}
 		if _, err := r.net.Call(n.addr, owner.Addr, offerReq{Entries: map[dht.Key]any{k: v}}); err != nil {
@@ -143,20 +145,30 @@ func (r *Ring) relocateStaleReplicas(n *Node) {
 }
 
 // promoteOwnedReplicasLocked moves replica entries the node now owns (their
-// hash falls in (pred, n]) into the primary store. Callers hold n.mu.
-func (n *Node) promoteOwnedReplicasLocked() {
+// hash falls in (pred, n]) into the primary store. Callers hold n.mu. The
+// returned error is a failed journal write: the affected keys stay replicas
+// so the next round retries the promotion.
+func (n *Node) promoteOwnedReplicasLocked() error {
 	if len(n.replicas) == 0 || n.pred.isZero() {
-		return
+		return nil
 	}
+	owned := make(map[dht.Key]any)
 	for k, v := range n.replicas {
 		if dht.HashKey(k).Between(n.pred.ID, n.id) {
-			if _, exists := n.store[k]; !exists {
-				n.store[k] = v
-			}
-			delete(n.replicas, k)
-			delete(n.replicaSeen, k)
+			owned[k] = v
 		}
 	}
+	if len(owned) == 0 {
+		return nil
+	}
+	if err := n.absorbLocked(owned, false); err != nil {
+		return err
+	}
+	for k := range owned {
+		delete(n.replicas, k)
+		delete(n.replicaSeen, k)
+	}
+	return nil
 }
 
 // ReplicaLen returns the number of replica entries held (for tests).
@@ -173,7 +185,7 @@ func (n *Node) ReplicaLen() int {
 // silently dropped: the replica stays missing until the next stabilization
 // round's reReplicate re-pushes it, and the counter makes that loss
 // observable.
-func (r *Ring) replicaCall(from, to simnet.NodeID, req any) {
+func (r *Ring) replicaCall(from, to transport.NodeID, req any) {
 	err := r.retrier.Do(string(to), func() error {
 		_, e := r.net.Call(from, to, req)
 		return e

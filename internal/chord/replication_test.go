@@ -262,7 +262,7 @@ func TestReplicationErrorsSurfaced(t *testing.T) {
 	}
 }
 
-func ringNet(r *Ring) *simnet.Network { return r.net }
+func ringNet(r *Ring) *simnet.Network { return r.net.(*simnet.Network) }
 
 func mustOwnerRef(t *testing.T, r *Ring, key dht.Key) ref {
 	t.Helper()

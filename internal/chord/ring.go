@@ -10,12 +10,12 @@ import (
 
 	"mlight/internal/dht"
 	"mlight/internal/metrics"
-	"mlight/internal/simnet"
+	"mlight/internal/transport"
 )
 
 // clientAddr is the network source address used for client-side (iterative)
 // lookups issued by the Ring itself.
-const clientAddr simnet.NodeID = "chord-client"
+const clientAddr transport.NodeID = "chord-client"
 
 // ErrLookupFailed is returned when an iterative lookup cannot complete,
 // e.g. because routing state is stale after heavy churn. It is marked
@@ -40,23 +40,30 @@ type Config struct {
 	// the simulated network fails synchronously, so waiting buys nothing;
 	// real deployments should supply a policy with a real Sleep.
 	Retry *dht.RetryPolicy
+	// Seeds names remote entry points for lookups when the ring manages no
+	// local node (a pure client dialing a daemon cluster) or is joining an
+	// overlay hosted by other processes (a daemon booting with peers).
+	// Over TCP a seed is a dialable address; its ring identifier is the
+	// hash of that address, exactly as the node at the address computes it.
+	Seeds []transport.NodeID
 }
 
-// Ring manages a set of Chord nodes on one simulated network and exposes
+// Ring manages a set of Chord nodes on one transport and exposes
 // the whole overlay as a dht.DHT. It is the management plane a deployer
 // would run: join, graceful leave, crash, and stabilization rounds.
 type Ring struct {
-	net         *simnet.Network
+	net         transport.Interface
 	maxHops     int
 	replication int
 
 	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID // sorted addresses for deterministic iteration
+	nodes map[transport.NodeID]*Node
+	order []transport.NodeID // sorted addresses for deterministic iteration
 	// crashed retains the node objects of crashed peers (their volatile
-	// state already wiped by simnet.Crasher) so RestartNode can revive them
-	// under the same identity.
-	crashed        map[simnet.NodeID]*Node
+	// state already wiped by the transport's Crasher hook) so RestartNode
+	// can revive them under the same identity.
+	crashed        map[transport.NodeID]*Node
+	seeds          []ref
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
@@ -84,7 +91,7 @@ var (
 )
 
 // NewRing creates an empty ring on net.
-func NewRing(net *simnet.Network, cfg Config) *Ring {
+func NewRing(net transport.Interface, cfg Config) *Ring {
 	maxHops := cfg.MaxHops
 	if maxHops <= 0 {
 		maxHops = 512
@@ -100,12 +107,17 @@ func NewRing(net *simnet.Network, cfg Config) *Ring {
 	if cfg.Retry != nil {
 		policy = *cfg.Retry
 	}
+	seeds := make([]ref, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		seeds = append(seeds, ref{Addr: s, ID: dht.HashString(string(s))})
+	}
 	return &Ring{
 		net:         net,
+		seeds:       seeds,
 		maxHops:     maxHops,
 		replication: replication,
-		nodes:       make(map[simnet.NodeID]*Node),
-		crashed:     make(map[simnet.NodeID]*Node),
+		nodes:       make(map[transport.NodeID]*Node),
+		crashed:     make(map[transport.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retrier:     dht.NewRetrier(policy, nil),
 	}
@@ -144,7 +156,7 @@ func (r *Ring) noteMaintenanceError(err error) {
 // forms a singleton ring. Joining eagerly links predecessor/successor
 // pointers and claims the keys the new node now owns, so the ring is
 // immediately consistent; finger tables are refreshed lazily by Stabilize.
-func (r *Ring) AddNode(addr simnet.NodeID) (*Node, error) {
+func (r *Ring) AddNode(addr transport.NodeID) (*Node, error) {
 	r.mu.Lock()
 	if _, dup := r.nodes[addr]; dup {
 		r.mu.Unlock()
@@ -157,7 +169,9 @@ func (r *Ring) AddNode(addr simnet.NodeID) (*Node, error) {
 		return nil, err
 	}
 	r.mu.Lock()
-	empty := len(r.nodes) == 0
+	// A ring with remote seeds is never "empty": its first local node joins
+	// the overlay the seeds belong to instead of forming a singleton.
+	empty := len(r.nodes) == 0 && len(r.seeds) == 0
 	r.mu.Unlock()
 
 	if empty {
@@ -210,10 +224,11 @@ func (r *Ring) join(n *Node) error {
 	}
 	if claim, ok := claimAny.(claimResp); ok && len(claim.Entries) > 0 {
 		n.mu.Lock()
-		for k, v := range claim.Entries {
-			n.store[k] = v
-		}
+		err := n.absorbLocked(claim.Entries, true)
 		n.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("chord: join %q: absorb claimed keys: %w", n.addr, err)
+		}
 	}
 
 	// Eagerly link neighbours so lookups are correct before the next
@@ -236,7 +251,7 @@ func (r *Ring) join(n *Node) error {
 
 // RemoveNode gracefully departs a node: its keys move to its successor and
 // its neighbours are re-linked.
-func (r *Ring) RemoveNode(addr simnet.NodeID) error {
+func (r *Ring) RemoveNode(addr transport.NodeID) error {
 	r.mu.Lock()
 	n, ok := r.nodes[addr]
 	if ok {
@@ -249,9 +264,6 @@ func (r *Ring) RemoveNode(addr simnet.NodeID) error {
 		return fmt.Errorf("chord: node %q not in ring", addr)
 	}
 	defer r.net.Deregister(addr)
-	if last {
-		return nil
-	}
 
 	n.mu.Lock()
 	var succ, pred ref
@@ -267,6 +279,13 @@ func (r *Ring) RemoveNode(addr simnet.NodeID) error {
 	n.mu.Unlock()
 
 	if succ.isZero() || succ.Addr == addr {
+		// No successor to leave to. A true singleton — the process's last
+		// local node with no remote successor — departs silently; a daemon's
+		// only node usually has remote successors and falls through to the
+		// handoff below instead.
+		if last {
+			return nil
+		}
 		return fmt.Errorf("chord: node %q has no successor to leave to", addr)
 	}
 	if len(entries) > 0 {
@@ -287,10 +306,10 @@ func (r *Ring) RemoveNode(addr simnet.NodeID) error {
 
 // CrashNode fails a node abruptly: it stops answering and its volatile
 // state — stored keys, replicas, routing tables — is destroyed
-// (simnet.Crash → Node.OnCrash), not merely hidden behind a partition.
+// (transport Crash → Node.OnCrash), not merely hidden behind a partition.
 // Stabilization repairs the ring around it; RestartNode can later revive
 // the same identity with empty buckets.
-func (r *Ring) CrashNode(addr simnet.NodeID) error {
+func (r *Ring) CrashNode(addr transport.NodeID) error {
 	r.mu.Lock()
 	n, ok := r.nodes[addr]
 	if ok {
@@ -310,13 +329,13 @@ func (r *Ring) CrashNode(addr simnet.NodeID) error {
 // keys it owns from its successor via the claim protocol), and the
 // replication retrier forgets the peer's past failures so its circuit
 // breaker does not shed traffic to a now-healthy node.
-func (r *Ring) RestartNode(addr simnet.NodeID) (*Node, error) {
+func (r *Ring) RestartNode(addr transport.NodeID) (*Node, error) {
 	r.mu.Lock()
 	n, ok := r.crashed[addr]
 	if ok {
 		delete(r.crashed, addr)
 	}
-	empty := len(r.nodes) == 0
+	empty := len(r.nodes) == 0 && len(r.seeds) == 0
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("chord: node %q is not crashed", addr)
@@ -353,10 +372,10 @@ func (r *Ring) RestartNode(addr simnet.NodeID) (*Node, error) {
 
 // CrashedNodes returns the addresses of crashed, restartable nodes in
 // sorted order — the churn scheduler's restart candidates.
-func (r *Ring) CrashedNodes() []simnet.NodeID {
+func (r *Ring) CrashedNodes() []transport.NodeID {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(r.crashed))
+	out := make([]transport.NodeID, 0, len(r.crashed))
 	for addr := range r.crashed {
 		out = append(out, addr)
 	}
@@ -364,7 +383,7 @@ func (r *Ring) CrashedNodes() []simnet.NodeID {
 	return out
 }
 
-func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
+func removeAddr(order []transport.NodeID, addr transport.NodeID) []transport.NodeID {
 	out := order[:0]
 	for _, a := range order {
 		if a != addr {
@@ -382,10 +401,10 @@ func truncateSuccs(s []ref) []ref {
 }
 
 // Nodes returns the managed (live) node addresses in sorted order.
-func (r *Ring) Nodes() []simnet.NodeID {
+func (r *Ring) Nodes() []transport.NodeID {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]simnet.NodeID(nil), r.order...)
+	return append([]transport.NodeID(nil), r.order...)
 }
 
 // NumNodes returns the number of live managed nodes.
@@ -397,12 +416,12 @@ func (r *Ring) NumNodes() int {
 
 // NodeAt returns the managed node at addr, for application layers that
 // need local-store access on a specific peer.
-func (r *Ring) NodeAt(addr simnet.NodeID) (*Node, bool) {
+func (r *Ring) NodeAt(addr transport.NodeID) (*Node, bool) {
 	return r.node(addr)
 }
 
 // node returns the managed node at addr.
-func (r *Ring) node(addr simnet.NodeID) (*Node, bool) {
+func (r *Ring) node(addr transport.NodeID) (*Node, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n, ok := r.nodes[addr]
@@ -420,6 +439,21 @@ func (r *Ring) pickEntry() (*Node, error) {
 	return r.nodes[addr], nil
 }
 
+// pickEntryRef selects a lookup entry point: a live managed node when the
+// ring hosts any, otherwise a configured seed — the client/daemon mode
+// where the overlay lives in other processes.
+func (r *Ring) pickEntryRef() (ref, error) {
+	if n, err := r.pickEntry(); err == nil {
+		return n.self(), nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.seeds) == 0 {
+		return ref{}, dht.ErrNoPeers
+	}
+	return r.seeds[r.rng.Intn(len(r.seeds))], nil
+}
+
 // findSuccessor resolves the node responsible for target with an iterative
 // lookup, retrying from fresh entry points when stale routing state points
 // at departed peers.
@@ -427,11 +461,11 @@ func (r *Ring) findSuccessor(target dht.ID) (ref, error) {
 	const retries = 3
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
-		entry, err := r.pickEntry()
+		entry, err := r.pickEntryRef()
 		if err != nil {
 			return ref{}, err
 		}
-		found, err := r.trace(entry.self(), target)
+		found, err := r.trace(entry, target)
 		if err == nil {
 			r.Lookups.Inc()
 			return found, nil
@@ -581,8 +615,11 @@ func (r *Ring) stabilizeNode(n *Node) {
 	// Replication repair: promote replica entries this node now owns, then
 	// refresh this node's copies on its current successors.
 	n.mu.Lock()
-	n.promoteOwnedReplicasLocked()
+	perr := n.promoteOwnedReplicasLocked()
 	n.mu.Unlock()
+	if perr != nil {
+		r.noteMaintenanceError(perr)
+	}
 	r.reReplicate(n)
 }
 
@@ -655,6 +692,24 @@ func (r *Ring) Apply(key dht.Key, fn dht.ApplyFunc) error {
 	if err != nil {
 		return err
 	}
+	if !transport.SupportsInline(r.net) {
+		// The transform cannot cross a real socket: run it client-side
+		// under the wire-safe versioned CAS protocol instead.
+		value, keep, err := dht.RemoteApply(func(req any) (any, error) {
+			return r.net.Call(clientAddr, owner.Addr, req)
+		}, key, fn)
+		if err != nil {
+			return err
+		}
+		if r.replication > 1 {
+			if keep {
+				r.replicate(owner, key, value)
+			} else {
+				r.dropReplicas(owner, key)
+			}
+		}
+		return nil
+	}
 	respAny, err := r.net.Call(clientAddr, owner.Addr, applyReq{Key: key, Fn: fn})
 	if err != nil {
 		return err
@@ -697,7 +752,7 @@ func (r *Ring) Range(fn func(key dht.Key, value any) bool) error {
 // InstallAppHandler installs an application handler on every managed node
 // (and on nodes added later callers must install again). The factory
 // receives each node so handlers can read local state.
-func (r *Ring) InstallAppHandler(factory func(n *Node) simnet.Handler) {
+func (r *Ring) InstallAppHandler(factory func(n *Node) transport.Handler) {
 	for _, addr := range r.Nodes() {
 		if n, ok := r.node(addr); ok {
 			n.SetAppHandler(factory(n))
@@ -708,7 +763,7 @@ func (r *Ring) InstallAppHandler(factory func(n *Node) simnet.Handler) {
 // LookupFrom resolves the owner of key with an iterative lookup starting at
 // the given node, returning the owner's address and the number of
 // lookup-step RPCs spent — the building block for peer-side forwarding.
-func (r *Ring) LookupFrom(addr simnet.NodeID, key dht.Key) (simnet.NodeID, int, error) {
+func (r *Ring) LookupFrom(addr transport.NodeID, key dht.Key) (transport.NodeID, int, error) {
 	n, ok := r.node(addr)
 	if !ok {
 		return "", 0, fmt.Errorf("chord: node %q not in ring", addr)

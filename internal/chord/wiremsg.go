@@ -1,0 +1,31 @@
+package chord
+
+import "mlight/internal/transport"
+
+// Register every chord RPC message with the transport codec so rings run
+// unchanged over framed TCP. applyReq is deliberately absent: it carries a
+// closure, which only an inline transport can deliver — over the wire,
+// Ring.Apply uses the dht versioned-CAS protocol instead.
+func init() {
+	transport.RegisterType(ref{})
+	transport.RegisterType([]ref(nil))
+	transport.RegisterType(pingReq{})
+	transport.RegisterType(getPredReq{})
+	transport.RegisterType(getSuccsReq{})
+	transport.RegisterType(notifyReq{})
+	transport.RegisterType(lookupStepReq{})
+	transport.RegisterType(lookupStepResp{})
+	transport.RegisterType(storeReq{})
+	transport.RegisterType(retrieveReq{})
+	transport.RegisterType(retrieveResp{})
+	transport.RegisterType(removeReq{})
+	transport.RegisterType(applyResp{})
+	transport.RegisterType(handoffReq{})
+	transport.RegisterType(claimReq{})
+	transport.RegisterType(claimResp{})
+	transport.RegisterType(setPredReq{})
+	transport.RegisterType(setSuccReq{})
+	transport.RegisterType(replicateReq{})
+	transport.RegisterType(dropReplicaReq{})
+	transport.RegisterType(offerReq{})
+}

@@ -383,11 +383,11 @@ func (w *WAL) Compact(state map[Key]any) error {
 		return fmt.Errorf("dht: wal snapshot tmp: %w", err)
 	}
 	if _, err := f.Write(buf); err != nil {
-		f.Close()
+		f.Close() //lint:allow droppederr the write error already reports the failure
 		return fmt.Errorf("dht: wal snapshot write: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //lint:allow droppederr the sync error already reports the failure
 		return fmt.Errorf("dht: wal snapshot sync: %w", err)
 	}
 	if err := f.Close(); err != nil {

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mlight"
+	"mlight/internal/daemon"
+	"mlight/internal/spatial"
+	"mlight/internal/transport"
+)
+
+// WireExpConfig parameterises the real-socket deployment benchmark
+// (ExtWire): end-to-end operation latency through mlight.Dial against a
+// cluster of in-process daemons, where every message — index traffic,
+// overlay maintenance, the remote-apply CAS protocol — crosses a framed
+// loopback TCP connection.
+type WireExpConfig struct {
+	// Config supplies shared knobs; only DataSize (timed inserts, default
+	// 1000) and Seed are used here — Peers is replaced by Daemons.
+	Config
+	// Daemons is the cluster size. Default 3.
+	Daemons int
+	// Replication is the per-key copy count. Default 2.
+	Replication int
+	// Queries is how many range queries are timed. Default 50.
+	Queries int
+	// Span is the side length of each query rectangle. Default 0.1.
+	Span float64
+	// Echoes is how many raw transport round trips are timed — the framed
+	// RPC floor every index operation pays at least once. Default 500.
+	Echoes int
+}
+
+func (c WireExpConfig) withDefaults() WireExpConfig {
+	if c.DataSize == 0 {
+		c.DataSize = 1000
+	}
+	c.Config = c.Config.withDefaults()
+	if c.Daemons == 0 {
+		c.Daemons = 3
+	}
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Queries == 0 {
+		c.Queries = 50
+	}
+	if c.Span == 0 {
+		c.Span = 0.1
+	}
+	if c.Echoes == 0 {
+		c.Echoes = 500
+	}
+	return c
+}
+
+// WireLatency summarises one timed operation population in microseconds.
+type WireLatency struct {
+	Ops     int     `json:"ops"`
+	MeanUS  float64 `json:"mean_us"`
+	P50US   float64 `json:"p50_us"`
+	P95US   float64 `json:"p95_us"`
+	P99US   float64 `json:"p99_us"`
+	WorstUS float64 `json:"worst_us"`
+}
+
+// WireResult is the machine-readable outcome of the wire benchmark
+// (written to BENCH_wire.json by cmd/mlight-bench).
+type WireResult struct {
+	Daemons     int   `json:"daemons"`
+	Replication int   `json:"replication"`
+	DataSize    int   `json:"data_size"`
+	Queries     int   `json:"queries"`
+	Seed        int64 `json:"seed"`
+
+	// Echo is the raw framed-RPC round trip: one request/response pair
+	// over a pooled loopback connection, no index logic. The floor.
+	Echo WireLatency `json:"echo"`
+	// Insert is the end-to-end client Insert latency.
+	Insert WireLatency `json:"insert"`
+	// Query is the end-to-end client RangeQuery latency.
+	Query WireLatency `json:"range_query"`
+}
+
+// Table renders the latency populations side by side.
+func (r WireResult) Table() Table {
+	row := func(name string, l WireLatency) Series {
+		return Series{Name: name, Points: []Point{
+			{X: 50, Y: l.P50US}, {X: 95, Y: l.P95US}, {X: 99, Y: l.P99US},
+		}}
+	}
+	return Table{
+		ID:     "ExtWire",
+		Title:  "End-to-end latency over real sockets (loopback TCP)",
+		XLabel: "percentile",
+		YLabel: "latency (µs)",
+		Series: []Series{row("raw RPC echo", r.Echo), row("insert", r.Insert), row("range query", r.Query)},
+	}
+}
+
+func summarize(durs []time.Duration) WireLatency {
+	if len(durs) == 0 {
+		return WireLatency{}
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return us(sorted[idx])
+	}
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return WireLatency{
+		Ops:     len(sorted),
+		MeanUS:  us(total) / float64(len(sorted)),
+		P50US:   pct(0.50),
+		P95US:   pct(0.95),
+		P99US:   pct(0.99),
+		WorstUS: us(sorted[len(sorted)-1]),
+	}
+}
+
+// wireEchoReq is the raw-RPC floor probe payload.
+type wireEchoReq struct{ N int }
+
+func init() { transport.RegisterType(wireEchoReq{}) }
+
+type wireEchoHandler struct{}
+
+func (wireEchoHandler) HandleRPC(from transport.NodeID, req any) (any, error) { return req, nil }
+
+// Wire boots a daemon cluster on loopback TCP, dials it through the public
+// client API, and times raw RPC echoes, inserts, and range queries.
+func Wire(cfg WireExpConfig) (WireResult, error) {
+	cfg = cfg.withDefaults()
+
+	var addrs []string
+	for i := 0; i < cfg.Daemons; i++ {
+		d, err := daemon.Start(daemon.Config{
+			Seeds:          addrs,
+			Replication:    cfg.Replication,
+			StabilizeEvery: 100 * time.Millisecond,
+			Seed:           cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return WireResult{}, fmt.Errorf("wire: start daemon %d: %w", i, err)
+		}
+		defer d.Close()
+		addrs = append(addrs, d.Addr())
+	}
+
+	// The raw framed-RPC floor: echo round trips on a dedicated transport,
+	// reusing one pooled connection like every overlay peer does.
+	echoTr := transport.NewTCP(transport.TCPOptions{})
+	defer echoTr.Close()
+	echoID, err := echoTr.Reserve()
+	if err != nil {
+		return WireResult{}, fmt.Errorf("wire: echo reserve: %w", err)
+	}
+	if err := echoTr.Register(echoID, wireEchoHandler{}); err != nil {
+		return WireResult{}, fmt.Errorf("wire: echo register: %w", err)
+	}
+	echoes := make([]time.Duration, 0, cfg.Echoes)
+	for i := 0; i < cfg.Echoes; i++ {
+		start := time.Now()
+		if _, err := echoTr.Call("bench-client", echoID, wireEchoReq{N: i}); err != nil {
+			return WireResult{}, fmt.Errorf("wire: echo %d: %w", i, err)
+		}
+		echoes = append(echoes, time.Since(start))
+	}
+
+	client, err := mlight.Dial(addrs, mlight.WithRetry(mlight.RetryPolicy{MaxAttempts: 6}))
+	if err != nil {
+		return WireResult{}, fmt.Errorf("wire: dial: %w", err)
+	}
+	defer client.Close()
+
+	records := cfg.Config.records()
+	if len(records) > cfg.DataSize {
+		records = records[:cfg.DataSize]
+	}
+	inserts := make([]time.Duration, 0, len(records))
+	for i, rec := range records {
+		start := time.Now()
+		if err := client.Insert(rec); err != nil {
+			return WireResult{}, fmt.Errorf("wire: insert %d: %w", i, err)
+		}
+		inserts = append(inserts, time.Since(start))
+	}
+
+	rects, err := queryRects(cfg.Config, cfg.Queries, cfg.Span)
+	if err != nil {
+		return WireResult{}, fmt.Errorf("wire: queries: %w", err)
+	}
+	queries := make([]time.Duration, 0, len(rects))
+	for i, q := range rects {
+		start := time.Now()
+		if _, err := client.RangeQuery(q); err != nil {
+			return WireResult{}, fmt.Errorf("wire: query %d: %w", i, err)
+		}
+		queries = append(queries, time.Since(start))
+	}
+
+	return WireResult{
+		Daemons:     cfg.Daemons,
+		Replication: cfg.Replication,
+		DataSize:    len(records),
+		Queries:     len(rects),
+		Seed:        cfg.Seed,
+		Echo:        summarize(echoes),
+		Insert:      summarize(inserts),
+		Query:       summarize(queries),
+	}, nil
+}
+
+// queryRects places n span×span query rectangles deterministically.
+func queryRects(cfg Config, n int, span float64) ([]spatial.Rect, error) {
+	rects := make([]spatial.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		// A coprime lattice walk covers the unit square evenly without
+		// needing a RNG.
+		x := float64((i*37)%97) / 97 * (1 - span)
+		y := float64((i*61)%89) / 89 * (1 - span)
+		lo := spatial.Point{x, y}
+		hi := spatial.Point{x + span, y + span}
+		r, err := spatial.NewRect(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		rects = append(rects, r)
+	}
+	return rects, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+// TestWireSmoke runs a scaled-down wire benchmark — real daemons, real
+// loopback sockets — and checks the structural invariants the bench
+// artifact relies on: every timed population present, latencies positive,
+// and percentiles ordered.
+func TestWireSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket benchmark is not short")
+	}
+	res, err := Wire(WireExpConfig{
+		Config:  Config{Seed: 1, DataSize: 60},
+		Daemons: 2,
+		Queries: 5,
+		Echoes:  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, l WireLatency, ops int) {
+		t.Helper()
+		if l.Ops != ops {
+			t.Errorf("%s: %d ops, want %d", name, l.Ops, ops)
+		}
+		if l.MeanUS <= 0 || l.P50US <= 0 {
+			t.Errorf("%s: non-positive latency: %+v", name, l)
+		}
+		if l.P50US > l.P95US || l.P95US > l.P99US || l.P99US > l.WorstUS {
+			t.Errorf("%s: percentiles out of order: %+v", name, l)
+		}
+	}
+	check("echo", res.Echo, 20)
+	check("insert", res.Insert, 60)
+	check("query", res.Query, 5)
+	if res.Daemons != 2 {
+		t.Errorf("daemons = %d", res.Daemons)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mlight/internal/metrics"
 	"mlight/internal/spatial"
 	"mlight/internal/trace"
+	"mlight/internal/transport"
 )
 
 // Result carries the answer and the cost of one range query, in the
@@ -123,6 +124,19 @@ type Tuning struct {
 	// dissemination: one prefix tree over the covering-leaf label space is
 	// resolved by recursive splitting instead of blind per-level lookahead.
 	Multicast bool
+
+	// Transport supplies the RPC substrate mlight.Dial speaks over. It is a
+	// client-side option: it configures how this process reaches the
+	// overlay, not how overlay nodes behave. Nil makes Dial create (and
+	// own) a TCP transport; a non-nil value stays caller-owned and is left
+	// open on Client.Close. In-process constructors (New/NewPHT/NewDST)
+	// ignore it — they receive a ready dht.DHT instead.
+	Transport transport.Interface
+	// Substrate names the overlay protocol the dialed cluster runs:
+	// "chord" (default), "pastry", or "kademlia". Client-side like
+	// Transport: it must match what the serving daemons were started with,
+	// it does not reconfigure them. Ignored by the in-process constructors.
+	Substrate string
 }
 
 // Option is one functional configuration step applied to a Tuning. The
@@ -211,4 +225,21 @@ func WithSeed(seed int64) Option {
 // dissemination engine (m-LIGHT only; baselines ignore it).
 func WithMulticast(on bool) Option {
 	return OptionFunc(func(t *Tuning) { t.Multicast = on })
+}
+
+// WithTransport makes mlight.Dial speak over tr instead of creating its own
+// TCP transport. Client-side only: it selects how this process reaches the
+// cluster; node-side behaviour (replication, stabilization, durability) is
+// fixed by the daemons. The transport stays caller-owned — Client.Close will
+// not close it. In-process constructors ignore this option.
+func WithTransport(tr transport.Interface) Option {
+	return OptionFunc(func(t *Tuning) { t.Transport = tr })
+}
+
+// WithSubstrate names the overlay protocol of the dialed cluster: "chord"
+// (the default), "pastry", or "kademlia". Client-side only — it must match
+// the -substrate the daemons were launched with; it cannot change a running
+// cluster. In-process constructors ignore this option.
+func WithSubstrate(name string) Option {
+	return OptionFunc(func(t *Tuning) { t.Substrate = name })
 }

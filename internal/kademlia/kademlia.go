@@ -1,5 +1,5 @@
 // Package kademlia implements the Kademlia distributed hash table
-// (Maymounkov & Mazières, IPTPS 2002) over the simulated network — the
+// (Maymounkov & Mazières, IPTPS 2002) over any transport.Interface — the
 // third pluggable substrate beneath the m-LIGHT index, alongside
 // internal/chord and internal/pastry.
 //
@@ -37,8 +37,8 @@ import (
 
 	"mlight/internal/dht"
 	"mlight/internal/metrics"
-	"mlight/internal/simnet"
 	"mlight/internal/trace"
+	"mlight/internal/transport"
 )
 
 const (
@@ -51,7 +51,7 @@ const (
 )
 
 // clientAddr is the source address for overlay-initiated RPCs.
-const clientAddr simnet.NodeID = "kademlia-client"
+const clientAddr transport.NodeID = "kademlia-client"
 
 // ErrLookupFailed is returned when an iterative lookup cannot complete. It
 // is marked retryable: routing tables heal after Refresh, so a retry layer
@@ -148,7 +148,7 @@ func (e *rttEstimator) reset() {
 
 // ref names a remote node.
 type ref struct {
-	Addr simnet.NodeID
+	Addr transport.NodeID
 	ID   dht.ID
 }
 
@@ -171,13 +171,16 @@ func closerTo(target, a, b dht.ID) bool {
 
 // Node is one Kademlia peer.
 type Node struct {
-	addr simnet.NodeID
+	addr transport.NodeID
 	id   dht.ID
-	net  *simnet.Network
+	net  transport.Interface
 
 	mu      sync.Mutex
 	buckets [dht.IDBits][]ref // buckets[i]: contacts sharing exactly i prefix bits
 	store   map[dht.Key]any
+	// vers tracks per-key mutation versions for the wire-safe remote apply
+	// protocol (see dht.VersionedStore).
+	vers dht.VersionedStore
 }
 
 // rpc request/response types.
@@ -219,7 +222,7 @@ type (
 	handoffReq struct{ Entries map[dht.Key]any }
 )
 
-func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
+func newNode(net transport.Interface, addr transport.NodeID) (*Node, error) {
 	n := &Node{
 		addr:  addr,
 		id:    dht.HashString(string(addr)),
@@ -232,7 +235,7 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
-// OnCrash implements simnet.Crasher: a hard crash destroys the node's
+// OnCrash implements transport.Crasher: a hard crash destroys the node's
 // volatile memory — stored keys and the entire routing table. Identity
 // (address, XOR position) survives so the node can restart and rejoin as
 // the same peer with empty buckets.
@@ -241,20 +244,21 @@ func (n *Node) OnCrash() {
 	defer n.mu.Unlock()
 	n.store = make(map[dht.Key]any)
 	n.buckets = [dht.IDBits][]ref{}
+	n.vers.Reset()
 }
 
 // Addr returns the node's network address.
-func (n *Node) Addr() simnet.NodeID { return n.addr }
+func (n *Node) Addr() transport.NodeID { return n.addr }
 
 // ID returns the node's identifier.
 func (n *Node) ID() dht.ID { return n.id }
 
 func (n *Node) self() ref { return ref{Addr: n.addr, ID: n.id} }
 
-// HandleRPC implements simnet.Handler. Every request carries its sender,
+// HandleRPC implements transport.Handler. Every request carries its sender,
 // which is opportunistically inserted into the routing table — Kademlia's
 // self-maintaining state.
-func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
+func (n *Node) HandleRPC(from transport.NodeID, req any) (any, error) {
 	switch r := req.(type) {
 	case pingReq:
 		n.observe(r.From)
@@ -267,6 +271,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		n.store[r.Key] = r.Value
+		n.vers.Bump(r.Key)
 		return struct{}{}, nil
 	case retrieveReq:
 		n.observe(r.From)
@@ -279,6 +284,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		delete(n.store, r.Key)
+		n.vers.Bump(r.Key)
 		return struct{}{}, nil
 	case applyReq:
 		n.observe(r.From)
@@ -291,7 +297,26 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		} else {
 			delete(n.store, r.Key)
 		}
+		n.vers.Bump(r.Key)
 		return applyResp{Value: next, Keep: keep}, nil
+	case dht.GetVerReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		v, ok := n.store[r.Key]
+		return n.vers.Snapshot(r, v, ok), nil
+	case dht.CASReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		cur, ok := n.store[r.Key]
+		resp, apply := n.vers.CAS(r, cur, ok)
+		if apply {
+			if r.Keep {
+				n.store[r.Key] = r.Value
+			} else {
+				delete(n.store, r.Key)
+			}
+		}
+		return resp, nil
 	case claimReq:
 		return n.handleClaim(r.Joiner), nil
 	case handoffReq:
@@ -299,6 +324,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		defer n.mu.Unlock()
 		for k, v := range r.Entries {
 			n.store[k] = v
+			n.vers.Bump(k)
 		}
 		return struct{}{}, nil
 	default:
@@ -379,6 +405,7 @@ func (n *Node) handleClaim(joiner ref) claimResp {
 		if closerTo(h, joiner.ID, n.id) {
 			out[k] = v
 			delete(n.store, k)
+			n.vers.Bump(k)
 		}
 	}
 	return claimResp{Entries: out}
@@ -439,11 +466,16 @@ type Config struct {
 	// EWMA of observed round trips, floored at 200ms, with a
 	// seeded-deterministic fallback before the first observation).
 	RPCTimeout time.Duration
+	// Seeds names remote entry points for lookups when the overlay manages
+	// no local node (a client dialing a daemon cluster) or its first local
+	// node must join an overlay hosted elsewhere. Over TCP a seed is a
+	// dialable address; its identifier is the hash of that address.
+	Seeds []transport.NodeID
 }
 
 // Overlay manages a set of Kademlia nodes and exposes them as one dht.DHT.
 type Overlay struct {
-	net         *simnet.Network
+	net         transport.Interface
 	maxRounds   int
 	replication int
 	alpha       int
@@ -452,11 +484,12 @@ type Overlay struct {
 	rtt         rttEstimator
 
 	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID
+	nodes map[transport.NodeID]*Node
+	order []transport.NodeID
 	// crashed retains crashed peers' node objects (volatile state already
 	// wiped) so RestartNode can revive them under the same identity.
-	crashed      map[simnet.NodeID]*Node
+	crashed      map[transport.NodeID]*Node
+	seeds        []ref
 	rng          *rand.Rand
 	lastMaintErr error
 	lastPingErr  error
@@ -489,7 +522,7 @@ var (
 )
 
 // NewOverlay creates an empty overlay on net.
-func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
+func NewOverlay(net transport.Interface, cfg Config) *Overlay {
 	maxRounds := cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 64
@@ -509,8 +542,13 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 	// entry-selection stream stays byte-identical to earlier versions for
 	// a given seed.
 	fallbackRng := rand.New(rand.NewSource(cfg.Seed ^ 0x746d656f75747331))
+	seeds := make([]ref, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		seeds = append(seeds, ref{Addr: s, ID: dht.HashString(string(s))})
+	}
 	return &Overlay{
 		net:         net,
+		seeds:       seeds,
 		maxRounds:   maxRounds,
 		replication: replication,
 		alpha:       alpha,
@@ -519,8 +557,8 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 		rtt: rttEstimator{
 			fallback: minRPCTimeout + time.Duration(fallbackRng.Int63n(int64(minRPCTimeout))),
 		},
-		nodes:   make(map[simnet.NodeID]*Node),
-		crashed: make(map[simnet.NodeID]*Node),
+		nodes:   make(map[transport.NodeID]*Node),
+		crashed: make(map[transport.NodeID]*Node),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
@@ -544,24 +582,20 @@ func (o *Overlay) getTracer() *trace.Collector {
 // from a bootstrap contact, looks up its own identifier (backfilling
 // buckets along the way), and claims the keys it now owns from its closest
 // neighbours.
-func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
+func (o *Overlay) AddNode(addr transport.NodeID) (*Node, error) {
 	o.mu.Lock()
 	if _, dup := o.nodes[addr]; dup {
 		o.mu.Unlock()
 		return nil, fmt.Errorf("kademlia: node %q already in overlay", addr)
 	}
-	var bootstrap *Node
-	for _, a := range o.order {
-		bootstrap = o.nodes[a]
-		break
-	}
+	bootstrap, haveBootstrap := o.bootstrapRefLocked()
 	o.mu.Unlock()
 
 	n, err := newNode(o.net, addr)
 	if err != nil {
 		return nil, err
 	}
-	if bootstrap != nil {
+	if haveBootstrap {
 		if err := o.join(n, bootstrap); err != nil {
 			o.net.Deregister(addr)
 			return nil, err
@@ -575,11 +609,24 @@ func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
+// bootstrapRefLocked picks the contact a joining node seeds its routing
+// table from: any managed node, else a configured seed (an overlay hosted
+// by other processes). Callers hold o.mu.
+func (o *Overlay) bootstrapRefLocked() (ref, bool) {
+	for _, a := range o.order {
+		return o.nodes[a].self(), true
+	}
+	if len(o.seeds) > 0 {
+		return o.seeds[o.rng.Intn(len(o.seeds))], true
+	}
+	return ref{}, false
+}
+
 // join bootstraps n into the overlay: seed the routing table from the
 // bootstrap contact, self-lookup to backfill buckets and announce, then
 // claim the keys n now owns from its closest neighbours.
-func (o *Overlay) join(n *Node, bootstrap *Node) error {
-	n.observe(bootstrap.self())
+func (o *Overlay) join(n *Node, bootstrap ref) error {
+	n.observe(bootstrap)
 	// Self-lookup populates the routing table and announces us.
 	closest, err := o.iterativeFindNode(n.self(), n.id)
 	if err != nil {
@@ -595,6 +642,7 @@ func (o *Overlay) join(n *Node, bootstrap *Node) error {
 			n.mu.Lock()
 			for k, v := range claim.Entries {
 				n.store[k] = v
+				n.vers.Bump(k)
 			}
 			n.mu.Unlock()
 		}
@@ -604,27 +652,26 @@ func (o *Overlay) join(n *Node, bootstrap *Node) error {
 
 // RemoveNode gracefully departs a node, handing each key to the closest
 // remaining contact.
-func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
+func (o *Overlay) RemoveNode(addr transport.NodeID) error {
 	o.mu.Lock()
 	n, ok := o.nodes[addr]
 	if ok {
 		delete(o.nodes, addr)
 		o.order = removeAddr(o.order, addr)
 	}
-	last := len(o.nodes) == 0
 	o.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("kademlia: node %q not in overlay", addr)
 	}
 	defer o.net.Deregister(addr)
-	if last {
-		return nil
-	}
+	// Even the process's last local node tries to hand off — in a daemon
+	// deployment its routing table names remote peers; in a true singleton
+	// every per-key lookup below finds nobody and skips.
 	entries := n.storeSnapshot()
 	if len(entries) == 0 {
 		return nil
 	}
-	batches := make(map[simnet.NodeID]map[dht.Key]any)
+	batches := make(map[transport.NodeID]map[dht.Key]any)
 	for k, v := range entries {
 		// The key's next owner is the closest *remaining* node: run the
 		// iterative lookup and skip ourselves in the result.
@@ -659,10 +706,10 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 }
 
 // CrashNode fails a node abruptly: its volatile state — stored keys and
-// routing table — is destroyed (simnet.Crash → Node.OnCrash), not merely
+// routing table — is destroyed (transport Crash → Node.OnCrash), not merely
 // hidden behind a partition. Its contacts are evicted from peers during
 // Stabilize; RestartNode can later revive the identity.
-func (o *Overlay) CrashNode(addr simnet.NodeID) error {
+func (o *Overlay) CrashNode(addr transport.NodeID) error {
 	o.mu.Lock()
 	n, ok := o.nodes[addr]
 	if ok {
@@ -681,17 +728,13 @@ func (o *Overlay) CrashNode(addr simnet.NodeID) error {
 // registration comes back up and the node re-bootstraps from a live peer —
 // self-lookup to rebuild its buckets, then claims back the keys it owns
 // from its closest neighbours.
-func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
+func (o *Overlay) RestartNode(addr transport.NodeID) (*Node, error) {
 	o.mu.Lock()
 	n, ok := o.crashed[addr]
 	if ok {
 		delete(o.crashed, addr)
 	}
-	var bootstrap *Node
-	for _, a := range o.order {
-		bootstrap = o.nodes[a]
-		break
-	}
+	bootstrap, haveBootstrap := o.bootstrapRefLocked()
 	o.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("kademlia: node %q is not crashed", addr)
@@ -702,7 +745,7 @@ func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
 		o.mu.Unlock()
 		return nil, err
 	}
-	if bootstrap != nil {
+	if haveBootstrap {
 		if err := o.join(n, bootstrap); err != nil {
 			// Rejoin failed: put the node back down so a later restart
 			// attempt starts clean.
@@ -723,10 +766,10 @@ func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
 
 // CrashedNodes returns the addresses of crashed, restartable nodes in
 // sorted order — the churn scheduler's restart candidates.
-func (o *Overlay) CrashedNodes() []simnet.NodeID {
+func (o *Overlay) CrashedNodes() []transport.NodeID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(o.crashed))
+	out := make([]transport.NodeID, 0, len(o.crashed))
 	for addr := range o.crashed {
 		out = append(out, addr)
 	}
@@ -750,7 +793,7 @@ func (o *Overlay) RPCDeadline() time.Duration {
 // already un-sticks a stale-low profile.
 func (o *Overlay) ResetRTTEstimate() { o.rtt.reset() }
 
-func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
+func removeAddr(order []transport.NodeID, addr transport.NodeID) []transport.NodeID {
 	out := order[:0]
 	for _, a := range order {
 		if a != addr {
@@ -867,7 +910,7 @@ func (o *Overlay) repairReplicas() {
 		if len(targets) > r {
 			targets = targets[:r]
 		}
-		inTargets := make(map[simnet.NodeID]bool, len(targets))
+		inTargets := make(map[transport.NodeID]bool, len(targets))
 		for _, tgt := range targets {
 			inTargets[tgt.addr] = true
 			if tgt.addr == src.n.addr {
@@ -881,6 +924,7 @@ func (o *Overlay) repairReplicas() {
 			if !inTargets[hold.n.addr] {
 				hold.n.mu.Lock()
 				delete(hold.n.store, k)
+				hold.n.vers.Bump(k)
 				hold.n.mu.Unlock()
 			}
 		}
@@ -888,10 +932,10 @@ func (o *Overlay) repairReplicas() {
 }
 
 // Nodes returns the managed node addresses in sorted order.
-func (o *Overlay) Nodes() []simnet.NodeID {
+func (o *Overlay) Nodes() []transport.NodeID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return append([]simnet.NodeID(nil), o.order...)
+	return append([]transport.NodeID(nil), o.order...)
 }
 
 // NumNodes returns the number of managed nodes.
@@ -901,7 +945,7 @@ func (o *Overlay) NumNodes() int {
 	return len(o.nodes)
 }
 
-func (o *Overlay) nodeAt(addr simnet.NodeID) (*Node, bool) {
+func (o *Overlay) nodeAt(addr transport.NodeID) (*Node, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	n, ok := o.nodes[addr]
@@ -917,11 +961,25 @@ func (o *Overlay) pickEntry() (*Node, error) {
 	return o.nodes[o.order[o.rng.Intn(len(o.order))]], nil
 }
 
+// pickEntryRef selects a lookup entry point: a live managed node when any
+// exist, otherwise a configured seed (client/daemon mode).
+func (o *Overlay) pickEntryRef() (ref, error) {
+	if n, err := o.pickEntry(); err == nil {
+		return n.self(), nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.seeds) == 0 {
+		return ref{}, dht.ErrNoPeers
+	}
+	return o.seeds[o.rng.Intn(len(o.seeds))], nil
+}
+
 // timedCall issues one overlay RPC under the adaptive per-RPC deadline. On
 // success the modeled round trip feeds the RTT estimator, tightening future
 // deadlines. A timeout abandons the in-flight call (its goroutine drains
 // into a buffered channel) and returns ErrRPCTimeout.
-func (o *Overlay) timedCall(to simnet.NodeID, req any) (any, error) {
+func (o *Overlay) timedCall(to transport.NodeID, req any) (any, error) {
 	timeout := o.rpcTimeout
 	if timeout <= 0 {
 		timeout = o.rtt.timeout()
@@ -1021,7 +1079,7 @@ func (o *Overlay) iterativeFindNode(origin ref, target dht.ID) ([]ref, error) {
 		ref     ref
 		queried bool
 	}
-	shortlist := map[simnet.NodeID]*candidate{
+	shortlist := map[transport.NodeID]*candidate{
 		origin.Addr: {ref: origin},
 	}
 	sortedList := func() []*candidate {
@@ -1177,16 +1235,16 @@ func (o *Overlay) probeLive(entry ref, closest []ref, count int) []ref {
 
 // ownersOf returns the first count live nodes closest to the target.
 func (o *Overlay) ownersOf(target dht.ID, count int) ([]ref, error) {
-	entry, err := o.pickEntry()
+	entry, err := o.pickEntryRef()
 	if err != nil {
 		return nil, err
 	}
-	closest, err := o.iterativeFindNode(entry.self(), target)
+	closest, err := o.iterativeFindNode(entry, target)
 	if err != nil {
 		return nil, err
 	}
 	o.Lookups.Inc()
-	out := o.probeLive(entry.self(), closest, count)
+	out := o.probeLive(entry, closest, count)
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
 	}
@@ -1197,20 +1255,22 @@ func (o *Overlay) ownersOf(target dht.ID, count int) ([]ref, error) {
 // origin, when non-nil, supplies the starting shortlist; otherwise a random
 // managed node is used.
 func (o *Overlay) route(target dht.ID, origin *Node) (ref, error) {
-	entry := origin
-	if entry == nil {
+	var entry ref
+	if origin != nil {
+		entry = origin.self()
+	} else {
 		var err error
-		entry, err = o.pickEntry()
+		entry, err = o.pickEntryRef()
 		if err != nil {
 			return ref{}, err
 		}
 	}
-	closest, err := o.iterativeFindNode(entry.self(), target)
+	closest, err := o.iterativeFindNode(entry, target)
 	if err != nil {
 		return ref{}, err
 	}
 	o.Lookups.Inc()
-	out := o.probeLive(entry.self(), closest, 1)
+	out := o.probeLive(entry, closest, 1)
 	if len(out) == 0 {
 		return ref{}, fmt.Errorf("%w: no live contact near %v", ErrLookupFailed, target)
 	}
@@ -1285,6 +1345,27 @@ func (o *Overlay) Apply(key dht.Key, fn dht.ApplyFunc) error {
 	owners, err := o.ownersOf(dht.HashKey(key), o.replication)
 	if err != nil {
 		return err
+	}
+	if !transport.SupportsInline(o.net) {
+		// A closure cannot cross a real socket: run the transform
+		// client-side under the wire-safe versioned CAS protocol, then
+		// fan the result out to the remaining replicas.
+		value, keep, err := dht.RemoteApply(func(req any) (any, error) {
+			return o.net.Call(clientAddr, owners[0].Addr, req)
+		}, key, fn)
+		if err != nil {
+			return err
+		}
+		for _, owner := range owners[1:] {
+			if keep {
+				if _, err := o.net.Call(clientAddr, owner.Addr, storeReq{Key: key, Value: value}); err != nil {
+					return err
+				}
+			} else if _, err := o.net.Call(clientAddr, owner.Addr, removeReq{Key: key}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	respAny, err := o.net.Call(clientAddr, owners[0].Addr, applyReq{Key: key, Fn: fn})
 	if err != nil {

@@ -209,7 +209,7 @@ func TestConcurrentLookupStress(t *testing.T) {
 		t.Errorf("%d lossless concurrent Gets failed", n)
 	}
 
-	o.net.SetDropRate(0.05)
+	o.net.(*simnet.Network).SetDropRate(0.05)
 	var failed atomic.Int64
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

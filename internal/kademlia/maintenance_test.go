@@ -3,6 +3,8 @@ package kademlia
 import (
 	"strings"
 	"testing"
+
+	"mlight/internal/simnet"
 )
 
 // TestMaintenanceErrorsCountRefreshFailures pins the Stabilize fix: a
@@ -17,7 +19,7 @@ func TestMaintenanceErrorsCountRefreshFailures(t *testing.T) {
 		t.Fatalf("LastMaintenanceError = %v on a healthy overlay, want nil", err)
 	}
 
-	o.net.SetDropRate(1.0)
+	o.net.(*simnet.Network).SetDropRate(1.0)
 	o.Stabilize(1)
 	if got := o.MaintenanceErrors.Load(); got == 0 {
 		t.Fatal("MaintenanceErrors = 0 after refreshing under total loss, want > 0")
@@ -31,7 +33,7 @@ func TestMaintenanceErrorsCountRefreshFailures(t *testing.T) {
 	}
 
 	// Healed network: refresh succeeds again and the counter stays put.
-	o.net.SetDropRate(0)
+	o.net.(*simnet.Network).SetDropRate(0)
 	o.Stabilize(1)
 	before := o.MaintenanceErrors.Load()
 	o.Stabilize(1)

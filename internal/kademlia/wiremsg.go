@@ -1,0 +1,23 @@
+package kademlia
+
+import "mlight/internal/transport"
+
+// Register every kademlia RPC message with the transport codec so overlays
+// run unchanged over framed TCP. applyReq is deliberately absent: it
+// carries a closure, which only an inline transport can deliver — over the
+// wire, Overlay.Apply uses the dht versioned-CAS protocol instead.
+func init() {
+	transport.RegisterType(ref{})
+	transport.RegisterType([]ref(nil))
+	transport.RegisterType(pingReq{})
+	transport.RegisterType(findNodeReq{})
+	transport.RegisterType(findNodeResp{})
+	transport.RegisterType(storeReq{})
+	transport.RegisterType(retrieveReq{})
+	transport.RegisterType(retrieveResp{})
+	transport.RegisterType(removeReq{})
+	transport.RegisterType(applyResp{})
+	transport.RegisterType(claimReq{})
+	transport.RegisterType(claimResp{})
+	transport.RegisterType(handoffReq{})
+}

@@ -25,7 +25,7 @@ import (
 
 	"mlight/internal/dht"
 	"mlight/internal/metrics"
-	"mlight/internal/simnet"
+	"mlight/internal/transport"
 )
 
 const (
@@ -40,7 +40,7 @@ const (
 var numRows = dht.NumDigits(digitBits)
 
 // clientAddr is the source address for overlay-initiated RPCs.
-const clientAddr simnet.NodeID = "pastry-client"
+const clientAddr transport.NodeID = "pastry-client"
 
 // ErrLookupFailed is returned when greedy routing cannot complete. It is
 // marked retryable: stale leaf sets heal after stabilization, so a retry
@@ -49,7 +49,7 @@ var ErrLookupFailed = dht.Retryable(errors.New("pastry: lookup failed"))
 
 // ref names a remote node.
 type ref struct {
-	Addr simnet.NodeID
+	Addr transport.NodeID
 	ID   dht.ID
 }
 
@@ -73,12 +73,12 @@ func closerTo(target, a, b dht.ID) bool {
 
 // Node is one Pastry peer.
 type Node struct {
-	addr simnet.NodeID
+	addr transport.NodeID
 	id   dht.ID
-	net  *simnet.Network
+	net  transport.Interface
 
 	mu     sync.Mutex
-	leaves map[simnet.NodeID]ref
+	leaves map[transport.NodeID]ref
 	table  [][numCols]ref // numRows rows
 	store  map[dht.Key]any
 	// replicas holds leaf-set copies of neighbours' keys when the overlay
@@ -91,6 +91,9 @@ type Node struct {
 	// keyspace) expires instead of lingering stale. See expireStaleReplicas.
 	replicaSeen map[dht.Key]uint64
 	repRound    uint64
+	// vers tracks per-key mutation versions for the wire-safe remote apply
+	// protocol (see dht.VersionedStore).
+	vers dht.VersionedStore
 }
 
 // rpc request/response types.
@@ -128,12 +131,12 @@ type (
 	}
 )
 
-func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
+func newNode(net transport.Interface, addr transport.NodeID) (*Node, error) {
 	n := &Node{
 		addr:   addr,
 		id:     dht.HashString(string(addr)),
 		net:    net,
-		leaves: make(map[simnet.NodeID]ref),
+		leaves: make(map[transport.NodeID]ref),
 		table:  make([][numCols]ref, numRows),
 		store:  make(map[dht.Key]any),
 	}
@@ -143,7 +146,7 @@ func newNode(net *simnet.Network, addr simnet.NodeID) (*Node, error) {
 	return n, nil
 }
 
-// OnCrash implements simnet.Crasher: a hard crash destroys the node's
+// OnCrash implements transport.Crasher: a hard crash destroys the node's
 // volatile memory — stored keys, replicas, leaf set, and routing table.
 // Identity (address, ring position) survives so the node can restart and
 // rejoin as the same peer with empty buckets.
@@ -154,20 +157,21 @@ func (n *Node) OnCrash() {
 	n.replicas = nil
 	n.replicaSeen = nil
 	n.repRound = 0
-	n.leaves = make(map[simnet.NodeID]ref)
+	n.leaves = make(map[transport.NodeID]ref)
 	n.table = make([][numCols]ref, numRows)
+	n.vers.Reset()
 }
 
 // Addr returns the node's network address.
-func (n *Node) Addr() simnet.NodeID { return n.addr }
+func (n *Node) Addr() transport.NodeID { return n.addr }
 
 // ID returns the node's ring identifier.
 func (n *Node) ID() dht.ID { return n.id }
 
 func (n *Node) self() ref { return ref{Addr: n.addr, ID: n.id} }
 
-// HandleRPC implements simnet.Handler.
-func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
+// HandleRPC implements transport.Handler.
+func (n *Node) HandleRPC(from transport.NodeID, req any) (any, error) {
 	switch r := req.(type) {
 	case pingReq:
 		return n.self(), nil
@@ -197,6 +201,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		defer n.mu.Unlock()
 		for k, v := range r.Entries {
 			n.store[k] = v
+			n.vers.Bump(k)
 		}
 		return struct{}{}, nil
 	case offerReq:
@@ -205,6 +210,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		for k, v := range r.Entries {
 			if _, exists := n.store[k]; !exists {
 				n.store[k] = v
+				n.vers.Bump(k)
 			}
 		}
 		return struct{}{}, nil
@@ -212,6 +218,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		n.store[r.Key] = r.Value
+		n.vers.Bump(r.Key)
 		return struct{}{}, nil
 	case retrieveReq:
 		n.mu.Lock()
@@ -229,6 +236,7 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		delete(n.store, r.Key)
 		delete(n.replicas, r.Key)
 		delete(n.replicaSeen, r.Key)
+		n.vers.Bump(r.Key)
 		return struct{}{}, nil
 	case applyReq:
 		n.mu.Lock()
@@ -247,7 +255,39 @@ func (n *Node) HandleRPC(from simnet.NodeID, req any) (any, error) {
 		} else {
 			delete(n.store, r.Key)
 		}
+		n.vers.Bump(r.Key)
 		return applyResp{Value: next, Keep: keep}, nil
+	case dht.GetVerReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		v, ok := n.store[r.Key]
+		if !ok {
+			if rv, rok := n.replicas[r.Key]; rok {
+				// Promote on write intent, as applyReq does, so the CAS
+				// that follows lands on the primary copy.
+				v, ok = rv, true
+				n.store[r.Key] = rv
+				n.vers.Bump(r.Key)
+				delete(n.replicas, r.Key)
+				delete(n.replicaSeen, r.Key)
+			}
+		}
+		return n.vers.Snapshot(r, v, ok), nil
+	case dht.CASReq:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		cur, ok := n.store[r.Key]
+		resp, apply := n.vers.CAS(r, cur, ok)
+		if apply {
+			if r.Keep {
+				n.store[r.Key] = r.Value
+			} else {
+				delete(n.store, r.Key)
+				delete(n.replicas, r.Key)
+				delete(n.replicaSeen, r.Key)
+			}
+		}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("pastry: %s: unknown request type %T", n.addr, req)
 	}
@@ -288,7 +328,7 @@ func (n *Node) nextHop(target dht.ID) nextHopResp {
 func (n *Node) knownPeers() []ref {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	seen := make(map[simnet.NodeID]ref, len(n.leaves))
+	seen := make(map[transport.NodeID]ref, len(n.leaves))
 	for a, c := range n.leaves {
 		seen[a] = c
 	}
@@ -356,7 +396,7 @@ func (n *Node) trimLeavesLocked() {
 		ents = append(ents, distEnt{c: c, cw: c.ID.Sub(n.id)})
 	}
 	sort.Slice(ents, func(i, j int) bool { return ents[i].cw.Cmp(ents[j].cw) < 0 })
-	keep := make(map[simnet.NodeID]ref, 2*leafHalf)
+	keep := make(map[transport.NodeID]ref, 2*leafHalf)
 	for i := 0; i < leafHalf && i < len(ents); i++ {
 		keep[ents[i].c.Addr] = ents[i].c // clockwise side
 	}
@@ -378,6 +418,7 @@ func (n *Node) handleClaim(joiner ref) claimResp {
 		if closerTo(h, joiner.ID, n.id) {
 			out[k] = v
 			delete(n.store, k)
+			n.vers.Bump(k)
 		}
 	}
 	return claimResp{Entries: out}
@@ -401,10 +442,10 @@ func (n *Node) StoreLen() int {
 }
 
 // LeafSet returns the addresses currently in the node's leaf set.
-func (n *Node) LeafSet() []simnet.NodeID {
+func (n *Node) LeafSet() []transport.NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(n.leaves))
+	out := make([]transport.NodeID, 0, len(n.leaves))
 	for a := range n.leaves {
 		out = append(out, a)
 	}
@@ -427,20 +468,26 @@ type Config struct {
 	// network fails synchronously, so waiting buys nothing; real
 	// deployments should supply a policy with a real Sleep.
 	Retry *dht.RetryPolicy
+	// Seeds names remote entry points for routing when the overlay manages
+	// no local node (a client dialing a daemon cluster) or its first local
+	// node must join an overlay hosted elsewhere. Over TCP a seed is a
+	// dialable address; its identifier is the hash of that address.
+	Seeds []transport.NodeID
 }
 
 // Overlay manages a set of Pastry nodes and exposes them as one dht.DHT.
 type Overlay struct {
-	net         *simnet.Network
+	net         transport.Interface
 	maxHops     int
 	replication int
 
 	mu    sync.Mutex
-	nodes map[simnet.NodeID]*Node
-	order []simnet.NodeID
+	nodes map[transport.NodeID]*Node
+	order []transport.NodeID
 	// crashed retains crashed peers' node objects (volatile state already
 	// wiped) so RestartNode can revive them under the same identity.
-	crashed        map[simnet.NodeID]*Node
+	crashed        map[transport.NodeID]*Node
+	seeds          []ref
 	rng            *rand.Rand
 	retrier        *dht.Retrier
 	lastReplicaErr error
@@ -467,7 +514,7 @@ var (
 )
 
 // NewOverlay creates an empty overlay on net.
-func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
+func NewOverlay(net transport.Interface, cfg Config) *Overlay {
 	maxHops := cfg.MaxHops
 	if maxHops <= 0 {
 		maxHops = 512
@@ -483,12 +530,17 @@ func NewOverlay(net *simnet.Network, cfg Config) *Overlay {
 	if cfg.Retry != nil {
 		policy = *cfg.Retry
 	}
+	seeds := make([]ref, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		seeds = append(seeds, ref{Addr: s, ID: dht.HashString(string(s))})
+	}
 	return &Overlay{
 		net:         net,
+		seeds:       seeds,
 		maxHops:     maxHops,
 		replication: replication,
-		nodes:       make(map[simnet.NodeID]*Node),
-		crashed:     make(map[simnet.NodeID]*Node),
+		nodes:       make(map[transport.NodeID]*Node),
+		crashed:     make(map[transport.NodeID]*Node),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		retrier:     dht.NewRetrier(policy, nil),
 	}
@@ -523,13 +575,15 @@ func (o *Overlay) noteMaintenanceError(err error) {
 }
 
 // AddNode creates and joins a node at addr.
-func (o *Overlay) AddNode(addr simnet.NodeID) (*Node, error) {
+func (o *Overlay) AddNode(addr transport.NodeID) (*Node, error) {
 	o.mu.Lock()
 	if _, dup := o.nodes[addr]; dup {
 		o.mu.Unlock()
 		return nil, fmt.Errorf("pastry: node %q already in overlay", addr)
 	}
-	empty := len(o.nodes) == 0
+	// An overlay with remote seeds is never "empty": its first local node
+	// joins the overlay the seeds belong to instead of standing alone.
+	empty := len(o.nodes) == 0 && len(o.seeds) == 0
 	o.mu.Unlock()
 
 	n, err := newNode(o.net, addr)
@@ -578,6 +632,7 @@ func (o *Overlay) join(n *Node) error {
 			n.mu.Lock()
 			for k, v := range claim.Entries {
 				n.store[k] = v
+				n.vers.Bump(k)
 			}
 			n.mu.Unlock()
 		}
@@ -587,7 +642,7 @@ func (o *Overlay) join(n *Node) error {
 
 // RemoveNode gracefully departs a node, handing its keys to the next-best
 // owner and telling peers to forget it.
-func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
+func (o *Overlay) RemoveNode(addr transport.NodeID) error {
 	o.mu.Lock()
 	n, ok := o.nodes[addr]
 	if ok {
@@ -600,12 +655,15 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 		return fmt.Errorf("pastry: node %q not in overlay", addr)
 	}
 	defer o.net.Deregister(addr)
-	if last {
-		return nil
-	}
 
 	entries := n.storeSnapshot()
 	peers := n.knownPeers()
+	// A true singleton — the process's last local node knowing no remote
+	// peers — departs silently; a daemon's only node has remote peers in
+	// its tables and hands its shard off below.
+	if last && len(peers) == 0 {
+		return nil
+	}
 	// Tell peers to forget us before handing off, so re-routes skip us. A
 	// peer that misses the notice keeps a dead routing entry until its next
 	// stabilization probe, so failures are counted rather than fatal.
@@ -616,7 +674,7 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 	}
 	if len(entries) > 0 {
 		// Per-key handoff to the next-closest known peer.
-		batches := make(map[simnet.NodeID]map[dht.Key]any)
+		batches := make(map[transport.NodeID]map[dht.Key]any)
 		for k, v := range entries {
 			h := dht.HashKey(k)
 			var best ref
@@ -643,10 +701,10 @@ func (o *Overlay) RemoveNode(addr simnet.NodeID) error {
 }
 
 // CrashNode fails a node abruptly: its volatile state — stored keys,
-// replicas, leaf set, routing table — is destroyed (simnet.Crash →
+// replicas, leaf set, routing table — is destroyed (transport Crash →
 // Node.OnCrash), not merely hidden behind a partition. Peers discover the
 // failure during Stabilize; RestartNode can later revive the identity.
-func (o *Overlay) CrashNode(addr simnet.NodeID) error {
+func (o *Overlay) CrashNode(addr transport.NodeID) error {
 	o.mu.Lock()
 	n, ok := o.nodes[addr]
 	if ok {
@@ -667,7 +725,7 @@ func (o *Overlay) CrashNode(addr simnet.NodeID) error {
 // the keys it owns), and the replication retrier forgets the peer's past
 // failures so its circuit breaker does not shed traffic to a now-healthy
 // node.
-func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
+func (o *Overlay) RestartNode(addr transport.NodeID) (*Node, error) {
 	o.mu.Lock()
 	n, ok := o.crashed[addr]
 	if ok {
@@ -706,10 +764,10 @@ func (o *Overlay) RestartNode(addr simnet.NodeID) (*Node, error) {
 
 // CrashedNodes returns the addresses of crashed, restartable nodes in
 // sorted order — the churn scheduler's restart candidates.
-func (o *Overlay) CrashedNodes() []simnet.NodeID {
+func (o *Overlay) CrashedNodes() []transport.NodeID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	out := make([]simnet.NodeID, 0, len(o.crashed))
+	out := make([]transport.NodeID, 0, len(o.crashed))
 	for addr := range o.crashed {
 		out = append(out, addr)
 	}
@@ -717,7 +775,7 @@ func (o *Overlay) CrashedNodes() []simnet.NodeID {
 	return out
 }
 
-func removeAddr(order []simnet.NodeID, addr simnet.NodeID) []simnet.NodeID {
+func removeAddr(order []transport.NodeID, addr transport.NodeID) []transport.NodeID {
 	out := order[:0]
 	for _, a := range order {
 		if a != addr {
@@ -780,7 +838,7 @@ func (o *Overlay) stabilizeNode(n *Node) {
 	}
 	// Verify second-hand peers are alive before adopting them.
 	adopted := make([]ref, 0, len(merged))
-	seen := make(map[simnet.NodeID]bool, len(merged))
+	seen := make(map[transport.NodeID]bool, len(merged))
 	for _, p := range merged {
 		if p.Addr == n.addr || seen[p.Addr] {
 			continue
@@ -804,10 +862,10 @@ func (o *Overlay) stabilizeNode(n *Node) {
 }
 
 // Nodes returns the managed node addresses in sorted order.
-func (o *Overlay) Nodes() []simnet.NodeID {
+func (o *Overlay) Nodes() []transport.NodeID {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	return append([]simnet.NodeID(nil), o.order...)
+	return append([]transport.NodeID(nil), o.order...)
 }
 
 // NumNodes returns the number of managed nodes.
@@ -817,7 +875,7 @@ func (o *Overlay) NumNodes() int {
 	return len(o.nodes)
 }
 
-func (o *Overlay) nodeAt(addr simnet.NodeID) (*Node, bool) {
+func (o *Overlay) nodeAt(addr transport.NodeID) (*Node, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	n, ok := o.nodes[addr]
@@ -833,17 +891,31 @@ func (o *Overlay) pickEntry() (*Node, error) {
 	return o.nodes[o.order[o.rng.Intn(len(o.order))]], nil
 }
 
+// pickEntryRef selects a routing entry point: a live managed node when any
+// exist, otherwise a configured seed (client/daemon mode).
+func (o *Overlay) pickEntryRef() (ref, error) {
+	if n, err := o.pickEntry(); err == nil {
+		return n.self(), nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.seeds) == 0 {
+		return ref{}, dht.ErrNoPeers
+	}
+	return o.seeds[o.rng.Intn(len(o.seeds))], nil
+}
+
 // route resolves the owner of target, retrying across entry points when
 // stale state fails a trace.
 func (o *Overlay) route(target dht.ID) (ref, error) {
 	const retries = 3
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
-		entry, err := o.pickEntry()
+		entry, err := o.pickEntryRef()
 		if err != nil {
 			return ref{}, err
 		}
-		found, err := o.trace(entry.self(), target)
+		found, err := o.trace(entry, target)
 		if err == nil {
 			o.Lookups.Inc()
 			return found, nil
@@ -924,6 +996,24 @@ func (o *Overlay) Apply(key dht.Key, fn dht.ApplyFunc) error {
 	owner, err := o.route(dht.HashKey(key))
 	if err != nil {
 		return err
+	}
+	if !transport.SupportsInline(o.net) {
+		// A closure cannot cross a real socket: run the transform
+		// client-side under the wire-safe versioned CAS protocol.
+		value, keep, err := dht.RemoteApply(func(req any) (any, error) {
+			return o.net.Call(clientAddr, owner.Addr, req)
+		}, key, fn)
+		if err != nil {
+			return err
+		}
+		if o.replication > 1 {
+			if keep {
+				o.replicate(owner, key, value)
+			} else {
+				o.dropReplicas(owner, key)
+			}
+		}
+		return nil
 	}
 	respAny, err := o.net.Call(clientAddr, owner.Addr, applyReq{Key: key, Fn: fn})
 	if err != nil {

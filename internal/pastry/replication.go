@@ -4,7 +4,7 @@ import (
 	"sort"
 
 	"mlight/internal/dht"
-	"mlight/internal/simnet"
+	"mlight/internal/transport"
 )
 
 // Leaf-set replication, Bamboo/PAST style (and therefore the mechanism the
@@ -136,6 +136,7 @@ func (o *Overlay) relocateStaleReplicas(n *Node) {
 			n.mu.Lock()
 			if _, exists := n.store[k]; !exists {
 				n.store[k] = v
+				n.vers.Bump(k)
 			}
 			n.mu.Unlock()
 			continue
@@ -186,7 +187,7 @@ func (o *Overlay) replicaTargets(owner ref, h dht.ID) []ref {
 // replication error rather than silently dropped: the replica stays
 // missing until the next stabilization round re-pushes it, and the counter
 // makes that loss observable.
-func (o *Overlay) replicaCall(from, to simnet.NodeID, req any) {
+func (o *Overlay) replicaCall(from, to transport.NodeID, req any) {
 	err := o.retrier.Do(string(to), func() error {
 		_, e := o.net.Call(from, to, req)
 		return e
@@ -225,7 +226,7 @@ func (o *Overlay) reReplicate(n *Node) {
 		return
 	}
 	self := n.self()
-	batches := make(map[simnet.NodeID]map[dht.Key]any)
+	batches := make(map[transport.NodeID]map[dht.Key]any)
 	for k, v := range entries {
 		for _, t := range o.replicaTargets(self, dht.HashKey(k)) {
 			if batches[t.Addr] == nil {
@@ -266,6 +267,7 @@ func (o *Overlay) promoteOwnedReplicas(n *Node) {
 		}
 		if _, exists := n.store[k]; !exists {
 			n.store[k] = v
+			n.vers.Bump(k)
 		}
 		delete(n.replicas, k)
 		delete(n.replicaSeen, k)

@@ -1,0 +1,30 @@
+package pastry
+
+import "mlight/internal/transport"
+
+// Register every pastry RPC message with the transport codec so overlays
+// run unchanged over framed TCP. applyReq is deliberately absent: it
+// carries a closure, which only an inline transport can deliver — over the
+// wire, Overlay.Apply uses the dht versioned-CAS protocol instead.
+func init() {
+	transport.RegisterType(ref{})
+	transport.RegisterType([]ref(nil))
+	transport.RegisterType(pingReq{})
+	transport.RegisterType(nextHopReq{})
+	transport.RegisterType(nextHopResp{})
+	transport.RegisterType(getPeersReq{})
+	transport.RegisterType(getPeersResp{})
+	transport.RegisterType(announceReq{})
+	transport.RegisterType(retireReq{})
+	transport.RegisterType(claimReq{})
+	transport.RegisterType(claimResp{})
+	transport.RegisterType(handoffReq{})
+	transport.RegisterType(storeReq{})
+	transport.RegisterType(retrieveReq{})
+	transport.RegisterType(retrieveResp{})
+	transport.RegisterType(removeReq{})
+	transport.RegisterType(applyResp{})
+	transport.RegisterType(replicateReq{})
+	transport.RegisterType(dropReplicaReq{})
+	transport.RegisterType(offerReq{})
+}

@@ -21,41 +21,45 @@ import (
 
 	"mlight/internal/metrics"
 	"mlight/internal/trace"
+	"mlight/internal/transport"
 )
 
-// NodeID identifies a logical peer on the simulated network.
-type NodeID string
+// The RPC surface this simulator pioneered is now the explicit contract in
+// internal/transport, with the Network here as its deterministic in-process
+// implementation (the TCP implementation lives beside the contract). The
+// core types are aliases so overlay code and tests written against either
+// package name the same types.
+type (
+	// NodeID identifies a logical peer on the simulated network.
+	NodeID = transport.NodeID
+	// Handler processes one inbound RPC on a peer. Implementations must be
+	// safe for concurrent use if the network is driven from multiple
+	// goroutines.
+	Handler = transport.Handler
+	// HandlerFunc adapts a function to the Handler interface.
+	HandlerFunc = transport.HandlerFunc
+	// Crasher is implemented by handlers whose node holds volatile state
+	// that a hard crash destroys. Network.Crash invokes OnCrash after
+	// marking the node down, so the handler wipes memory-resident buckets,
+	// routing tables, and replicas exactly as a process kill would. Durable
+	// state (a write-ahead log, a snapshot file) must survive OnCrash —
+	// that is the whole point of the crash/partition split: a partition
+	// (SetDown) preserves everything, a crash preserves only what was
+	// journaled.
+	Crasher = transport.Crasher
+	// Restarter is implemented by handlers that rebuild volatile state when
+	// the process comes back: Network.Restart invokes OnRestart after
+	// clearing the down mark, so recovery (log replay, rejoin) runs before
+	// any peer traffic can observe the node.
+	Restarter = transport.Restarter
+)
 
-// Handler processes one inbound RPC on a peer. Implementations must be safe
-// for concurrent use if the network is driven from multiple goroutines.
-type Handler interface {
-	HandleRPC(from NodeID, req any) (any, error)
-}
+var _ transport.Interface = (*Network)(nil)
 
-// HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(from NodeID, req any) (any, error)
-
-// HandleRPC implements Handler.
-func (f HandlerFunc) HandleRPC(from NodeID, req any) (any, error) { return f(from, req) }
-
-// Crasher is implemented by handlers whose node holds volatile state that a
-// hard crash destroys. Network.Crash invokes OnCrash after marking the node
-// down, so the handler wipes memory-resident buckets, routing tables, and
-// replicas exactly as a process kill would. Durable state (a write-ahead
-// log, a snapshot file) must survive OnCrash — that is the whole point of
-// the crash/partition split: a partition (SetDown) preserves everything, a
-// crash preserves only what was journaled.
-type Crasher interface {
-	OnCrash()
-}
-
-// Restarter is implemented by handlers that rebuild volatile state when the
-// process comes back: Network.Restart invokes OnRestart after clearing the
-// down mark, so recovery (log replay, rejoin) runs before any peer traffic
-// can observe the node.
-type Restarter interface {
-	OnRestart()
-}
+// InlineDelivery implements transport.InlineCaller: the simulator executes
+// the remote handler on the caller's goroutine in the same address space,
+// so requests may carry values (closures) that cannot cross a real socket.
+func (n *Network) InlineDelivery() bool { return true }
 
 // temporaryError is a sentinel error that declares itself transient via the
 // net.Error Temporary() convention, so retry layers (dht.DefaultClassify)

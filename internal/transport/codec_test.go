@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type codecStruct struct {
+	Name    string
+	N       int
+	B       []byte
+	Entries map[string]any
+	Nested  *codecStruct
+	Any     any
+
+	hidden int // unexported: must not cross the wire
+}
+
+type codecEmpty struct{}
+
+type codecRef struct {
+	Addr string
+	ID   [4]byte
+}
+
+func init() {
+	RegisterType(codecStruct{})
+	RegisterType(codecEmpty{})
+	RegisterType(codecRef{})
+	RegisterType([]codecRef(nil))
+	RegisterType(map[string]int(nil))
+}
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal(%#v): %v", v, err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal of %#v's encoding: %v", v, err)
+	}
+	return got
+}
+
+func TestCodecRoundTripScalars(t *testing.T) {
+	for _, v := range []any{
+		true, false, "", "hello", int(-42), int(1 << 40), int8(-7),
+		int16(300), int32(-70000), int64(1) << 60, uint(9), uint8(255),
+		uint16(65535), uint32(1 << 30), uint64(1) << 63,
+		float32(3.5), float64(-2.25), []byte{1, 2, 3}, []byte{},
+		struct{}{}, nil,
+	} {
+		if got := roundTrip(t, v); !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip of %#v = %#v", v, got)
+		}
+	}
+}
+
+func TestCodecRoundTripStructs(t *testing.T) {
+	v := codecStruct{
+		Name:    "bucket/0110",
+		N:       -17,
+		B:       []byte("payload"),
+		Entries: map[string]any{"a": 1, "b": "two", "c": codecRef{Addr: "x"}},
+		Nested:  &codecStruct{Name: "inner", Any: uint64(12)},
+		Any:     codecEmpty{},
+		hidden:  99,
+	}
+	got := roundTrip(t, v)
+	want := v
+	want.hidden = 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestCodecRoundTripCollections(t *testing.T) {
+	for _, v := range []any{
+		[]codecRef{{Addr: "a", ID: [4]byte{1}}, {Addr: "b"}},
+		[]codecRef{},
+		[]codecRef(nil),
+		map[string]int{"x": 1, "y": -2},
+		map[string]int{},
+		map[string]int(nil),
+	} {
+		if got := roundTrip(t, v); !reflect.DeepEqual(got, v) {
+			t.Errorf("round trip of %#v = %#v", v, got)
+		}
+	}
+}
+
+func TestCodecDeterministicMaps(t *testing.T) {
+	v := map[string]int{"alpha": 1, "beta": 2, "gamma": 3, "delta": 4, "epsilon": 5}
+	first, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := Marshal(map[string]int{"gamma": 3, "epsilon": 5, "alpha": 1, "delta": 4, "beta": 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("map encoding not deterministic: %x vs %x", again, first)
+		}
+	}
+}
+
+func TestCodecUnregisteredType(t *testing.T) {
+	type private struct{ X int }
+	if _, err := Marshal(private{X: 1}); err == nil {
+		t.Error("Marshal of unregistered type succeeded")
+	}
+	if _, err := Marshal(codecStruct{Any: private{}}); err == nil {
+		t.Error("Marshal with unregistered interface payload succeeded")
+	}
+}
+
+func TestCodecRegisterCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a name with a different type did not panic")
+		}
+	}()
+	// Forge a name collision: two distinct local types print the same name.
+	register := func() {
+		type collider struct{ A int }
+		RegisterType(collider{})
+	}
+	register()
+	func() {
+		type collider struct{ B string }
+		RegisterType(collider{})
+	}()
+}
+
+func TestCodecTrailingGarbage(t *testing.T) {
+	data, err := Marshal("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(append(data, 0xFF)); err == nil {
+		t.Error("Unmarshal accepted trailing garbage")
+	}
+}
+
+func TestCodecTruncatedInputs(t *testing.T) {
+	data, err := Marshal(codecStruct{Name: "x", B: []byte("abc"), Entries: map[string]any{"k": 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Errorf("Unmarshal of %d/%d-byte prefix succeeded", cut, len(data))
+		}
+	}
+}
+
+func TestCodecHostileLengths(t *testing.T) {
+	// A declared length far beyond the remaining payload must be rejected
+	// before allocation, not trusted.
+	data, err := Marshal([]codecRef{{Addr: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the element-count uvarint region and expect an error, never a
+	// panic or a giant allocation.
+	for i := 0; i < len(data); i++ {
+		mutated := append([]byte(nil), data...)
+		mutated[i] = 0xFF
+		//lint:allow droppederr the probe only checks for panics and runaway allocation
+		_, _ = Unmarshal(mutated)
+	}
+	if _, err := Unmarshal([]byte{4, 'u', 'i', 'n', 't'}); err == nil {
+		t.Error("bare type tag with no payload decoded")
+	}
+}
+
+func TestCodecAdapterMatchesPackageFuncs(t *testing.T) {
+	var c Codec
+	data, err := c.Marshal("abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "abc" {
+		t.Errorf("Codec round trip = %#v", v)
+	}
+}
+
+func TestCodecErrorMentionsTypeName(t *testing.T) {
+	type unknown struct{ Z int }
+	_, err := Marshal(unknown{})
+	if err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Errorf("err = %v, want mention of unregistered type", err)
+	}
+}

@@ -1,0 +1,209 @@
+// Conformance over real sockets: the same behavioural suites every substrate
+// passes on simnet, rerun with the overlays wired over loopback TCP. Every
+// RPC — joins, stabilization, lookups, stores, the remote-apply CAS protocol
+// — crosses a real framed connection, so this is the transport's end-to-end
+// gate: if the envelope codec, the connection pool, or the CAS protocol
+// miscarried anything, these suites fail exactly as they would for a broken
+// overlay.
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"mlight/internal/chord"
+	"mlight/internal/dht"
+	"mlight/internal/dht/dhttest"
+	"mlight/internal/kademlia"
+	"mlight/internal/pastry"
+	"mlight/internal/transport"
+	"mlight/internal/wire"
+)
+
+// tcpNodes is the overlay size for socket-backed suites: large enough to
+// force multi-hop routing, small enough that the O(n²) join traffic keeps
+// the suite fast.
+const tcpNodes = 5
+
+func newTCPTransport(t *testing.T) *transport.TCP {
+	t.Helper()
+	tr := transport.NewTCP(transport.TCPOptions{
+		CallTimeout: 10 * time.Second,
+		DialTimeout: 2 * time.Second,
+	})
+	t.Cleanup(func() {
+		if err := tr.Close(); err != nil {
+			t.Errorf("transport close: %v", err)
+		}
+	})
+	return tr
+}
+
+// Builders for each substrate over one TCP transport. All nodes live in
+// this process, but every message between them crosses a loopback socket.
+func buildChordTCP(t *testing.T) dht.DHT {
+	t.Helper()
+	tr := newTCPTransport(t)
+	ring := chord.NewRing(tr, chord.Config{Seed: 1})
+	for i := 0; i < tcpNodes; i++ {
+		id, err := tr.Reserve()
+		if err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		if _, err := ring.AddNode(id); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	ring.Stabilize(2)
+	return ring
+}
+
+func buildPastryTCP(t *testing.T) dht.DHT {
+	t.Helper()
+	tr := newTCPTransport(t)
+	o := pastry.NewOverlay(tr, pastry.Config{Seed: 1})
+	for i := 0; i < tcpNodes; i++ {
+		id, err := tr.Reserve()
+		if err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		if _, err := o.AddNode(id); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	o.Stabilize(2)
+	return o
+}
+
+func buildKademliaTCP(t *testing.T) dht.DHT {
+	t.Helper()
+	tr := newTCPTransport(t)
+	o := kademlia.NewOverlay(tr, kademlia.Config{Seed: 1})
+	for i := 0; i < tcpNodes; i++ {
+		id, err := tr.Reserve()
+		if err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+		if _, err := o.AddNode(id); err != nil {
+			t.Fatalf("AddNode(%d): %v", i, err)
+		}
+	}
+	o.Stabilize(2)
+	return o
+}
+
+var tcpSubstrates = []struct {
+	name  string
+	build func(t *testing.T) dht.DHT
+}{
+	{"chord", buildChordTCP},
+	{"pastry", buildPastryTCP},
+	{"kademlia", buildKademliaTCP},
+}
+
+func TestConformanceOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-backed conformance is not short")
+	}
+	for _, s := range tcpSubstrates {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			dhttest.RunConformance(t, s.build)
+		})
+	}
+}
+
+func TestFaultToleranceOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-backed fault suite is not short")
+	}
+	for _, s := range tcpSubstrates {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			dhttest.RunFaultTolerance(t, s.build)
+		})
+	}
+}
+
+// TestDecoratedStackOverTCP pins that the decorator stack — byte codec,
+// retry layer, operation counters — composes over a socket-backed substrate
+// exactly as it does in-process: the decorators only see the dht.DHT
+// interface, so the transport underneath must be invisible to them.
+func TestDecoratedStackOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-backed stack suite is not short")
+	}
+	dhttest.RunConformance(t, func(t *testing.T) dht.DHT {
+		var d dht.DHT = buildChordTCP(t)
+		d = dht.NewResilient(d, dht.RetryPolicy{MaxAttempts: 3, Sleep: dht.NoSleep}, nil)
+		d = dht.NewCounting(d, nil)
+		return d
+	})
+}
+
+// TestRemoteApplyAtomicityOverTCP hammers the versioned-CAS path directly:
+// concurrent increments of one counter key must all land, even though each
+// transform runs client-side and races its peers for the install.
+func TestRemoteApplyAtomicityOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-backed atomicity suite is not short")
+	}
+	for _, s := range tcpSubstrates {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			t.Parallel()
+			d := s.build(t)
+			const workers, each = 8, 10
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					for i := 0; i < each; i++ {
+						if err := d.Apply("counter", func(cur any, ok bool) (any, bool) {
+							if !ok {
+								return 1, true
+							}
+							return cur.(int) + 1, true
+						}); err != nil {
+							errs <- err
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+			for w := 0; w < workers; w++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			v, ok, err := d.Get("counter")
+			if err != nil || !ok {
+				t.Fatalf("Get(counter) = %v, %v, %v", v, ok, err)
+			}
+			if v != workers*each {
+				t.Errorf("counter = %v, want %d (lost increments over the wire)", v, workers*each)
+			}
+		})
+	}
+}
+
+// TestByteDHTOverTCP sends opaque byte values through a socket-backed ring,
+// the shape a Dial-based client actually uses.
+func TestByteDHTOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket-backed wire suite is not short")
+	}
+	d := wire.NewByteDHT(buildChordTCP(t), transport.Codec{})
+	if err := d.Put("k", []byte("opaque")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := d.Get("k")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v %v %v", v, ok, err)
+	}
+	if string(v.([]byte)) != "opaque" {
+		t.Errorf("value = %q", v)
+	}
+}

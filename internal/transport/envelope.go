@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Wire envelope. Every message on a TCP connection is one frame:
+//
+//	version(1) | uvarint bodyLen | body | crc32(body), little-endian
+//
+// mirroring the record framing of internal/wire and the WAL. The body is
+//
+//	kind(1) | uvarint seq | payload
+//
+// where seq matches a response to its in-flight call (connections are
+// multiplexed: many calls share one socket and responses may return out of
+// order). Payloads by kind:
+//
+//	frameCall: uvarint fromLen | from | type-tagged request  (codec.go)
+//	frameResp: type-tagged response
+//	frameErr:  flags(1, bit 0 = transient) | uvarint msgLen | msg
+//
+// A frame longer than MaxFrameSize is rejected before its body is read, so
+// a hostile peer cannot make a node allocate unbounded memory by declaring
+// an absurd length.
+
+const (
+	// envelopeVersion is the wire protocol version, the first byte of every
+	// frame. A mismatch fails the connection immediately: there is exactly
+	// one version today, and refusing loudly beats misparsing quietly.
+	envelopeVersion = 1
+
+	// MaxFrameSize bounds one frame's declared body length (16 MiB). The
+	// largest legitimate payloads — handoff maps during a join — stay far
+	// below this; anything bigger is hostile or corrupt.
+	MaxFrameSize = 16 << 20
+
+	frameCall = 1
+	frameResp = 2
+	frameErr  = 3
+
+	errFlagTemporary = 1
+)
+
+// errBadFrame tags malformed-envelope failures (bad version, CRC mismatch,
+// oversized or truncated frames) so the connection layer can distinguish
+// protocol damage from ordinary I/O errors.
+var errBadFrame = errors.New("transport: bad frame")
+
+// appendFrame appends one encoded frame to buf.
+func appendFrame(buf []byte, kind byte, seq uint64, payload []byte) []byte {
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(payload))
+	body = append(body, kind)
+	body = binary.AppendUvarint(body, seq)
+	body = append(body, payload...)
+
+	buf = append(buf, envelopeVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+}
+
+// decodeFrame parses one frame from data, returning the frame and the
+// remaining bytes. It performs every validation readFrame does, on an
+// in-memory buffer — the fuzz target.
+func decodeFrame(data []byte) (kind byte, seq uint64, payload []byte, rest []byte, err error) {
+	if len(data) < 1 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: empty", errBadFrame)
+	}
+	if data[0] != envelopeVersion {
+		return 0, 0, nil, nil, fmt.Errorf("%w: version %d", errBadFrame, data[0])
+	}
+	n, w := binary.Uvarint(data[1:])
+	if w <= 0 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated length", errBadFrame)
+	}
+	if n > MaxFrameSize {
+		return 0, 0, nil, nil, fmt.Errorf("%w: length %d exceeds limit %d", errBadFrame, n, MaxFrameSize)
+	}
+	rest = data[1+w:]
+	if uint64(len(rest)) < n+4 {
+		return 0, 0, nil, nil, fmt.Errorf("%w: truncated body", errBadFrame)
+	}
+	body := rest[:n]
+	sum := binary.LittleEndian.Uint32(rest[n : n+4])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, nil, nil, fmt.Errorf("%w: crc mismatch", errBadFrame)
+	}
+	kind, seq, payload, err = splitBody(body)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	return kind, seq, payload, rest[n+4:], nil
+}
+
+func splitBody(body []byte) (kind byte, seq uint64, payload []byte, err error) {
+	if len(body) < 1 {
+		return 0, 0, nil, fmt.Errorf("%w: empty body", errBadFrame)
+	}
+	kind = body[0]
+	switch kind {
+	case frameCall, frameResp, frameErr:
+	default:
+		return 0, 0, nil, fmt.Errorf("%w: unknown kind %d", errBadFrame, kind)
+	}
+	seq, w := binary.Uvarint(body[1:])
+	if w <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: truncated seq", errBadFrame)
+	}
+	return kind, seq, body[1+w:], nil
+}
+
+// readFrame reads one frame from a buffered connection stream, enforcing
+// the size guard before the body is allocated.
+func readFrame(br *bufio.Reader) (kind byte, seq uint64, payload []byte, err error) {
+	ver, err := br.ReadByte()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if ver != envelopeVersion {
+		return 0, 0, nil, fmt.Errorf("%w: version %d", errBadFrame, ver)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: length: %v", errBadFrame, err)
+	}
+	if n > MaxFrameSize {
+		return 0, 0, nil, fmt.Errorf("%w: length %d exceeds limit %d", errBadFrame, n, MaxFrameSize)
+	}
+	buf := make([]byte, n+4)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: body: %v", errBadFrame, err)
+	}
+	body := buf[:n]
+	sum := binary.LittleEndian.Uint32(buf[n:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, 0, nil, fmt.Errorf("%w: crc mismatch", errBadFrame)
+	}
+	return splitBody(body)
+}
+
+// encodeCallPayload builds a frameCall payload: the caller's identity
+// followed by the type-tagged request.
+func encodeCallPayload(from NodeID, req any) ([]byte, error) {
+	buf := appendString(nil, string(from))
+	return appendAny(buf, req)
+}
+
+// decodeCallPayload parses a frameCall payload.
+func decodeCallPayload(payload []byte) (from NodeID, req any, err error) {
+	s, rest, err := consumeString(payload)
+	if err != nil {
+		return "", nil, err
+	}
+	v, rest, err := consumeAny(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes in call", errBadFrame, len(rest))
+	}
+	return NodeID(s), v, nil
+}
+
+// encodeErrPayload builds a frameErr payload, preserving the Temporary()
+// classification so the caller's retry layer sees the same transience the
+// remote handler reported.
+func encodeErrPayload(callErr error) []byte {
+	var flags byte
+	var tmp interface{ Temporary() bool }
+	if errors.As(callErr, &tmp) && tmp.Temporary() {
+		flags |= errFlagTemporary
+	}
+	buf := []byte{flags}
+	return appendString(buf, callErr.Error())
+}
+
+// decodeErrPayload reconstructs a remote handler error.
+func decodeErrPayload(payload []byte) (error, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("%w: empty error payload", errBadFrame)
+	}
+	flags := payload[0]
+	msg, rest, err := consumeString(payload[1:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in error", errBadFrame, len(rest))
+	}
+	if flags&errFlagTemporary != 0 {
+		return &temporaryError{msg: msg}, nil
+	}
+	return errors.New(msg), nil
+}

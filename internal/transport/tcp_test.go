@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoReq struct{ Msg string }
+type echoResp struct {
+	Msg  string
+	From string
+}
+
+type failReq struct{ Transient bool }
+
+func init() {
+	RegisterType(echoReq{})
+	RegisterType(echoResp{})
+	RegisterType(failReq{})
+}
+
+type echoHandler struct {
+	mu      sync.Mutex
+	crashed bool
+	calls   int
+}
+
+func (h *echoHandler) HandleRPC(from NodeID, req any) (any, error) {
+	h.mu.Lock()
+	h.calls++
+	h.mu.Unlock()
+	switch r := req.(type) {
+	case echoReq:
+		return echoResp{Msg: r.Msg, From: string(from)}, nil
+	case failReq:
+		if r.Transient {
+			return nil, fmt.Errorf("busy: %w", ErrUnreachable)
+		}
+		return nil, errors.New("permanent rejection")
+	default:
+		return nil, fmt.Errorf("unknown request %T", req)
+	}
+}
+
+func (h *echoHandler) OnCrash() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed = true
+}
+
+func newTestTCP(t *testing.T) *TCP {
+	t.Helper()
+	tr := NewTCP(TCPOptions{CallTimeout: 5 * time.Second, DialTimeout: 2 * time.Second})
+	t.Cleanup(func() {
+		if err := tr.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return tr
+}
+
+func TestTCPBasicCall(t *testing.T) {
+	tr := newTestTCP(t)
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tr.Call("client", id, echoReq{Msg: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := resp.(echoResp)
+	if !ok || got.Msg != "hello" || got.From != "client" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPConnectionReuseAndConcurrency(t *testing.T) {
+	tr := newTestTCP(t)
+	h := &echoHandler{}
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, h); err != nil {
+		t.Fatal(err)
+	}
+	const callers, perCaller = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*perCaller)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				msg := fmt.Sprintf("c%d-%d", c, i)
+				resp, err := tr.Call("client", id, echoReq{Msg: msg})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := resp.(echoResp).Msg; got != msg {
+					errs <- fmt.Errorf("echo %q != %q", got, msg)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	tr.mu.Lock()
+	conns := len(tr.peers)
+	tr.mu.Unlock()
+	if conns != 1 {
+		t.Errorf("pooled connections = %d, want 1 (multiplexed reuse)", conns)
+	}
+}
+
+func TestTCPErrorTransienceCrossesWire(t *testing.T) {
+	tr := newTestTCP(t)
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = tr.Call("client", id, failReq{Transient: true})
+	var tmp interface{ Temporary() bool }
+	if err == nil || !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Errorf("transient handler error lost its classification: %v", err)
+	}
+
+	_, err = tr.Call("client", id, failReq{Transient: false})
+	tmp = nil
+	if err == nil {
+		t.Error("permanent handler error vanished")
+	} else if errors.As(err, &tmp) && tmp.Temporary() {
+		t.Errorf("permanent handler error became transient: %v", err)
+	}
+}
+
+func TestTCPUnreachablePeerIsTransient(t *testing.T) {
+	tr := newTestTCP(t)
+	// Grab a port that is then closed again, so nothing listens on it.
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Deregister(id)
+
+	_, err = tr.Call("client", id, echoReq{Msg: "anyone?"})
+	var tmp interface{ Temporary() bool }
+	if err == nil || !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Errorf("dial failure should be transient, got %v", err)
+	}
+}
+
+func TestTCPDownNodeSemantics(t *testing.T) {
+	tr := newTestTCP(t)
+	h := &echoHandler{}
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, h); err != nil {
+		t.Fatal(err)
+	}
+
+	tr.SetDown(id, true)
+	if !tr.IsDown(id) {
+		t.Fatal("IsDown = false after SetDown(true)")
+	}
+	if _, err := tr.Call("client", id, echoReq{Msg: "x"}); err == nil {
+		t.Error("call to a down node succeeded")
+	}
+	if _, err := tr.Call(id, "client", echoReq{Msg: "x"}); !errors.Is(err, ErrCallerDown) {
+		t.Errorf("down caller err = %v, want ErrCallerDown", err)
+	}
+
+	tr.SetDown(id, false)
+	if _, err := tr.Call("client", id, echoReq{Msg: "back"}); err != nil {
+		t.Errorf("call after heal failed: %v", err)
+	}
+}
+
+func TestTCPCrashRestartHooks(t *testing.T) {
+	tr := newTestTCP(t)
+	h := &echoHandler{}
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Crash(id); err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	crashed := h.crashed
+	h.mu.Unlock()
+	if !crashed {
+		t.Error("Crasher hook did not run")
+	}
+	if !tr.IsDown(id) {
+		t.Error("crashed node not marked down")
+	}
+	if err := tr.Restart(id); err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsDown(id) {
+		t.Error("restarted node still down")
+	}
+	if _, err := tr.Call("client", id, echoReq{Msg: "alive"}); err != nil {
+		t.Errorf("call after restart: %v", err)
+	}
+}
+
+func TestTCPRegisterEphemeralWithoutReserveFails(t *testing.T) {
+	tr := newTestTCP(t)
+	err := tr.Register("127.0.0.1:0", &echoHandler{})
+	if err == nil {
+		t.Fatal("Register with an unresolved ephemeral address succeeded; peers could never dial it")
+	}
+}
+
+func TestTCPDuplicateRegister(t *testing.T) {
+	tr := newTestTCP(t)
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, &echoHandler{}); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate register err = %v", err)
+	}
+}
+
+func TestTCPCloseDrainsAndRejects(t *testing.T) {
+	tr := NewTCP(TCPOptions{})
+	id, err := tr.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call("client", id, echoReq{Msg: "pre-close"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call("client", id, echoReq{Msg: "post-close"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close call err = %v, want ErrClosed", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestTCPTwoProcessesStyleConversation(t *testing.T) {
+	// Two transports in one test process stand in for two OS processes:
+	// nothing is shared but the loopback sockets.
+	server := newTestTCP(t)
+	client := newTestTCP(t)
+
+	id, err := server.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Call("dialer", id, echoReq{Msg: "cross-transport"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(echoResp).Msg != "cross-transport" {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestTCPRedialAfterServerRestart(t *testing.T) {
+	server := NewTCP(TCPOptions{})
+	client := newTestTCP(t)
+
+	id, err := server.Reserve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call("dialer", id, echoReq{Msg: "first"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server goes away: in-pool connection dies, further calls fail
+	// transiently.
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	//lint:allow determinism a real-socket outage window is paced by wall clock
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := client.Call("dialer", id, echoReq{Msg: "during outage"}); err != nil {
+			break
+		}
+		//lint:allow determinism a real-socket outage window is paced by wall clock
+		if time.Now().After(deadline) {
+			t.Fatal("calls kept succeeding after server close")
+		}
+	}
+
+	// Server comes back on the same address: the client's next call redials.
+	server2 := NewTCP(TCPOptions{})
+	defer func() {
+		if err := server2.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if _, err := server2.Listen(string(id)); err != nil {
+		t.Fatalf("rebind %q: %v", id, err)
+	}
+	if err := server2.Register(id, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if _, lastErr = client.Call("dialer", id, echoReq{Msg: "after restart"}); lastErr == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never reconnected: %v", lastErr)
+}

@@ -249,6 +249,14 @@ var (
 	// dissemination: one prefix tree over the covering-leaf label space
 	// replaces blind per-level lookahead (baselines ignore it).
 	WithMulticast = index.WithMulticast
+	// WithTransport makes Dial speak over a caller-owned RPC transport
+	// instead of creating its own TCP transport (client-side only; the
+	// in-process constructors ignore it).
+	WithTransport = index.WithTransport
+	// WithSubstrate names the overlay protocol of the dialed cluster:
+	// "chord" (default), "pastry" or "kademlia". It must match the
+	// daemons' -substrate flag (client-side only).
+	WithSubstrate = index.WithSubstrate
 )
 
 // NewLocalDHT creates the in-process substrate with the given number of
