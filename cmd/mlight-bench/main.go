@@ -58,6 +58,15 @@
 //
 //	mlight-bench -figs wire -quick -wirejson BENCH_wire.json
 //
+// The scale section (not part of "all": it allocates a 100,000-peer overlay
+// and a 10,000,000-record index in one process) measures what the
+// zero-alloc engine can simulate on one machine: bulk ring construction,
+// routed lookups at six-figure membership, bulk ingest into the sharded
+// substrate, range queries over the loaded index, and the in-place
+// allocation gates on the two hot paths:
+//
+//	mlight-bench -figs scale -quick -scalejson BENCH_scale.json
+//
 // The trace section (not part of "all") runs one fully instrumented range
 // query over a routed Chord cluster and exports the recorded span tree: a
 // Chrome trace_event JSON (open in Perfetto or chrome://tracing) and a
@@ -93,26 +102,29 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mlight-bench", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", dataset.NESize, "number of records to index")
-		peers    = fs.Int("peers", 128, "number of logical DHT peers")
-		theta    = fs.Int("theta", 100, "θsplit (leaf/node capacity for all schemes)")
-		epsilon  = fs.Int("epsilon", 70, "data-aware expected load ε")
-		depth    = fs.Int("depth", 28, "index depth bound D")
-		seed     = fs.Int64("seed", 1, "random seed for data and queries")
-		queries  = fs.Int("queries", 50, "queries averaged per range-span point")
-		figs     = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,churn,wire,trace or all (all excludes concurrency, lookup, resilience, ingest, churn, wire and trace)")
-		quick    = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
-		csvDir   = fs.String("csvdir", "", "directory to also write per-panel CSV files")
-		dataCSV  = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
-		concJSON = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
-		lookJSON = fs.String("lookupjson", "BENCH_lookup.json", "where the lookup section writes its JSON summary")
-		resJSON  = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
-		ingJSON  = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
-		chuJSON  = fs.String("churnjson", "BENCH_churn.json", "where the churn section writes its JSON summary")
-		wireJSON = fs.String("wirejson", "BENCH_wire.json", "where the wire section writes its JSON summary")
-		traceOut = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
-		traceTxt = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
-		hopDelay = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
+		n            = fs.Int("n", dataset.NESize, "number of records to index")
+		peers        = fs.Int("peers", 128, "number of logical DHT peers")
+		theta        = fs.Int("theta", 100, "θsplit (leaf/node capacity for all schemes)")
+		epsilon      = fs.Int("epsilon", 70, "data-aware expected load ε")
+		depth        = fs.Int("depth", 28, "index depth bound D")
+		seed         = fs.Int64("seed", 1, "random seed for data and queries")
+		queries      = fs.Int("queries", 50, "queries averaged per range-span point")
+		figs         = fs.String("figs", "all", "comma-separated sections: fig5,fig6,fig7,ablations,extensions,concurrency,lookup,resilience,ingest,churn,wire,scale,trace or all (all excludes concurrency, lookup, resilience, ingest, churn, wire, scale and trace)")
+		quick        = fs.Bool("quick", false, "reduced preset (10k records, fewer queries)")
+		csvDir       = fs.String("csvdir", "", "directory to also write per-panel CSV files")
+		dataCSV      = fs.String("dataset", "", "CSV file of points to index instead of the synthetic NE data")
+		concJSON     = fs.String("concjson", "BENCH_concurrency.json", "where the concurrency section writes its JSON summary")
+		lookJSON     = fs.String("lookupjson", "BENCH_lookup.json", "where the lookup section writes its JSON summary")
+		resJSON      = fs.String("resjson", "BENCH_resilience.json", "where the resilience section writes its JSON summary")
+		ingJSON      = fs.String("ingestjson", "BENCH_ingest.json", "where the ingest section writes its JSON summary")
+		chuJSON      = fs.String("churnjson", "BENCH_churn.json", "where the churn section writes its JSON summary")
+		wireJSON     = fs.String("wirejson", "BENCH_wire.json", "where the wire section writes its JSON summary")
+		scaleJSON    = fs.String("scalejson", "BENCH_scale.json", "where the scale section writes its JSON summary")
+		scalePeers   = fs.Int("scalepeers", 100_000, "overlay size of the scale section")
+		scaleRecords = fs.Int("scalerecords", 10_000_000, "record count of the scale section")
+		traceOut     = fs.String("trace", "", "run the trace section and write its Chrome trace_event JSON here (also selectable via -figs trace)")
+		traceTxt     = fs.String("tracetree", "", "with the trace section: also write the human-readable span tree and stage summary here")
+		hopDelay     = fs.Duration("hopdelay", time.Millisecond, "one-way per-hop delay of the concurrency section's network")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -461,6 +473,47 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "(json written to %s)\n", *wireJSON)
 		}
 		fmt.Fprintf(out, "(wire took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if want["scale"] {
+		start := time.Now()
+		fmt.Fprintln(out, "== Scale: 100k-peer overlay, 10M-record index in one process (beyond the paper) ==")
+		scfg := experiments.ScaleConfig{
+			Peers:      *scalePeers,
+			DataSize:   *scaleRecords,
+			ThetaSplit: *theta,
+			MaxDepth:   *depth,
+			Seed:       *seed,
+		}
+		if *quick {
+			scfg.Peers = 10_000
+			scfg.DataSize = 1_000_000
+			scfg.LookupProbes = 500
+		}
+		res, err := experiments.Scale(scfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "overlay: %d peers bulk-built in %.0fms; %d routed lookups, mean %.2f hops, %.1fµs/op\n",
+			res.Peers, res.OverlayBuildWallMS, res.LookupProbes, res.MeanRouteHops, res.LookupWallUSPerOp)
+		fmt.Fprintf(out, "ingest:  %d records generated in %.0fms, bulk-loaded in %.0fms (%.0f records/ms) → %d buckets\n",
+			res.Records, res.GenerateWallMS, res.IngestWallMS, res.IngestRecordsPerMS, res.Buckets)
+		fmt.Fprintf(out, "queries: %d windows → %d records, %d DHT lookups, %.2fms/query\n",
+			res.Queries, res.QueryRecords, res.QueryLookups, res.QueryWallMSPerOp)
+		fmt.Fprintf(out, "gates:   simnet.Call %.1f allocs/op, Bucket.Append %.1f allocs/op\n",
+			res.CallAllocsPerOp, res.AppendAllocsPerOp)
+		fmt.Fprintf(out, "memory:  heap %.0f MiB, sys %.0f MiB, rss %.0f MiB\n",
+			res.HeapAllocMiB, res.SysMiB, res.RSSMiB)
+		if *scaleJSON != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*scaleJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(json written to %s)\n", *scaleJSON)
+		}
+		fmt.Fprintf(out, "(scale took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if want["trace"] || *traceOut != "" || *traceTxt != "" {
 		start := time.Now()

@@ -1,6 +1,7 @@
 // Command mlight-lint runs the repository's invariant checkers
-// (internal/analysis) over the given packages: determinism (no wall clock
-// or global rand outside experiment/driver packages), droppederr (no
+// (internal/analysis) over the given packages: determinism (no wall clock,
+// global rand, or per-process-seeded hash/maphash outside experiment/driver
+// packages — internal/hashseed is the stable-hash substitute), droppederr (no
 // silently dropped RPC/DHT/retry errors), decoratorcomplete (DHT
 // decorators forward every optional capability interface), and locksafety
 // (no mutex-by-value copies).

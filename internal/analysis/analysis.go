@@ -3,9 +3,11 @@
 // invariants the compiler cannot see but every PR so far has had to audit
 // by hand:
 //
-//   - determinism: no wall-clock reads or global (unseeded) math/rand use
-//     outside the experiment/driver packages, so simulations replay
-//     identically for a given seed (pass "determinism");
+//   - determinism: no wall-clock reads, global (unseeded) math/rand use,
+//     or hash/maphash hashing (whose seeds are per-process and cannot be
+//     pinned — internal/hashseed is the sanctioned substitute) outside the
+//     experiment/driver packages, so simulations replay identically for a
+//     given seed (pass "determinism");
 //   - no silently dropped RPC or DHT errors — the class of bug behind the
 //     silent replica loss fixed in the fault-tolerance PR
 //     (pass "droppederr");

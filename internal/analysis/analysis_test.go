@@ -20,7 +20,7 @@ import (
 // positives and the deliberate negatives (seeded rand, handled errors,
 // pointer passing, allow suppression).
 func TestGolden(t *testing.T) {
-	stdlib, err := ListExports("../..", []string{"fmt", "math/rand", "sync", "time"})
+	stdlib, err := ListExports("../..", []string{"fmt", "hash/maphash", "math/rand", "sync", "time"})
 	if err != nil {
 		t.Fatalf("listing stdlib export data: %v", err)
 	}

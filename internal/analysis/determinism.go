@@ -5,24 +5,30 @@ import (
 	"go/types"
 )
 
-// determinismPass flags the two ways nondeterminism leaks into simulation
-// code: reading the wall clock (time.Now / time.Since / time.Until) and
-// drawing from math/rand's global, process-seeded source (rand.Intn,
-// rand.Float64, rand.Shuffle, …). Both make a run unreproducible: logical
-// clocks and injected seeded *rand.Rand values are the sanctioned
-// substitutes, so seq/concurrent equivalence tests and the experiment
-// tables replay bit-identically for a given seed.
+// determinismPass flags the three ways nondeterminism leaks into
+// simulation code: reading the wall clock (time.Now / time.Since /
+// time.Until), drawing from math/rand's global, process-seeded source
+// (rand.Intn, rand.Float64, rand.Shuffle, …), and hashing through
+// hash/maphash, whose seeds cannot be fixed across processes (maphash.Seed
+// is opaque and only obtainable from the random MakeSeed, so every run
+// hashes differently). All three make a run unreproducible: logical
+// clocks, injected seeded *rand.Rand values, and internal/hashseed's
+// fixed-seed FNV/Fmix helpers are the sanctioned substitutes, so
+// seq/concurrent equivalence tests and the experiment tables replay
+// bit-identically for a given seed.
 //
 // Constructing an explicitly seeded generator — rand.New(rand.NewSource(
 // seed)) — is the approved pattern and is not flagged. Packages whose job
 // is wall-clock measurement (internal/experiments) or interactive driving
-// (cmd/*, examples/*) are exempt via Config.DeterminismAllow.
+// (cmd/*, examples/*) are exempt via Config.DeterminismAllow; the maphash
+// check additionally skips internal/hashseed itself, the one place allowed
+// to wrap process-seeded hashing if it ever chooses to.
 type determinismPass struct{}
 
 func (determinismPass) Name() string { return "determinism" }
 
 func (determinismPass) Doc() string {
-	return "flag wall-clock reads and global math/rand use outside experiment/driver packages"
+	return "flag wall-clock reads, global math/rand use, and hash/maphash outside experiment/driver packages"
 }
 
 // wallClockFuncs are the package time functions that read the wall clock.
@@ -62,6 +68,17 @@ func (determinismPass) Run(pkg *Package, cfg *Config) []Diagnostic {
 						"wall-clock read time.%s breaks replayability; use the logical clock or inject the timestamp (or //lint:allow determinism <reason>)",
 						fn.Name()))
 				}
+			case "hash/maphash":
+				if pathMatches(pkg.Path, "internal/hashseed") {
+					return true
+				}
+				name := "maphash." + fn.Name()
+				if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+					name = "maphash.Hash." + fn.Name()
+				}
+				out = append(out, pkg.diag(call.Pos(), "determinism",
+					"%s hashes with a per-process random seed and breaks replayability; use mlight/internal/hashseed for stable seeded hashing",
+					name))
 			case "math/rand", "math/rand/v2":
 				if fn.Type().(*types.Signature).Recv() != nil {
 					return true // methods on an explicit *rand.Rand are fine

@@ -5,6 +5,7 @@
 package determinism
 
 import (
+	"hash/maphash"
 	"math/rand"
 	"time"
 )
@@ -25,6 +26,19 @@ func globalRand() float64 {
 func seededRand(seed int64) int {
 	rng := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
 	return rng.Intn(10)                   // method on *rand.Rand: allowed
+}
+
+func processSeededHash(s string) uint64 {
+	seed := maphash.MakeSeed() // want `maphash.MakeSeed hashes with a per-process random seed`
+	var h maphash.Hash
+	h.SetSeed(seed)                // want `maphash.Hash.SetSeed hashes with a per-process random seed`
+	_, _ = h.WriteString(s)        // want `maphash.Hash.WriteString hashes with a per-process random seed` `call to WriteString drops its error`
+	return maphash.String(seed, s) // want `maphash.String hashes with a per-process random seed`
+}
+
+func suppressedHash(s string) uint64 {
+	//lint:allow determinism this fixture pins that maphash findings accept a reasoned directive
+	return maphash.Bytes(maphash.MakeSeed(), []byte(s))
 }
 
 func suppressed() time.Time {

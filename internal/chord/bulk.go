@@ -1,0 +1,101 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"mlight/internal/dht"
+	"mlight/internal/transport"
+)
+
+// AddNodesBulk builds a complete ring from scratch in one pass. Joining
+// 100k peers through AddNode is O(n²): every join routes lookups through
+// the growing overlay and every fixFingers resolves 160 targets by
+// iterative routing. When the whole membership is known up front — the
+// scale experiments' case — none of that traffic is necessary: sort the
+// identifiers once and wire every successor list, predecessor pointer, and
+// finger table directly by binary search, with zero RPCs. The resulting
+// state is exactly the fixpoint that Stabilize would converge to.
+//
+// The ring must be empty (no nodes, no remote seeds) and the addresses
+// must be distinct. On error no node stays registered on the transport.
+func (r *Ring) AddNodesBulk(addrs []transport.NodeID) ([]*Node, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("chord: bulk build needs at least one address")
+	}
+	r.mu.Lock()
+	empty := len(r.nodes) == 0 && len(r.crashed) == 0 && len(r.seeds) == 0
+	r.mu.Unlock()
+	if !empty {
+		return nil, fmt.Errorf("chord: bulk build requires an empty ring")
+	}
+
+	nodes := make([]*Node, 0, len(addrs))
+	fail := func(err error) ([]*Node, error) {
+		for _, n := range nodes {
+			r.net.Deregister(n.addr)
+		}
+		return nil, err
+	}
+	seen := make(map[transport.NodeID]bool, len(addrs))
+	for _, addr := range addrs {
+		if seen[addr] {
+			return fail(fmt.Errorf("chord: bulk build: duplicate address %q", addr))
+		}
+		seen[addr] = true
+		n, err := newNode(r.net, addr)
+		if err != nil {
+			return fail(err)
+		}
+		nodes = append(nodes, n)
+	}
+
+	// Ring order: ascending identifier.
+	byID := make([]*Node, len(nodes))
+	copy(byID, nodes)
+	sort.Slice(byID, func(i, j int) bool { return byID[i].id.Cmp(byID[j].id) < 0 })
+	refs := make([]ref, len(byID))
+	for i, n := range byID {
+		refs[i] = n.self()
+	}
+
+	// succAt finds the owner of target: the first identifier at or after it,
+	// wrapping past zero.
+	succAt := func(target dht.ID) ref {
+		i := sort.Search(len(refs), func(i int) bool { return refs[i].ID.Cmp(target) >= 0 })
+		if i == len(refs) {
+			i = 0
+		}
+		return refs[i]
+	}
+
+	n := len(byID)
+	for i, node := range byID {
+		node.mu.Lock()
+		node.pred = refs[(i-1+n)%n]
+		succs := make([]ref, 0, SuccessorListLen)
+		for k := 1; k <= SuccessorListLen && k <= n; k++ {
+			succs = append(succs, refs[(i+k)%n])
+		}
+		if n == 1 {
+			succs = []ref{refs[0]}
+		}
+		node.succs = succs
+		for k := 0; k < dht.IDBits; k++ {
+			node.fingers[k] = succAt(node.id.AddPowerOfTwo(k))
+		}
+		node.mu.Unlock()
+	}
+
+	r.mu.Lock()
+	for _, node := range nodes {
+		r.nodes[node.addr] = node
+	}
+	r.order = r.order[:0]
+	for _, addr := range addrs {
+		r.order = append(r.order, addr)
+	}
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i] < r.order[j] })
+	r.mu.Unlock()
+	return nodes, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mlight/internal/bitlabel"
 	"mlight/internal/dht"
 	"mlight/internal/spatial"
 )
@@ -55,4 +56,38 @@ func BenchmarkRangeDissemination(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBucketAppend measures the ingest hot path: appending a record
+// into a bucket with spare arena capacity. Paired with
+// TestBucketAppendZeroAlloc, the ReportAllocs number is the CI gate.
+func BenchmarkBucketAppend(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	bk := NewBucket(bitlabel.Root(2), randomRecords(rng, 100, 2))
+	rec := spatial.Record{Key: spatial.Point{0.5, 0.5}, Data: "payload"}
+	bk = bk.Append(rec) // grow once; the loop appends into spare capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bk.Append(rec)
+	}
+}
+
+// BenchmarkBucketScan walks every record of a θ-sized bucket through the
+// columnar accessors — the inner loop of every range-query filter.
+func BenchmarkBucketScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	bk := NewBucket(bitlabel.Root(2), randomRecords(rng, 100, 2))
+	q := spatial.Rect{Lo: spatial.Point{0.25, 0.25}, Hi: spatial.Point{0.75, 0.75}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		for j, n := 0, bk.Load(); j < n; j++ {
+			if q.Contains(bk.KeyAt(j)) {
+				hits++
+			}
+		}
+	}
+	_ = hits
 }

@@ -53,7 +53,7 @@ func (ix *Index) BulkLoad(records []spatial.Record) error {
 	if err != nil {
 		return err
 	}
-	if err := ix.raw.Put(labelKey(bitlabel.Name(root.Label, m)), Bucket{Label: stay.Label, Records: stay.Records}); err != nil {
+	if err := ix.raw.Put(labelKey(bitlabel.Name(root.Label, m)), NewBucket(stay.Label, stay.Records)); err != nil {
 		return fmt.Errorf("core: bulk place root bucket: %w", err)
 	}
 	ix.stats.DHTLookups.Inc() // the loader ships the staying bucket too

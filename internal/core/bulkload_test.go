@@ -57,7 +57,7 @@ func TestBulkLoadMatchesIncrementalThreshold(t *testing.T) {
 		if !ok {
 			t.Fatalf("bulk bucket %v missing from incremental tree", b.Label)
 		}
-		if !sameRecordSet(b.Records, other.Records) {
+		if !sameRecordSet(b.Records(), other.Records()) {
 			t.Fatalf("bucket %v contents differ", b.Label)
 		}
 	}

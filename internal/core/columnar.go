@@ -1,0 +1,146 @@
+package core
+
+import (
+	"unsafe"
+
+	"mlight/internal/bitlabel"
+	"mlight/internal/spatial"
+)
+
+// This file implements the Bucket's columnar record storage. A bucket at
+// the 10M-record scale target cannot afford one slice header (24B), one
+// string header (16B), and two heap objects per record: the records live in
+// three flat arenas instead — a coordinate block, a payload byte block, and
+// an offset table — so per-record overhead is 4 bytes (the offset) and a
+// range scan walks contiguous memory.
+//
+//	coords: [x0 y0 x1 y1 x2 y2 ...]           len = n·dims
+//	data:   "payload0payload1payload2..."
+//	offs:   [0, end0, end1, end2, ...]        len = n+1
+//
+// Accessors materialize spatial views without copying: KeyAt returns a
+// capacity-clamped subslice of the coordinate block and DataAt an
+// unsafe.String over the payload block. Both are safe under the index's
+// copy-on-write discipline: arenas are append-only — a mutation (Delete, a
+// split) packs fresh arenas rather than editing these — so a view taken
+// from any Bucket value stays valid forever, exactly like the old
+// []spatial.Record sharing. Append beyond len is invisible to readers
+// holding shorter headers (the same argument applyInsert has always made).
+
+// recs is one bucket's columnar record store. The zero value is an empty
+// store. recs values are copied freely (four slice headers + an int);
+// the arenas themselves are shared and append-only.
+type recs struct {
+	dims   int
+	coords []float64
+	offs   []uint32
+	data   []byte
+}
+
+func (r recs) len() int {
+	if len(r.offs) == 0 {
+		return 0
+	}
+	return len(r.offs) - 1
+}
+
+func (r recs) keyAt(i int) spatial.Point {
+	lo := i * r.dims
+	hi := lo + r.dims
+	return spatial.Point(r.coords[lo:hi:hi])
+}
+
+func (r recs) dataAt(i int) string {
+	lo, hi := r.offs[i], r.offs[i+1]
+	if lo == hi {
+		return ""
+	}
+	// Zero-copy view: the payload arena is append-only (never edited in
+	// place) so the string stays valid for the life of the arena.
+	return unsafe.String(&r.data[lo], int(hi-lo))
+}
+
+func (r recs) append(rec spatial.Record) recs {
+	if r.len() == 0 {
+		r.dims = rec.Key.Dim()
+	}
+	if r.offs == nil {
+		r.offs = make([]uint32, 1, 9)
+	}
+	r.coords = append(r.coords, rec.Key...)
+	r.data = append(r.data, rec.Data...)
+	r.offs = append(r.offs, uint32(len(r.data)))
+	return r
+}
+
+// packRecs builds arenas sized exactly for the given records.
+func packRecs(records []spatial.Record) recs {
+	if len(records) == 0 {
+		return recs{}
+	}
+	nd := 0
+	for _, rec := range records {
+		nd += len(rec.Data)
+	}
+	d := records[0].Key.Dim()
+	r := recs{
+		dims:   d,
+		coords: make([]float64, 0, len(records)*d),
+		offs:   make([]uint32, 1, len(records)+1),
+		data:   make([]byte, 0, nd),
+	}
+	for _, rec := range records {
+		r.coords = append(r.coords, rec.Key...)
+		r.data = append(r.data, rec.Data...)
+		r.offs = append(r.offs, uint32(len(r.data)))
+	}
+	return r
+}
+
+// NewBucket builds a bucket over the given records, packing them into
+// columnar storage sized exactly for the set. The records slice is not
+// retained; its Points and Data are copied into the arenas.
+func NewBucket(label bitlabel.Label, records []spatial.Record) Bucket {
+	return Bucket{Label: label, rs: packRecs(records)}
+}
+
+// Load returns the number of records stored in the bucket (§4.1 load).
+func (b Bucket) Load() int { return b.rs.len() }
+
+// KeyAt returns record i's key as a zero-copy view into the coordinate
+// arena. The view must not be mutated.
+func (b Bucket) KeyAt(i int) spatial.Point { return b.rs.keyAt(i) }
+
+// DataAt returns record i's payload as a zero-copy view into the payload
+// arena.
+func (b Bucket) DataAt(i int) string { return b.rs.dataAt(i) }
+
+// RecordAt returns record i with zero-copy key and payload views.
+func (b Bucket) RecordAt(i int) spatial.Record {
+	return spatial.Record{Key: b.rs.keyAt(i), Data: b.rs.dataAt(i)}
+}
+
+// Records materializes the record set. The returned slice is freshly
+// allocated (one allocation — the element headers), but keys and payloads
+// are views into the bucket's arenas, not copies.
+func (b Bucket) Records() []spatial.Record {
+	n := b.rs.len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]spatial.Record, n)
+	for i := range out {
+		out[i] = spatial.Record{Key: b.rs.keyAt(i), Data: b.rs.dataAt(i)}
+	}
+	return out
+}
+
+// Append returns the bucket extended by one record, sharing arena capacity
+// with the receiver (amortized O(1), zero allocations when capacity
+// suffices). Readers holding the previous Bucket value see their own
+// shorter arenas and never index past them — the copy-on-write argument
+// the insert path has always relied on.
+func (b Bucket) Append(rec spatial.Record) Bucket {
+	b.rs = b.rs.append(rec)
+	return b
+}

@@ -91,7 +91,7 @@ func TestConcurrentInsertsAndQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, rec := range b.Records {
+		for _, rec := range b.Records() {
 			if !g.Contains(rec.Key) {
 				t.Fatalf("record %v outside its bucket %v", rec.Key, b.Label)
 			}

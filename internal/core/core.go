@@ -242,16 +242,17 @@ func (o Options) validate() error {
 
 // Bucket is one leaf bucket of the index (§3.3): the label store (the leaf
 // label λ, from which the whole local tree is derived) and the record
-// store. Buckets are stored in the DHT under key fmd(λ).
+// store. Buckets are stored in the DHT under key fmd(λ). Records live in a
+// columnar arena layout (see columnar.go) behind the NewBucket/Records/
+// KeyAt/DataAt/Append accessors, so multi-million-record runs pay 4 bytes
+// of per-record overhead instead of two headers and two heap objects. The
+// zero value with a Label is a valid empty bucket.
 type Bucket struct {
 	// Label is the leaf's kd-tree label λ.
 	Label bitlabel.Label
-	// Records are the data records whose keys fall in the leaf's cell.
-	Records []spatial.Record
+	// rs is the columnar record store; access through the Bucket methods.
+	rs recs
 }
-
-// Load returns the number of records in the bucket.
-func (b Bucket) Load() int { return len(b.Records) }
 
 // Key returns the DHT key the bucket lives under: fmd(λ).
 func (b Bucket) Key(m int) dht.Key {
@@ -392,7 +393,7 @@ func (ix *Index) cellOf(b Bucket) (kdtree.Cell, error) {
 	if err != nil {
 		return kdtree.Cell{}, err
 	}
-	return kdtree.Cell{Label: b.Label, Region: g, Records: b.Records}, nil
+	return kdtree.Cell{Label: b.Label, Region: g, Records: b.Records()}, nil
 }
 
 // remainingDepth returns how many more levels a leaf at label may split.

@@ -188,9 +188,9 @@ func assertMatchesOracle(t *testing.T, ix *Index, oracle *kdtree.Tree) {
 		if !ok {
 			t.Fatalf("oracle leaf %v missing from index", leaf.Label)
 		}
-		if !sameRecordSet(b.Records, leaf.Records) {
+		if !sameRecordSet(b.Records(), leaf.Records) {
 			t.Fatalf("leaf %v: index has %d records, oracle %d (or contents differ)",
-				leaf.Label, len(b.Records), len(leaf.Records))
+				leaf.Label, b.Load(), len(leaf.Records))
 		}
 	}
 }

@@ -51,7 +51,7 @@ func runOldRangeQuery(ix *Index, q spatial.Rect, ctx queryCtx) (*QueryResult, er
 		}
 		res.Lookups += trace.Probes
 		res.Rounds = 1 + trace.Probes
-		res.Records = filterRecords(leaf.Records, q, ctx.shape)
+		res.Records = filterRecords(leaf, q, ctx.shape)
 		return res, nil
 	}
 	recs, rounds, lookups, err := oldProcess(ix, q, lca, b, ctx)
@@ -66,7 +66,7 @@ func runOldRangeQuery(ix *Index, q spatial.Rect, ctx queryCtx) (*QueryResult, er
 
 func oldProcess(ix *Index, q spatial.Rect, beta bitlabel.Label, b Bucket, ctx queryCtx) (records []spatial.Record, rounds, lookups int, err error) {
 	m := ix.opts.Dims
-	records = filterRecords(b.Records, q, ctx.shape)
+	records = filterRecords(b, q, ctx.shape)
 	leafRegion, err := spatial.RegionOf(b.Label, m)
 	if err != nil {
 		return nil, 0, 0, err
@@ -137,10 +137,10 @@ func oldResolvePiece(ix *Index, p piece, ctx queryCtx) (records []spatial.Record
 		}
 		lookups += extraLookups
 		rounds += extraRounds
-		return filterRecords(leaf.Records, p.q, ctx.shape), rounds, lookups, nil
+		return filterRecords(leaf, p.q, ctx.shape), rounds, lookups, nil
 	}
 	if b.Label == p.node {
-		return filterRecords(b.Records, p.q, ctx.shape), rounds, lookups, nil
+		return filterRecords(b, p.q, ctx.shape), rounds, lookups, nil
 	}
 	recs, r, lk, err := oldProcess(ix, p.q, p.node, b, ctx)
 	if err != nil {

@@ -80,8 +80,8 @@ func (ix *Index) Nearest(p spatial.Point, k int) (*NearestResult, error) {
 
 // seedRadius picks the first ball radius for a kNN query.
 func (ix *Index) seedRadius(leaf Bucket, p spatial.Point, k int) float64 {
-	if len(leaf.Records) >= k {
-		neighbors := nearestOf(leaf.Records, p, k)
+	if leaf.Load() >= k {
+		neighbors := nearestOf(leaf.Records(), p, k)
 		r := neighbors[len(neighbors)-1].Distance
 		if r > 0 {
 			return r

@@ -249,9 +249,9 @@ func (ix *Index) Exact(key spatial.Point) ([]spatial.Record, error) {
 		return nil, err
 	}
 	var out []spatial.Record
-	for _, r := range b.Records {
-		if samePoint(r.Key, key) {
-			out = append(out, r)
+	for i, n := 0, b.Load(); i < n; i++ {
+		if samePoint(b.KeyAt(i), key) {
+			out = append(out, b.RecordAt(i))
 		}
 	}
 	return out, nil

@@ -97,29 +97,35 @@ func (ix *Index) applyInsert(label bitlabel.Label, rec spatial.Record) (moved []
 			stale = true
 			return cur, true
 		}
-		cell, cellErr := ix.cellOf(cb)
-		if cellErr != nil {
-			splitErr = cellErr
+		g, regionErr := spatial.RegionOf(cb.Label, m)
+		if regionErr != nil {
+			splitErr = regionErr
 			return cur, true
 		}
-		if !cell.Region.Contains(rec.Key) {
+		if !g.Contains(rec.Key) {
 			// The leaf changed shape since the lookup.
 			stale = true
 			return cur, true
 		}
-		// A plain append is safe without copying the whole bucket: readers
-		// holding the previous Bucket value see their own shorter length and
-		// never index past it, and the kd-tree split functions build fresh
-		// slices rather than mutating their input. Shared-capacity growth is
-		// therefore invisible to every concurrent observer.
-		cell.Records = append(cb.Records, rec)
+		// A plain arena append is safe without copying the whole bucket:
+		// readers holding the previous Bucket value see their own shorter
+		// arenas and never index past them, and the kd-tree split functions
+		// build fresh slices rather than mutating their input. Shared-capacity
+		// growth is therefore invisible to every concurrent observer.
+		nb := cb.Append(rec)
+		if ix.underSplitBound(nb.Load(), label) {
+			// The common case: the bucket stays a leaf. No record
+			// materialization, no split machinery — amortized O(1).
+			return nb, true
+		}
+		cell := kdtree.Cell{Label: cb.Label, Region: g, Records: nb.Records()}
 		pieces, decideErr := ix.decideSplit(cell)
 		if decideErr != nil {
 			splitErr = decideErr
 			return cur, true
 		}
 		if len(pieces) <= 1 {
-			return Bucket{Label: cell.Label, Records: cell.Records}, true
+			return nb, true
 		}
 		stay, rest, pickErr := pickStayer(pieces, label, m)
 		if pickErr != nil {
@@ -128,7 +134,7 @@ func (ix *Index) applyInsert(label bitlabel.Label, rec spatial.Record) (moved []
 		}
 		moved = rest
 		ix.stats.Splits.Add(int64(len(pieces) - 1))
-		return Bucket{Label: stay.Label, Records: stay.Records}, true
+		return NewBucket(stay.Label, stay.Records), true
 	})
 	if applyErr != nil {
 		return nil, false, fmt.Errorf("core: insert apply at %v: %w", label, applyErr)
@@ -137,6 +143,21 @@ func (ix *Index) applyInsert(label bitlabel.Label, rec spatial.Record) (moved []
 		return nil, false, fmt.Errorf("core: insert split at %v: %w", label, splitErr)
 	}
 	return moved, stale, nil
+}
+
+// underSplitBound reports whether a bucket at the given load cannot split
+// under the configured strategy — the fast-path check that lets the insert
+// path skip record materialization entirely. It mirrors decideSplit's
+// no-split preconditions exactly; unknown strategies return false so
+// decideSplit gets to surface its error.
+func (ix *Index) underSplitBound(load int, label bitlabel.Label) bool {
+	switch ix.opts.Strategy {
+	case SplitThreshold:
+		return load <= ix.opts.ThetaSplit || ix.remainingDepth(label) <= 0
+	case SplitDataAware:
+		return load <= ix.opts.Epsilon || ix.remainingDepth(label) <= 0
+	}
+	return false
 }
 
 // decideSplit returns the final leaf frontier for a (possibly overfull)
@@ -206,7 +227,7 @@ func (ix *Index) placeCells(cells []kdtree.Cell) error {
 	for i, c := range cells {
 		ops[i] = dht.PutOp{
 			Key:   labelKey(bitlabel.Name(c.Label, m)),
-			Value: Bucket{Label: c.Label, Records: c.Records},
+			Value: NewBucket(c.Label, c.Records),
 		}
 	}
 	for i, err := range dht.PutBatch(ix.d, ops, ix.opts.MaxInFlight) {
@@ -242,15 +263,17 @@ func (ix *Index) Delete(key spatial.Point, data string) (bool, error) {
 		if !ok || cb.Label != b.Label {
 			return cur, true
 		}
-		for i, r := range cb.Records {
-			if samePoint(r.Key, key) && (data == "" || r.Data == data) {
-				// The copy is required — an in-place shift would mutate the
-				// array concurrent readers share — but it can be exact-size:
-				// one allocation, no append growth.
-				records := make([]spatial.Record, 0, len(cb.Records)-1)
-				records = append(records, cb.Records[:i]...)
-				records = append(records, cb.Records[i+1:]...)
-				cb.Records = records
+		for i, n := 0, cb.Load(); i < n; i++ {
+			if samePoint(cb.KeyAt(i), key) && (data == "" || cb.DataAt(i) == data) {
+				// Pack fresh arenas — an in-place shift would mutate storage
+				// concurrent readers share. One exact-size repack.
+				records := make([]spatial.Record, 0, n-1)
+				for j := 0; j < n; j++ {
+					if j != i {
+						records = append(records, cb.RecordAt(j))
+					}
+				}
+				cb = NewBucket(cb.Label, records)
 				removed = true
 				break
 			}
@@ -290,10 +313,7 @@ func (ix *Index) mergeUpwards(b Bucket) error {
 		}
 		parent := b.Label.Parent()
 		parentName := bitlabel.Name(parent, m)
-		merged := Bucket{
-			Label:   parent,
-			Records: append(append([]spatial.Record{}, b.Records...), sib.Records...),
-		}
+		merged := NewBucket(parent, append(b.Records(), sib.Records()...))
 		if bitlabel.Name(b.Label, m) == parentName {
 			// We already sit at the merged bucket's key: rewrite locally,
 			// and pull the sibling's bucket across the DHT.

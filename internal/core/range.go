@@ -146,7 +146,7 @@ func (ix *Index) rangeQueryCtx(q spatial.Rect, ctx queryCtx) (*QueryResult, erro
 		}
 		res.Lookups += lt.Probes
 		res.Rounds += lt.Probes
-		res.Records = filterRecords(leaf.Records, q, ctx.shape)
+		res.Records = filterRecords(leaf, q, ctx.shape)
 		return res, nil
 	}
 
@@ -516,7 +516,7 @@ func (e *rangeEngine) executeProbe(it frontierItem, span trace.SpanID) itemResul
 	e.ix.cacheLeaf(b)
 	if b.Label == it.p.node {
 		// The node itself is a leaf; it covers the piece entirely.
-		it.node.records = filterRecords(b.Records, it.p.q, e.ctx.shape)
+		it.node.records = filterRecords(b, it.p.q, e.ctx.shape)
 		return res
 	}
 	next, err := e.expand(it.p.q, it.p.node, b, it.node)
@@ -559,7 +559,7 @@ func (e *rangeEngine) resolveHedged(it frontierItem) (item frontierItem, ok bool
 		pr := e.candResults[name]
 		if pr.found && pr.b.Label.IsPrefixOf(it.p.node) {
 			e.ix.cacheLeaf(pr.b)
-			it.node.records = filterRecords(pr.b.Records, it.p.q, e.ctx.shape)
+			it.node.records = filterRecords(pr.b, it.p.q, e.ctx.shape)
 			return frontierItem{}, true
 		}
 	}
@@ -594,7 +594,7 @@ func (e *rangeEngine) executeFallback(it frontierItem, span trace.SpanID) itemRe
 	if err != nil {
 		return itemResult{err: err}
 	}
-	it.node.records = filterRecords(leaf.Records, it.p.q, e.ctx.shape)
+	it.node.records = filterRecords(leaf, it.p.q, e.ctx.shape)
 	return itemResult{lookups: lt.Probes, extraRounds: lt.Probes - 1}
 }
 
@@ -624,7 +624,7 @@ func (e *rangeEngine) adjudicate(g *coverGroup) (item frontierItem, done bool) {
 	if hit < len(g.names) {
 		pr := g.found[hit]
 		e.ix.cacheLeaf(pr.b)
-		g.node.records = filterRecords(pr.b.Records, g.p.q, e.ctx.shape)
+		g.node.records = filterRecords(pr.b, g.p.q, e.ctx.shape)
 		return frontierItem{}, true
 	}
 	return frontierItem{kind: itemFallback, p: g.p, node: g.node}, false
@@ -657,7 +657,7 @@ func coverCandidates(p piece, m int) []bitlabel.Label {
 // with h > 1, their speculative pieces — genuinely overlap.
 func (e *rangeEngine) expand(q spatial.Rect, beta bitlabel.Label, b Bucket, node *execNode) ([]frontierItem, error) {
 	m := e.ix.opts.Dims
-	node.records = filterRecords(b.Records, q, e.ctx.shape)
+	node.records = filterRecords(b, q, e.ctx.shape)
 	leafRegion, err := spatial.RegionOf(b.Label, m)
 	if err != nil {
 		return nil, err
@@ -873,18 +873,20 @@ func (e *rangeEngine) multicastSplit(beta bitlabel.Label, q spatial.Rect, est in
 	return pieces
 }
 
-// filterRecords returns the records inside q (and inside the shape, when
-// one is given).
-func filterRecords(records []spatial.Record, q spatial.Rect, shape spatial.Shape) []spatial.Record {
+// filterRecords returns the bucket's records inside q (and inside the
+// shape, when one is given). The scan walks the bucket's columnar arenas
+// directly — contiguous coordinate memory, no materialized record slice.
+func filterRecords(b Bucket, q spatial.Rect, shape spatial.Shape) []spatial.Record {
 	var out []spatial.Record
-	for _, r := range records {
-		if !q.Contains(r.Key) {
+	for i, n := 0, b.Load(); i < n; i++ {
+		key := b.KeyAt(i)
+		if !q.Contains(key) {
 			continue
 		}
-		if shape != nil && !shape.ContainsPoint(r.Key) {
+		if shape != nil && !shape.ContainsPoint(key) {
 			continue
 		}
-		out = append(out, r)
+		out = append(out, b.RecordAt(i))
 	}
 	return out
 }

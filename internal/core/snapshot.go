@@ -159,17 +159,20 @@ func RestoreInto(d dht.DHT, r io.Reader, opts Options) (*Index, error) {
 // marshalBucketFrame encodes one bucket (label + records) for the
 // snapshot stream.
 func marshalBucketFrame(b Bucket) []byte {
-	buf := make([]byte, 0, 16+len(b.Records)*48)
+	n := b.Load()
+	buf := make([]byte, 0, 16+n*48)
 	buf = append(buf, byte(b.Label.Len()))
 	buf = binary.LittleEndian.AppendUint64(buf, b.Label.Bits())
-	buf = binary.AppendUvarint(buf, uint64(len(b.Records)))
-	for _, rec := range b.Records {
-		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
-		for _, c := range rec.Key {
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		key := b.KeyAt(i)
+		buf = binary.AppendUvarint(buf, uint64(len(key)))
+		for _, c := range key {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c))
 		}
-		buf = binary.AppendUvarint(buf, uint64(len(rec.Data)))
-		buf = append(buf, rec.Data...)
+		data := b.DataAt(i)
+		buf = binary.AppendUvarint(buf, uint64(len(data)))
+		buf = append(buf, data...)
 	}
 	return buf
 }
@@ -222,7 +225,7 @@ func unmarshalBucketFrame(frame []byte, dims int) (Bucket, error) {
 		if !rec.Key.Valid() || !region.Contains(rec.Key) {
 			return Bucket{}, fmt.Errorf("%w: record %d outside its bucket cell", ErrSnapshot, i)
 		}
-		b.Records = append(b.Records, rec)
+		b = b.Append(rec)
 	}
 	if len(rest) != 0 {
 		return Bucket{}, fmt.Errorf("%w: %d trailing bytes in frame", ErrSnapshot, len(rest))

@@ -148,7 +148,7 @@ func (ix *Index) InsertBatch(recs []spatial.Record) []error {
 			for _, c := range g.moved {
 				placeOps = append(placeOps, dht.PutOp{
 					Key:   labelKey(bitlabel.Name(c.Label, m)),
-					Value: Bucket{Label: c.Label, Records: c.Records},
+					Value: NewBucket(c.Label, c.Records),
 				})
 				placeGroups = append(placeGroups, g)
 			}
@@ -264,7 +264,7 @@ func (ix *Index) groupCommit(g *insertGroup, recs []spatial.Record) dht.ApplyFun
 			g.accepted = append(g.accepted, i)
 		}
 		g.moved = frontier[1:]
-		return Bucket{Label: frontier[0].Label, Records: frontier[0].Records}, true
+		return NewBucket(frontier[0].Label, frontier[0].Records), true
 	}
 }
 

@@ -48,7 +48,7 @@ func sameTree(t *testing.T, a, b *Index) {
 		if !ok {
 			t.Fatalf("bucket %v missing from the other tree", x.Label)
 		}
-		if !sameRecordSet(x.Records, other.Records) {
+		if !sameRecordSet(x.Records(), other.Records()) {
 			t.Fatalf("bucket %v contents differ", x.Label)
 		}
 	}

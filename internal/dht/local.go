@@ -36,10 +36,21 @@ var (
 // "peer-0" … "peer-N-1", placed on the identifier ring by hashing their
 // names. numPeers must be at least 1.
 func NewLocal(numPeers int) (*Local, error) {
-	if numPeers < 1 {
-		return nil, fmt.Errorf("dht: NewLocal needs at least one peer, got %d", numPeers)
+	ring, peers, err := buildVirtualRing(numPeers)
+	if err != nil {
+		return nil, err
 	}
-	l := &Local{store: make(map[Key]any)}
+	return &Local{store: make(map[Key]any), ring: ring, peers: peers}, nil
+}
+
+// buildVirtualRing places numPeers virtual peers named "peer-0" …
+// "peer-N-1" on the identifier ring by hashing their names, returning the
+// sorted positions and the matching peer names. Shared by the map-backed
+// Local and the sharded variant so both assign ownership identically.
+func buildVirtualRing(numPeers int) (ring []ID, peers []string, err error) {
+	if numPeers < 1 {
+		return nil, nil, fmt.Errorf("dht: need at least one virtual peer, got %d", numPeers)
+	}
 	type entry struct {
 		id   ID
 		name string
@@ -50,13 +61,13 @@ func NewLocal(numPeers int) (*Local, error) {
 		entries[i] = entry{id: HashString(name), name: name}
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id.Cmp(entries[j].id) < 0 })
-	l.ring = make([]ID, numPeers)
-	l.peers = make([]string, numPeers)
+	ring = make([]ID, numPeers)
+	peers = make([]string, numPeers)
 	for i, e := range entries {
-		l.ring[i] = e.id
-		l.peers[i] = e.name
+		ring[i] = e.id
+		peers[i] = e.name
 	}
-	return l, nil
+	return ring, peers, nil
 }
 
 // MustNewLocal is NewLocal for trusted constants; it panics on error.

@@ -1,0 +1,259 @@
+package dht
+
+import (
+	"sort"
+	"sync"
+
+	"mlight/internal/hashseed"
+)
+
+// shardedShards is the number of key-space partitions in a Sharded store.
+// Power of two so shard selection is a mask; 256 keeps per-shard footprint
+// small while making cross-shard collisions rare even at high concurrency.
+const shardedShards = 256
+
+// storeShard is one partition of a Sharded store, padded out to its own
+// cache lines so neighbouring shards' locks do not false-share.
+type storeShard struct {
+	mu    sync.RWMutex
+	store map[Key]any
+	_     [104]byte
+}
+
+// Sharded is a single-process DHT like Local, with the key-value store
+// partitioned over independently-locked shards. At the 100k-peer /
+// multi-million-bucket scale target a single map behind one RWMutex
+// serialises every writer and bounces its reader count between cores;
+// sharding bounds each lock's contention domain to 1/256 of the key space.
+//
+// Sharded matches Local's ownership model exactly — the same virtual-peer
+// ring built by the same hashing — so Owner answers are interchangeable.
+// It deliberately omits the WAL: durability is the map-backed Local's job,
+// the sharded store is the in-memory scale engine.
+//
+// Batch semantics differ from Local in one observable way: a batch is
+// atomic per shard, not across the whole store — two keys in different
+// shards may be observed mid-batch by a concurrent reader. The index's
+// group-commit writer tolerates this (its correctness argument is per-key
+// copy-on-write, never cross-key atomicity).
+type Sharded struct {
+	shards [shardedShards]storeShard
+	ring   []ID
+	peers  []string
+}
+
+var (
+	_ DHT         = (*Sharded)(nil)
+	_ Enumerator  = (*Sharded)(nil)
+	_ Batcher     = (*Sharded)(nil)
+	_ BatchWriter = (*Sharded)(nil)
+)
+
+// NewSharded creates a sharded local DHT with numPeers virtual peers placed
+// on the identifier ring exactly as NewLocal places them.
+func NewSharded(numPeers int) (*Sharded, error) {
+	ring, peers, err := buildVirtualRing(numPeers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{ring: ring, peers: peers}
+	for i := range s.shards {
+		s.shards[i].store = make(map[Key]any)
+	}
+	return s, nil
+}
+
+// MustNewSharded is NewSharded for trusted constants; it panics on error.
+func MustNewSharded(numPeers int) *Sharded {
+	s, err := NewSharded(numPeers)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// shardOf picks the partition for a key: seedless FNV over the key bytes,
+// finalised so consecutive keys spread over all shards.
+func (s *Sharded) shardOf(key Key) *storeShard {
+	h := hashseed.Fmix64(hashseed.String(hashseed.FNVOffset64, string(key)))
+	return &s.shards[h&(shardedShards-1)]
+}
+
+// Put implements DHT.
+func (s *Sharded) Put(key Key, value any) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.store[key] = value
+	sh.mu.Unlock()
+	return nil
+}
+
+// Get implements DHT.
+func (s *Sharded) Get(key Key) (any, bool, error) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	v, ok := sh.store[key]
+	sh.mu.RUnlock()
+	return v, ok, nil
+}
+
+// Remove implements DHT.
+func (s *Sharded) Remove(key Key) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	delete(sh.store, key)
+	sh.mu.Unlock()
+	return nil
+}
+
+// Apply implements DHT: the transform runs under the key's shard lock, so
+// it is atomic with respect to every other operation on that key.
+func (s *Sharded) Apply(key Key, fn ApplyFunc) error {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.store[key]
+	next, keep := fn(cur, ok)
+	if keep {
+		sh.store[key] = next
+	} else {
+		delete(sh.store, key)
+	}
+	return nil
+}
+
+// Owner implements DHT, identically to Local: the first virtual peer at or
+// after hash(key) on the ring.
+func (s *Sharded) Owner(key Key) (string, error) {
+	id := HashKey(key)
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].Cmp(id) >= 0 })
+	if i == len(s.ring) {
+		i = 0
+	}
+	return s.peers[i], nil
+}
+
+// Peers returns the names of all virtual peers.
+func (s *Sharded) Peers() []string {
+	return append([]string(nil), s.peers...)
+}
+
+// GetBatch implements Batcher: keys are grouped by shard and each shard is
+// read under one shared-lock acquisition.
+func (s *Sharded) GetBatch(keys []Key, maxInFlight int) []BatchResult {
+	results := make([]BatchResult, len(keys))
+	var byShard [shardedShards][]int
+	for i, k := range keys {
+		h := hashseed.Fmix64(hashseed.String(hashseed.FNVOffset64, string(k))) & (shardedShards - 1)
+		byShard[h] = append(byShard[h], i)
+	}
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, i := range idxs {
+			v, ok := sh.store[keys[i]]
+			results[i] = BatchResult{Value: v, Found: ok}
+		}
+		sh.mu.RUnlock()
+	}
+	return results
+}
+
+// PutBatch implements BatchWriter: ops are grouped by shard and each
+// shard's group lands under one exclusive-lock acquisition.
+func (s *Sharded) PutBatch(ops []PutOp, maxInFlight int) []error {
+	errs := make([]error, len(ops))
+	var byShard [shardedShards][]int
+	for i, op := range ops {
+		h := hashseed.Fmix64(hashseed.String(hashseed.FNVOffset64, string(op.Key))) & (shardedShards - 1)
+		byShard[h] = append(byShard[h], i)
+	}
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			sh.store[ops[i].Key] = ops[i].Value
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
+// ApplyBatch implements BatchWriter: transforms are grouped by shard and
+// run under that shard's exclusive lock, preserving per-key atomicity and
+// the in-order execution of same-key transforms.
+func (s *Sharded) ApplyBatch(ops []ApplyOp, maxInFlight int) []error {
+	errs := make([]error, len(ops))
+	var byShard [shardedShards][]int
+	for i, op := range ops {
+		h := hashseed.Fmix64(hashseed.String(hashseed.FNVOffset64, string(op.Key))) & (shardedShards - 1)
+		byShard[h] = append(byShard[h], i)
+	}
+	for si := range byShard {
+		idxs := byShard[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			op := ops[i]
+			cur, ok := sh.store[op.Key]
+			next, keep := op.Fn(cur, ok)
+			if keep {
+				sh.store[op.Key] = next
+			} else {
+				delete(sh.store, op.Key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
+// Range implements Enumerator. Like Local's, the iteration works from a
+// point-in-time key snapshot and re-reads each value, so fn never runs
+// under a shard lock.
+func (s *Sharded) Range(fn func(key Key, value any) bool) error {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		keys := make([]Key, 0, len(sh.store))
+		for k := range sh.store {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		for _, k := range keys {
+			sh.mu.RLock()
+			v, ok := sh.store[k]
+			sh.mu.RUnlock()
+			if !ok {
+				continue
+			}
+			if !fn(k, v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored entries across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		n += len(sh.store)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -117,8 +117,8 @@ func sameIngestTree(a, b *core.Index) error {
 	contents := func(bs []core.Bucket) map[string]map[string]int {
 		out := make(map[string]map[string]int, len(bs))
 		for _, bk := range bs {
-			set := make(map[string]int, len(bk.Records))
-			for _, rec := range bk.Records {
+			set := make(map[string]int, bk.Load())
+			for _, rec := range bk.Records() {
 				set[fmt.Sprint(rec.Data)]++
 			}
 			out[bk.Label.String()] = set

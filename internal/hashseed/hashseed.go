@@ -1,0 +1,80 @@
+// Package hashseed is the repository's seeded, allocation-free hashing
+// toolkit. Deterministic components (the simnet drop streams, the churn
+// scheduler, stripe selection in sharded tables) derive pseudo-random
+// decisions by hashing an explicit seed together with the decision's
+// coordinates — edge, sequence number, round, node id — instead of
+// consulting a stateful generator. Hash-derived draws have two properties a
+// shared rand.Rand cannot offer: they are independent of call interleaving
+// (concurrent callers cannot reorder each other's streams), and they never
+// allocate (the standard hash/fnv constructor heap-allocates a hasher per
+// use, which is why hot paths fold the FNV-1a step inline here).
+//
+// Every function is a pure function of its arguments. The FNV-1a helpers
+// are byte-identical to feeding the same bytes through hash/fnv.New64a —
+// pinned by tests in this package and by the simnet golden-stream test —
+// so switching a call site from hash/fnv to hashseed never changes a seeded
+// run's behavior.
+//
+// This package is the sanctioned alternative to hash/maphash, whose seeds
+// are randomized per process and therefore break reproducibility (the
+// mlight-lint determinism pass rejects maphash outside this package).
+package hashseed
+
+const (
+	// FNVOffset64 is the FNV-1a 64-bit offset basis: the initial hash state.
+	FNVOffset64 uint64 = 14695981039346656037
+	// FNVPrime64 is the FNV-1a 64-bit prime.
+	FNVPrime64 uint64 = 1099511628211
+)
+
+// Byte folds one byte into an FNV-1a running hash.
+func Byte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * FNVPrime64
+}
+
+// String folds the bytes of s into an FNV-1a running hash.
+func String(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * FNVPrime64
+	}
+	return h
+}
+
+// Bytes folds p into an FNV-1a running hash.
+func Bytes(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * FNVPrime64
+	}
+	return h
+}
+
+// Uint64LE folds v into an FNV-1a running hash as 8 little-endian bytes,
+// matching binary.LittleEndian.PutUint64 followed by a Write.
+func Uint64LE(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * FNVPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fmix64 is the murmur3 64-bit finalizer. FNV's final multiply diffuses the
+// last input bytes into the middle of the word but barely into the top bits;
+// inputs that differ only in trailing characters (node-1, node-2, ...) hash
+// to nearly the same high bits. Apply Fmix64 before taking top bits (Unit)
+// or a modulus to restore avalanche.
+func Fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Unit maps a 64-bit hash onto [0,1) using its top 53 bits — the same
+// construction math/rand.Float64 uses, so comparing against a probability
+// honours it uniformly.
+func Unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

@@ -119,7 +119,7 @@ func (s *Service) resolveAt(node *chord.Node, req forwardReq) (forwardResp, erro
 		return forwardResp{}, fmt.Errorf("peerquery: key for %v holds %T", req.Beta, v)
 	}
 	resp := forwardResp{}
-	resp.Records = filterRecords(b.Records, req.Query)
+	resp.Records = filterRecords(b, req.Query)
 	leafRegion, err := spatial.RegionOf(b.Label, m)
 	if err != nil {
 		return forwardResp{}, err
@@ -206,7 +206,7 @@ func (s *Service) fallbackLookup(node *chord.Node, req forwardReq) (forwardResp,
 		}
 		if v, found := n.LocalGet(key); found {
 			if b, isBucket := v.(core.Bucket); isBucket && b.Label.IsPrefixOf(path) {
-				resp.Records = filterRecords(b.Records, req.Query)
+				resp.Records = filterRecords(b, req.Query)
 				return resp, nil
 			}
 		}
@@ -245,11 +245,11 @@ func (s *Service) entryAddr() simnet.NodeID {
 	return nodes[0]
 }
 
-func filterRecords(records []spatial.Record, q spatial.Rect) []spatial.Record {
+func filterRecords(b core.Bucket, q spatial.Rect) []spatial.Record {
 	var out []spatial.Record
-	for _, r := range records {
-		if q.Contains(r.Key) {
-			out = append(out, r)
+	for i, n := 0, b.Load(); i < n; i++ {
+		if q.Contains(b.KeyAt(i)) {
+			out = append(out, b.RecordAt(i))
 		}
 	}
 	return out

@@ -1,0 +1,205 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// globalMutexNet is the pre-fast-path Network core, retained verbatim (minus
+// tracing) as the benchmark baseline: one global mutex guarding the node
+// table, the down set, the tuning knobs, and the edge-sequence map, with a
+// heap-allocated FNV hasher per drop draw and an unconditional hop-name
+// concatenation. BenchmarkSimnetCallParallel quantifies the fast path
+// against it; the ≥2× acceptance bar is measured here.
+type globalMutexNet struct {
+	mu        sync.Mutex
+	nodes     map[NodeID]Handler
+	down      map[NodeID]bool
+	latency   LatencyModel
+	drop      float64
+	realDelay bool
+	seed      int64
+	edgeSeq   map[edgeKey]uint64
+
+	rpcs    atomic.Int64
+	simTime atomic.Int64
+}
+
+func newGlobalMutexNet(opts Options) *globalMutexNet {
+	lat := opts.Latency
+	if lat == nil {
+		lat = ConstantLatency(0)
+	}
+	return &globalMutexNet{
+		nodes:   make(map[NodeID]Handler),
+		down:    make(map[NodeID]bool),
+		latency: lat,
+		drop:    opts.DropRate,
+		seed:    opts.Seed,
+		edgeSeq: make(map[edgeKey]uint64),
+	}
+}
+
+func (n *globalMutexNet) register(id NodeID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = h
+}
+
+func (n *globalMutexNet) nextDrop(from, to NodeID) bool {
+	k := edgeKey{from, to}
+	seq := n.edgeSeq[k]
+	n.edgeSeq[k] = seq + 1
+	h := fnv.New64a()
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(n.seed))
+	h.Write(word[:])
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	binary.LittleEndian.PutUint64(word[:], seq)
+	h.Write(word[:])
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	return u < n.drop
+}
+
+func (n *globalMutexNet) call(from, to NodeID, req any) (any, error) {
+	n.mu.Lock()
+	if n.down[from] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrCallerDown, from)
+	}
+	h, ok := n.nodes[to]
+	isDown := n.down[to]
+	dropped := false
+	if ok && !isDown && n.drop > 0 && from != to {
+		dropped = n.nextDrop(from, to)
+	}
+	var rtt time.Duration
+	if from != to {
+		rtt = n.latency(from, to) + n.latency(to, from)
+	}
+	n.mu.Unlock()
+
+	if from != to {
+		n.rpcs.Add(1)
+	}
+	hopName := string(from) + "→" + string(to)
+	hopSink = hopName // the historical code built this unconditionally; defeat DCE so the baseline pays for it too
+	if !ok || isDown {
+		return nil, fmt.Errorf("%w: %q", ErrUnreachable, to)
+	}
+	if dropped {
+		return nil, fmt.Errorf("%w: link %q→%q dropped message", ErrUnreachable, from, to)
+	}
+	if from != to {
+		n.simTime.Add(int64(rtt))
+	}
+	return h.HandleRPC(from, req)
+}
+
+// hopSink defeats dead-code elimination of the baseline's unconditional
+// hop-name concatenation.
+var hopSink string
+
+func benchNodes(n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("node-%d", i))
+	}
+	return ids
+}
+
+// BenchmarkSimnetCall pins the serial delivered-RPC path: 0 allocs/op with
+// tracing off (the hop-name concatenation is gated on an attached tracer).
+func BenchmarkSimnetCall(b *testing.B) {
+	n := New(Options{Seed: 1})
+	ids := benchNodes(64)
+	for _, id := range ids {
+		if err := n.Register(id, echoHandler()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ids[i&63]
+		to := ids[(i+17)&63]
+		if _, err := n.Call(from, to, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimnetCallLossy measures the drop-draw overhead (striped edge
+// counters + inline FNV) at a 5% loss rate.
+func BenchmarkSimnetCallLossy(b *testing.B) {
+	n := New(Options{Seed: 1, DropRate: 0.05})
+	ids := benchNodes(64)
+	for _, id := range ids {
+		if err := n.Register(id, echoHandler()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		//lint:allow droppederr lossy benchmark: drops are the measured behavior, not a failure
+		n.Call(ids[i&63], ids[(i+17)&63], nil)
+	}
+}
+
+// run32Goroutines pins the acceptance workload: exactly 32 goroutines on 32
+// scheduler threads (GOMAXPROCS is raised for the duration so the goroutines
+// genuinely interleave even on small CI machines — contention on a global
+// mutex only exists when threads can preempt each other mid-critical-section).
+func run32Goroutines(b *testing.B, call func(i int)) {
+	prev := runtime.GOMAXPROCS(32)
+	defer runtime.GOMAXPROCS(prev)
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			call(i)
+			i++
+		}
+	})
+}
+
+// BenchmarkSimnetCallParallel drives the fast path from 32 goroutines — the
+// acceptance benchmark. Compare against the GlobalMutex variant below; the
+// fast path must sustain ≥2× its throughput.
+func BenchmarkSimnetCallParallel(b *testing.B) {
+	n := New(Options{Seed: 1})
+	ids := benchNodes(256)
+	for _, id := range ids {
+		if err := n.Register(id, echoHandler()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run32Goroutines(b, func(i int) {
+		//lint:allow droppederr lossless throughput benchmark: the error path is structurally unreachable
+		n.Call(ids[i&255], ids[(i+31)&255], nil)
+	})
+}
+
+// BenchmarkSimnetCallParallelGlobalMutex is the retained pre-PR baseline
+// under the identical 32-goroutine workload.
+func BenchmarkSimnetCallParallelGlobalMutex(b *testing.B) {
+	n := newGlobalMutexNet(Options{Seed: 1})
+	ids := benchNodes(256)
+	for _, id := range ids {
+		n.register(id, echoHandler())
+	}
+	run32Goroutines(b, func(i int) {
+		n.call(ids[i&255], ids[(i+31)&255], nil)
+	})
+}

@@ -1,9 +1,9 @@
 package simnet
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"sort"
+
+	"mlight/internal/hashseed"
 )
 
 // This file implements the sustained-churn scheduler: a deterministic,
@@ -116,26 +116,16 @@ func (s *ChurnScheduler) Round() int { return s.round }
 // nodes exist, so adding a peer to the overlay does not reshuffle every
 // other peer's fate.
 func (s *ChurnScheduler) draw(purpose byte, node NodeID) float64 {
-	h := fnv.New64a()
-	var word [8]byte
-	binary.LittleEndian.PutUint64(word[:], uint64(s.cfg.Seed))
-	h.Write(word[:])
-	binary.LittleEndian.PutUint64(word[:], uint64(s.round))
-	h.Write(word[:])
-	h.Write([]byte{purpose})
-	h.Write([]byte(node))
+	h := hashseed.Uint64LE(hashseed.FNVOffset64, uint64(s.cfg.Seed))
+	h = hashseed.Uint64LE(h, uint64(s.round))
+	h = hashseed.Byte(h, purpose)
+	h = hashseed.String(h, string(node))
 	// FNV's final multiply diffuses the last input bytes into the middle of
 	// the word but barely into the top bits, and node ids differ mostly in
 	// their trailing characters — without extra mixing every "node-N" drew
 	// nearly the same value each round, making departures all-or-nothing
-	// across the cluster. A murmur3-style finalizer restores avalanche.
-	x := h.Sum64()
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return float64(x>>11) / (1 << 53)
+	// across the cluster. The murmur3-style finalizer restores avalanche.
+	return hashseed.Unit(hashseed.Fmix64(h))
 }
 
 // Step draws the events for the next session-time round. live is the set of

@@ -1,0 +1,182 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"sort"
+	"testing"
+)
+
+// oldDropDraw reproduces the pre-fast-path drop construction verbatim: a
+// heap-allocated hash/fnv hasher fed [seed LE][from][0x00][to][seq LE],
+// top 53 bits mapped onto [0,1). The inline hashseed version in nextDrop
+// must be byte-identical to this for every (seed, edge, seq).
+func oldDropDraw(seed int64, from, to NodeID, seq uint64) float64 {
+	h := fnv.New64a()
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(seed))
+	h.Write(word[:])
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	binary.LittleEndian.PutUint64(word[:], seq)
+	h.Write(word[:])
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// TestDropStreamGolden is the golden-stream equivalence test: for a matrix
+// of seeds, edges (including prefix-ambiguous pairs), and stream positions,
+// the fast-path drop decision must match the historical FNV construction
+// exactly. Every conformance suite's loss pattern depends on this.
+func TestDropStreamGolden(t *testing.T) {
+	seeds := []int64{0, 1, 7, 42, -3, 1 << 40}
+	edges := [][2]NodeID{
+		{"a", "b"},
+		{"b", "a"},
+		{"node-1", "node-2"},
+		{"node-12", "node-345"},
+		{"ab", "c"}, // must differ from ("a","bc") — the 0x00 separator
+		{"a", "bc"},
+		{"", "x"},
+		{"x", ""},
+	}
+	rates := []float64{0.05, 0.5, 0.95}
+	for _, seed := range seeds {
+		for _, rate := range rates {
+			n := New(Options{Seed: seed, DropRate: rate})
+			for _, e := range edges {
+				for seq := uint64(0); seq < 64; seq++ {
+					want := oldDropDraw(seed, e[0], e[1], seq) < rate
+					got := n.nextDrop(seed, rate, e[0], e[1])
+					if got != want {
+						t.Fatalf("seed=%d rate=%v edge=%q→%q seq=%d: drop=%v, want %v",
+							seed, rate, e[0], e[1], seq, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDropStreamEndToEnd drives real Calls through a lossy network and
+// checks the observed outcome sequence against the historical construction,
+// so the seq-counter plumbing (striped table) is covered too.
+func TestDropStreamEndToEnd(t *testing.T) {
+	const seed, rate = 99, 0.3
+	n := New(Options{Seed: seed, DropRate: rate})
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := n.Register(id, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, edge := range [][2]NodeID{{"a", "b"}, {"b", "c"}, {"c", "a"}} {
+		for seq := uint64(0); seq < 200; seq++ {
+			wantDrop := oldDropDraw(seed, edge[0], edge[1], seq) < rate
+			_, err := n.Call(edge[0], edge[1], seq)
+			if gotDrop := errors.Is(err, ErrUnreachable); gotDrop != wantDrop {
+				t.Fatalf("edge %q→%q seq %d: dropped=%v, want %v", edge[0], edge[1], seq, gotDrop, wantDrop)
+			}
+		}
+	}
+}
+
+// TestNodesSorted pins the satellite fix: Nodes() returns sorted order, not
+// map-iteration order, so membership snapshots are deterministic.
+func TestNodesSorted(t *testing.T) {
+	n := New(Options{})
+	ids := []NodeID{"node-9", "node-03", "alpha", "zeta", "node-1", "m", "b"}
+	for _, id := range ids {
+		if err := n.Register(id, echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append([]NodeID(nil), ids...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for trial := 0; trial < 10; trial++ {
+		got := n.Nodes()
+		if len(got) != len(want) {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Nodes()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+			}
+		}
+	}
+}
+
+// TestCallZeroAlloc is the allocs/op gate for the delivered-RPC path: no
+// allocations with tracing off, both lossless and under injected loss, and
+// regardless of latency modeling. CI runs this in the scale-smoke job.
+func TestCallZeroAlloc(t *testing.T) {
+	n := New(Options{Seed: 5})
+	if err := n.Register("node-a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("node-b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := n.Call("node-a", "node-b", nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("lossless Call allocs/op = %v, want 0", allocs)
+	}
+
+	// With loss injection active the delivered path additionally walks the
+	// striped edge-sequence table and the inline drop hash — still zero
+	// allocations. The rate is small enough that every draw of this seeded
+	// stream delivers (dropped calls allocate their error by design).
+	n.SetDropRate(1e-12)
+	//lint:allow droppederr warm-up call: only the edge-counter side effect matters
+	n.Call("node-a", "node-b", nil) // materialize the edge counter
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := n.Call("node-a", "node-b", nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("delivered Call under loss injection allocs/op = %v, want 0", allocs)
+	}
+	n.SetDropRate(0)
+
+	// Self-calls are also on the hot path for co-located shards.
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := n.Call("node-a", "node-a", nil); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("self-Call allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestConfigSnapshotConsistency exercises Set* under concurrent traffic —
+// the race detector checks the atomic snapshot swap.
+func TestConfigSnapshotConsistency(t *testing.T) {
+	n := New(Options{Seed: 3})
+	if err := n.Register("a", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			n.SetDropRate(float64(i%2) * 0.5)
+			n.SetRealDelay(i%3 == 0)
+			n.SetRealDelay(false)
+			n.SetDropRate(0)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		//lint:allow droppederr drop rate toggles mid-test: both outcomes are valid
+		n.Call("a", "b", i)
+	}
+	<-done
+	if got := n.NumNodes(); got != 2 {
+		t.Errorf("NumNodes = %d, want 2", got)
+	}
+}

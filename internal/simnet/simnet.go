@@ -9,16 +9,26 @@
 // deterministic and fast while still exercising the real routing logic of
 // the overlays. The paper's own evaluation ran logical peers in one LAN
 // process group and measured logical DHT operations, which this reproduces.
+//
+// The data plane is built for scale: a 100k-peer simulation drives tens of
+// millions of Calls, so the delivered-RPC path is zero-alloc and lock-free.
+// Peer state lives in striped shards of immutable copy-on-write snapshots
+// (one atomic load per lookup, no shared-memory writes), tuning knobs live
+// in an atomically swapped config snapshot, drop decisions are computed
+// with inline seeded hashing (hashseed) instead of a heap-allocated hasher,
+// and per-edge sequence counters are striped so all-pairs workloads do not
+// serialize on one mutex.
 package simnet
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mlight/internal/hashseed"
 	"mlight/internal/metrics"
 	"mlight/internal/trace"
 	"mlight/internal/transport"
@@ -114,6 +124,78 @@ type Options struct {
 	RealDelay bool
 }
 
+// peerShards and edgeStripes size the striped tables. Powers of two so the
+// selector is a mask. 256 shards keeps per-shard populations around ~400
+// nodes at the 100k-peer target and makes same-shard collisions rare for a
+// 32-goroutine driver, while staying negligible (~100KB of padded headers)
+// for the small fixtures the unit tests build.
+const (
+	peerShards  = 256
+	edgeStripes = 256
+)
+
+// shardState is one shard's immutable membership snapshot. Call reads it
+// with a single atomic load and never writes shared memory, so concurrent
+// callers do not bounce cache lines; mutators (Register, SetDown, churn
+// events) clone-and-swap under the shard mutex. Shards stay small (~400
+// nodes at the 100k-peer target across 256 shards), so a clone per
+// membership change is cheap, and membership changes are rare next to Calls.
+type shardState struct {
+	nodes map[NodeID]Handler
+	down  map[NodeID]bool
+}
+
+// peerShard holds one stripe of the node table. Padded to its own cache
+// lines so shards touched by different mutators do not false-share.
+type peerShard struct {
+	mu    sync.Mutex // serializes clone-and-swap mutations
+	state atomic.Pointer[shardState]
+	_     [112]byte // pad to two cache lines
+}
+
+// clone copies the snapshot for a mutator to edit privately.
+func (st *shardState) clone() *shardState {
+	next := &shardState{
+		nodes: make(map[NodeID]Handler, len(st.nodes)+1),
+		down:  make(map[NodeID]bool, len(st.down)+1),
+	}
+	for id, h := range st.nodes {
+		next.nodes[id] = h
+	}
+	for id := range st.down {
+		next.down[id] = true
+	}
+	return next
+}
+
+// mutate applies fn to a private clone of the shard's state and publishes
+// it. In-flight readers keep the snapshot they loaded.
+func (s *peerShard) mutate(fn func(*shardState)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.state.Load().clone()
+	fn(next)
+	s.state.Store(next)
+}
+
+// seqStripe holds one stripe of the per-edge message counters.
+type seqStripe struct {
+	mu  sync.Mutex
+	seq map[edgeKey]uint64
+	_   [112]byte // pad to two cache lines
+}
+
+// netConfig is the immutable tuning snapshot Call reads with one atomic
+// load. Set* methods replace the whole snapshot, so the hot path never
+// takes a lock to learn the drop rate, latency model, or tracer.
+type netConfig struct {
+	latency   LatencyModel
+	drop      float64
+	realDelay bool
+	seed      int64
+	tracer    *trace.Collector
+}
+
 // Network is the simulated message fabric. The zero value is not usable;
 // construct with New.
 //
@@ -123,15 +205,11 @@ type Options struct {
 // than one shared generator, so which messages are dropped for a given seed
 // does not depend on how concurrent callers happen to interleave.
 type Network struct {
-	mu        sync.Mutex
-	nodes     map[NodeID]Handler
-	down      map[NodeID]bool
-	latency   LatencyModel
-	drop      float64
-	realDelay bool
-	seed      int64
-	edgeSeq   map[edgeKey]uint64
-	tracer    *trace.Collector
+	shards [peerShards]peerShard
+	seqs   [edgeStripes]seqStripe
+	cfg    atomic.Pointer[netConfig]
+	cfgMu  sync.Mutex // serializes Set* read-modify-write on cfg
+	nnodes atomic.Int64
 
 	// RPCs counts attempted remote procedure calls (including failed ones).
 	RPCs metrics.Counter
@@ -149,19 +227,43 @@ func New(opts Options) *Network {
 	if lat == nil {
 		lat = ConstantLatency(0)
 	}
-	return &Network{
-		nodes:     make(map[NodeID]Handler),
-		down:      make(map[NodeID]bool),
+	n := &Network{}
+	n.cfg.Store(&netConfig{
 		latency:   lat,
 		drop:      opts.DropRate,
 		realDelay: opts.RealDelay,
 		seed:      opts.Seed,
-		edgeSeq:   make(map[edgeKey]uint64),
+	})
+	empty := &shardState{nodes: map[NodeID]Handler{}, down: map[NodeID]bool{}}
+	for i := range n.shards {
+		n.shards[i].state.Store(empty)
 	}
+	for i := range n.seqs {
+		n.seqs[i].seq = make(map[edgeKey]uint64)
+	}
+	return n
+}
+
+// shard picks the peer stripe holding id. The raw FNV hash of short ids
+// with common prefixes ("node-1", "node-2") clusters in its low bits'
+// neighborhood, so finish with Fmix64 before masking.
+func (n *Network) shard(id NodeID) *peerShard {
+	h := hashseed.String(hashseed.FNVOffset64, string(id))
+	return &n.shards[hashseed.Fmix64(h)&(peerShards-1)]
 }
 
 // edgeKey identifies a directed link for the per-edge drop streams.
 type edgeKey struct{ from, to NodeID }
+
+// stripe picks the counter stripe for a directed edge. The stripe choice is
+// pure bookkeeping — it never feeds the drop stream — so it can use any
+// stable hash of the edge.
+func (n *Network) stripe(from, to NodeID) *seqStripe {
+	h := hashseed.String(hashseed.FNVOffset64, string(from))
+	h = hashseed.Byte(h, 0)
+	h = hashseed.String(h, string(to))
+	return &n.seqs[hashseed.Fmix64(h)&(edgeStripes-1)]
+}
 
 // nextDrop draws the next loss decision for the directed edge (from, to).
 // Each edge carries its own deterministic Bernoulli stream, keyed on (seed,
@@ -172,24 +274,27 @@ type edgeKey struct{ from, to NodeID }
 // reproducible when lookups and range queries issue RPCs in parallel.
 // (Two goroutines racing on the *same* edge still contend for adjacent
 // stream positions — the set of decisions is fixed, only their assignment
-// to the racing calls can swap.) Must be called with n.mu held.
-func (n *Network) nextDrop(from, to NodeID) bool {
+// to the racing calls can swap.)
+//
+// The hash is inline FNV-1a over [seed LE][from][0x00][to][seq LE] — the
+// 0x00 separator keeps ("ab","c") and ("a","bc") distinct edges —
+// byte-identical to the historical hash/fnv construction (pinned by
+// TestDropStreamGolden) but without the heap-allocated hasher.
+func (n *Network) nextDrop(seed int64, drop float64, from, to NodeID) bool {
 	k := edgeKey{from, to}
-	seq := n.edgeSeq[k]
-	n.edgeSeq[k] = seq + 1
-	h := fnv.New64a()
-	var word [8]byte
-	binary.LittleEndian.PutUint64(word[:], uint64(n.seed))
-	h.Write(word[:])
-	h.Write([]byte(from))
-	h.Write([]byte{0}) // separator: ("ab","c") and ("a","bc") are distinct edges
-	h.Write([]byte(to))
-	binary.LittleEndian.PutUint64(word[:], seq)
-	h.Write(word[:])
+	st := n.stripe(from, to)
+	st.mu.Lock()
+	seq := st.seq[k]
+	st.seq[k] = seq + 1
+	st.mu.Unlock()
+	h := hashseed.Uint64LE(hashseed.FNVOffset64, uint64(seed))
+	h = hashseed.String(h, string(from))
+	h = hashseed.Byte(h, 0)
+	h = hashseed.String(h, string(to))
+	h = hashseed.Uint64LE(h, seq)
 	// Map the top 53 bits onto [0,1) — the same construction rand.Float64
 	// uses, so the drop probability is honoured uniformly.
-	u := float64(h.Sum64()>>11) / (1 << 53)
-	return u < n.drop
+	return hashseed.Unit(h) < drop
 }
 
 // Register attaches a handler under id. It fails if id is already present.
@@ -197,30 +302,48 @@ func (n *Network) Register(id NodeID, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("simnet: nil handler for %q", id)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.nodes[id]; ok {
+	s := n.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.state.Load()
+	if _, ok := cur.nodes[id]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
 	}
-	n.nodes[id] = h
+	next := cur.clone()
+	next.nodes[id] = h
+	s.state.Store(next)
+	n.nnodes.Add(1)
 	return nil
 }
 
 // Deregister removes a node entirely (a departed peer).
 func (n *Network) Deregister(id NodeID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.nodes, id)
-	delete(n.down, id)
+	n.shard(id).mutate(func(st *shardState) {
+		if _, ok := st.nodes[id]; ok {
+			delete(st.nodes, id)
+			n.nnodes.Add(-1)
+		}
+		delete(st.down, id)
+	})
+}
+
+// updateConfig applies one mutation to a copy of the current snapshot and
+// publishes it. Concurrent in-flight Calls keep the snapshot they loaded —
+// a Call observes the tuning state from either side of the change, never a
+// mix.
+func (n *Network) updateConfig(mutate func(*netConfig)) {
+	n.cfgMu.Lock()
+	defer n.cfgMu.Unlock()
+	c := *n.cfg.Load()
+	mutate(&c)
+	n.cfg.Store(&c)
 }
 
 // SetRealDelay switches wall-clock delay enforcement on or off at runtime.
 // Typical use: build and stabilize an overlay with delays off (joins issue
 // thousands of RPCs), then enable them for the measured phase.
 func (n *Network) SetRealDelay(on bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.realDelay = on
+	n.updateConfig(func(c *netConfig) { c.realDelay = on })
 }
 
 // SetTracer attaches a trace collector: every network-touching RPC is
@@ -230,18 +353,14 @@ func (n *Network) SetRealDelay(on bool) {
 // correlated with query spans by their position on the shared logical
 // clock). A nil collector, the default, records nothing.
 func (n *Network) SetTracer(c *trace.Collector) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.tracer = c
+	n.updateConfig(func(cfg *netConfig) { cfg.tracer = c })
 }
 
 // SetDropRate changes the link-loss probability at runtime. Typical use:
 // build and stabilize an overlay losslessly, then inject loss for the
 // measured phase of a resilience experiment.
 func (n *Network) SetDropRate(rate float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.drop = rate
+	n.updateConfig(func(c *netConfig) { c.drop = rate })
 }
 
 // SetDown marks a node as partitioned (true) or healed (false) without
@@ -253,13 +372,13 @@ func (n *Network) SetDropRate(rate float64) {
 // tests that "recover" a node with SetDown(id, false) silently keep every
 // pre-failure bucket alive, proving nothing about recovery.
 func (n *Network) SetDown(id NodeID, down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if down {
-		n.down[id] = true
-	} else {
-		delete(n.down, id)
-	}
+	n.shard(id).mutate(func(st *shardState) {
+		if down {
+			st.down[id] = true
+		} else {
+			delete(st.down, id)
+		}
+	})
 }
 
 // Crash marks a node down and destroys its volatile state: if the node's
@@ -270,14 +389,16 @@ func (n *Network) SetDown(id NodeID, down bool) {
 // crashing an already-down node re-runs OnCrash (a partitioned process can
 // still die).
 func (n *Network) Crash(id NodeID) error {
-	n.mu.Lock()
-	h, ok := n.nodes[id]
-	if !ok {
-		n.mu.Unlock()
+	var h Handler
+	n.shard(id).mutate(func(st *shardState) {
+		if got, ok := st.nodes[id]; ok {
+			h = got
+			st.down[id] = true
+		}
+	})
+	if h == nil {
 		return fmt.Errorf("simnet: crash of unregistered node %q", id)
 	}
-	n.down[id] = true
-	n.mu.Unlock()
 	if c, ok := h.(Crasher); ok {
 		c.OnCrash()
 	}
@@ -289,14 +410,16 @@ func (n *Network) Crash(id NodeID) error {
 // durable state and rejoin before serving traffic. Peers can reach the node
 // as soon as Restart returns.
 func (n *Network) Restart(id NodeID) error {
-	n.mu.Lock()
-	h, ok := n.nodes[id]
-	if !ok {
-		n.mu.Unlock()
+	var h Handler
+	n.shard(id).mutate(func(st *shardState) {
+		if got, ok := st.nodes[id]; ok {
+			h = got
+			delete(st.down, id)
+		}
+	})
+	if h == nil {
 		return fmt.Errorf("simnet: restart of unregistered node %q", id)
 	}
-	delete(n.down, id)
-	n.mu.Unlock()
 	if r, ok := h.(Restarter); ok {
 		r.OnRestart()
 	}
@@ -305,27 +428,27 @@ func (n *Network) Restart(id NodeID) error {
 
 // IsDown reports whether the node is currently marked crashed.
 func (n *Network) IsDown(id NodeID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.down[id]
+	return n.shard(id).state.Load().down[id]
 }
 
-// Nodes returns the identifiers of all registered nodes (up or down).
+// Nodes returns the identifiers of all registered nodes (up or down), in
+// sorted order. Callers that snapshot membership (the churn scheduler,
+// experiments) can rely on the order being stable for a given membership —
+// map-iteration order must never leak into a seeded run's behavior.
 func (n *Network) Nodes() []NodeID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		out = append(out, id)
+	out := make([]NodeID, 0, n.nnodes.Load())
+	for i := range n.shards {
+		for id := range n.shards[i].state.Load().nodes {
+			out = append(out, id)
+		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // NumNodes returns the number of registered nodes.
 func (n *Network) NumNodes() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.nodes)
+	return int(n.nnodes.Load())
 }
 
 // OneWayLatency returns the modeled one-way delay between two peers —
@@ -334,9 +457,7 @@ func (n *Network) OneWayLatency(from, to NodeID) time.Duration {
 	if from == to {
 		return 0
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.latency(from, to)
+	return n.cfg.Load().latency(from, to)
 }
 
 // SimulatedRTT returns the total modeled round-trip time accumulated over
@@ -350,49 +471,49 @@ func (n *Network) SimulatedRTT() time.Duration {
 // counting as network traffic, mirroring local processing on a peer. A down
 // caller fails locally with ErrCallerDown: the call never reaches the
 // network, so it is not counted in RPCs and cannot be dropped.
+//
+// The delivered path performs no allocations and takes no lock: one atomic
+// config load, one atomic snapshot load per peer shard, and (only under
+// injected loss) one stripe of the edge-sequence table. TestCallZeroAlloc
+// and BenchmarkSimnetCallParallel pin this.
 func (n *Network) Call(from, to NodeID, req any) (any, error) {
-	n.mu.Lock()
-	if n.down[from] {
-		n.mu.Unlock()
+	cfg := n.cfg.Load()
+
+	if n.shard(from).state.Load().down[from] {
 		return nil, fmt.Errorf("%w: %q", ErrCallerDown, from)
 	}
-	h, ok := n.nodes[to]
-	isDown := n.down[to]
+	ts := n.shard(to).state.Load()
+	h, ok := ts.nodes[to]
+	isDown := ts.down[to]
+
 	dropped := false
-	if ok && !isDown && n.drop > 0 && from != to {
-		dropped = n.nextDrop(from, to)
+	if ok && !isDown && cfg.drop > 0 && from != to {
+		dropped = n.nextDrop(cfg.seed, cfg.drop, from, to)
 	}
 	var rtt time.Duration
 	if from != to {
-		rtt = n.latency(from, to) + n.latency(to, from)
-	}
-	realDelay := n.realDelay
-	tracer := n.tracer
-	n.mu.Unlock()
-
-	if from != to {
+		rtt = cfg.latency(from, to) + cfg.latency(to, from)
 		n.RPCs.Inc()
 	}
-	hopName := string(from) + "→" + string(to)
 	if !ok || isDown {
-		if tracer != nil && from != to {
-			tracer.Record(0, trace.KindHop, hopName, 0, trace.Str("outcome", "unreachable"))
+		if cfg.tracer != nil && from != to {
+			cfg.tracer.Record(0, trace.KindHop, string(from)+"→"+string(to), 0, trace.Str("outcome", "unreachable"))
 		}
 		return nil, fmt.Errorf("%w: %q", ErrUnreachable, to)
 	}
 	if dropped {
 		n.Dropped.Inc()
-		if tracer != nil && from != to {
-			tracer.Record(0, trace.KindHop, hopName, rtt.Microseconds(), trace.Str("outcome", "dropped"))
+		if cfg.tracer != nil && from != to {
+			cfg.tracer.Record(0, trace.KindHop, string(from)+"→"+string(to), rtt.Microseconds(), trace.Str("outcome", "dropped"))
 		}
 		return nil, fmt.Errorf("%w: link %q→%q dropped message", ErrUnreachable, from, to)
 	}
 	if from != to {
 		n.simTime.Add(int64(rtt))
-		if tracer != nil {
-			tracer.Record(0, trace.KindHop, hopName, rtt.Microseconds())
+		if cfg.tracer != nil {
+			cfg.tracer.Record(0, trace.KindHop, string(from)+"→"+string(to), rtt.Microseconds())
 		}
-		if realDelay && rtt > 0 {
+		if cfg.realDelay && rtt > 0 {
 			time.Sleep(rtt)
 		}
 	}

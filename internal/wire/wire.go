@@ -77,12 +77,13 @@ func DecodeRecord(buf []byte) (spatial.Record, []byte, error) {
 
 // MarshalBucket encodes a core bucket.
 func MarshalBucket(b core.Bucket) []byte {
-	buf := make([]byte, 0, 16+len(b.Records)*40)
+	n := b.Load()
+	buf := make([]byte, 0, 16+n*40)
 	buf = append(buf, byte(b.Label.Len()))
 	buf = binary.LittleEndian.AppendUint64(buf, b.Label.Bits())
-	buf = binary.AppendUvarint(buf, uint64(len(b.Records)))
-	for _, r := range b.Records {
-		buf = AppendRecord(buf, r)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for i := 0; i < n; i++ {
+		buf = AppendRecord(buf, b.RecordAt(i))
 	}
 	return buf
 }
@@ -111,9 +112,6 @@ func UnmarshalBucket(buf []byte) (core.Bucket, error) {
 		return core.Bucket{}, fmt.Errorf("%w: record count %d exceeds payload", ErrMalformed, count)
 	}
 	out := core.Bucket{Label: label}
-	if count > 0 {
-		out.Records = make([]spatial.Record, 0, count)
-	}
 	for i := uint64(0); i < count; i++ {
 		var rec spatial.Record
 		var err error
@@ -121,7 +119,7 @@ func UnmarshalBucket(buf []byte) (core.Bucket, error) {
 		if err != nil {
 			return core.Bucket{}, fmt.Errorf("record %d: %w", i, err)
 		}
-		out.Records = append(out.Records, rec)
+		out = out.Append(rec)
 	}
 	if len(rest) != 0 {
 		return core.Bucket{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(rest))

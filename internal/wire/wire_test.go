@@ -63,7 +63,7 @@ func randomBucket(rng *rand.Rand) core.Bucket {
 	}
 	b := core.Bucket{Label: label}
 	for i := rng.Intn(30); i > 0; i-- {
-		b.Records = append(b.Records, spatial.Record{
+		b = b.Append(spatial.Record{
 			Key:  spatial.Point{rng.Float64(), rng.Float64()},
 			Data: fmt.Sprintf("payload-%d-%c", i, 'a'+rng.Intn(26)),
 		})
@@ -79,12 +79,12 @@ func TestBucketRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("round trip: %v", err)
 		}
-		if back.Label != b.Label || len(back.Records) != len(b.Records) {
+		if back.Label != b.Label || back.Load() != b.Load() {
 			t.Fatalf("bucket differs after round trip")
 		}
-		for i := range b.Records {
-			if back.Records[i].Data != b.Records[i].Data ||
-				back.Records[i].Key.String() != b.Records[i].Key.String() {
+		for i, n := 0, b.Load(); i < n; i++ {
+			if back.DataAt(i) != b.DataAt(i) ||
+				back.KeyAt(i).String() != b.KeyAt(i).String() {
 				t.Fatalf("record %d differs", i)
 			}
 		}
@@ -92,7 +92,7 @@ func TestBucketRoundTrip(t *testing.T) {
 	// Empty bucket.
 	empty := core.Bucket{Label: bitlabel.Root(2)}
 	back, err := UnmarshalBucket(MarshalBucket(empty))
-	if err != nil || back.Label != empty.Label || len(back.Records) != 0 {
+	if err != nil || back.Label != empty.Label || back.Load() != 0 {
 		t.Fatalf("empty bucket round trip: %+v, %v", back, err)
 	}
 }
@@ -110,10 +110,8 @@ func TestUnmarshalBucketRejectsGarbage(t *testing.T) {
 		}
 	}
 	// Truncated valid encoding.
-	full := MarshalBucket(core.Bucket{
-		Label:   bitlabel.Root(2),
-		Records: []spatial.Record{{Key: spatial.Point{0.5, 0.5}, Data: "x"}},
-	})
+	full := MarshalBucket(core.NewBucket(bitlabel.Root(2),
+		[]spatial.Record{{Key: spatial.Point{0.5, 0.5}, Data: "x"}}))
 	for cut := 1; cut < len(full); cut++ {
 		if _, err := UnmarshalBucket(full[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)

@@ -126,6 +126,10 @@ type (
 	Key = dht.Key
 	// LocalDHT is the in-process substrate.
 	LocalDHT = dht.Local
+	// ShardedDHT is the in-process substrate partitioned over
+	// independently-locked shards — same ownership ring as LocalDHT,
+	// built for multi-million-record single-process runs.
+	ShardedDHT = dht.Sharded
 
 	// RetryPolicy configures the optional fault-tolerance layer
 	// (Options.Retry): retry budgets, backoff, and per-owner circuit
@@ -264,6 +268,15 @@ var (
 // ring). It panics only on non-positive peer counts.
 func NewLocalDHT(peers int) *LocalDHT {
 	return dht.MustNewLocal(peers)
+}
+
+// NewShardedDHT creates the sharded in-process substrate: key ownership is
+// identical to NewLocalDHT's, but the store is partitioned over 256
+// independently-locked shards so concurrent ingest and queries do not
+// serialise on one mutex. Use it for large single-process experiments. It
+// panics only on non-positive peer counts.
+func NewShardedDHT(peers int) *ShardedDHT {
+	return dht.MustNewSharded(peers)
 }
 
 // NewRect validates and builds a closed query rectangle.
