@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"mlight/internal/analysis"
+)
+
+// fixEdit is one splice in one source file: the bytes in [start,end) are
+// replaced with repl (empty for a deletion).
+type fixEdit struct {
+	start, end int
+	repl       string
+	desc       string // "file:line: what happened", for the report
+	line       int    // directive line, for dropping its hygiene diagnostic
+	file       string
+}
+
+// planFixes turns the resolved directive inventory into edits: an unused
+// directive that carries a reason is dead weight and is deleted; a
+// reasonless directive never suppressed anything either, but deleting it
+// would lose the author's intent, so it is rewritten into a TODO that no
+// longer parses as a directive and shows up in ordinary code review.
+func planFixes(dirs []analysis.Directive) []fixEdit {
+	var edits []fixEdit
+	for _, d := range dirs {
+		switch {
+		case d.Reason == "":
+			edits = append(edits, fixEdit{
+				start: d.Pos.Offset,
+				end:   d.Pos.Offset + len(d.Text),
+				repl: fmt.Sprintf("// TODO(mlight-lint): add a reason to restore this suppression: lint:allow %s",
+					d.Pass),
+				desc: fmt.Sprintf("%s:%d: rewrote reasonless lint:allow %s into a TODO",
+					d.Pos.Filename, d.Pos.Line, d.Pass),
+				line: d.Pos.Line,
+				file: d.Pos.Filename,
+			})
+		case !d.Used:
+			edits = append(edits, fixEdit{
+				start: d.Pos.Offset,
+				end:   d.Pos.Offset + len(d.Text),
+				desc: fmt.Sprintf("%s:%d: deleted unused lint:allow %s directive",
+					d.Pos.Filename, d.Pos.Line, d.Pass),
+				line: d.Pos.Line,
+				file: d.Pos.Filename,
+			})
+		}
+	}
+	return edits
+}
+
+// applyFixes splices the edits into their files, widening deletions to the
+// whole line when the directive is alone on it (the doc-comment placement)
+// and to the preceding whitespace run when it trails code. Edits are
+// applied back to front so earlier offsets stay valid.
+func applyFixes(edits []fixEdit) error {
+	byFile := map[string][]fixEdit{}
+	for _, e := range edits {
+		byFile[e.file] = append(byFile[e.file], e)
+	}
+	for file, es := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].start > es[j].start })
+		for _, e := range es {
+			start, end := e.start, e.end
+			if start < 0 || end > len(src) || start > end {
+				return fmt.Errorf("%s: directive offsets out of range", file)
+			}
+			if e.repl == "" {
+				start, end = widenDeletion(src, start, end)
+			}
+			src = append(src[:start], append([]byte(e.repl), src[end:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// widenDeletion grows a comment deletion to swallow the whole line when
+// only whitespace precedes the comment, or the whitespace run between the
+// code and the trailing comment otherwise.
+func widenDeletion(src []byte, start, end int) (int, int) {
+	lineStart := start
+	for lineStart > 0 && src[lineStart-1] != '\n' {
+		lineStart--
+	}
+	onlyWS := true
+	for i := lineStart; i < start; i++ {
+		if src[i] != ' ' && src[i] != '\t' {
+			onlyWS = false
+			break
+		}
+	}
+	if onlyWS {
+		if end < len(src) && src[end] == '\n' {
+			end++
+		}
+		return lineStart, end
+	}
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return start, end
+}

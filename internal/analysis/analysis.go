@@ -16,11 +16,23 @@
 //     wrapping never silently disables batching or trace attribution
 //     (pass "decoratorcomplete");
 //   - mutexes are never copied by value or passed across function
-//     boundaries by value (pass "locksafety").
+//     boundaries by value (pass "locksafety");
+//   - no goroutine is spawned that can block forever on a channel with no
+//     cancel/timeout/drain edge — the abandoned-RPC-drain and write-pump
+//     leak class (pass "goroutineleak");
+//   - the per-package mutex-acquisition graph is cycle-free, striped
+//     shard locks nest only under an explicit ordering waiver, and no
+//     lock is held across an RPC or channel operation
+//     (pass "lockorder");
+//   - functions marked //lint:hotpath stay allocation-free under the
+//     compiler's escape analysis, making the scale PR's zero-alloc claims
+//     a compile-time gate (pass "hotpath").
 //
-// The analyzer is built purely on the standard library's go/ast, go/parser,
-// go/types, and go/importer (no golang.org/x/tools dependency), honoring
-// the repository's stdlib-only rule. It runs as `go run ./cmd/mlight-lint
+// The flow-aware passes (goroutineleak, lockorder) run on a shared
+// intraprocedural CFG/dataflow layer (cfg.go). The analyzer is built
+// purely on the standard library's go/ast, go/parser, go/types, and
+// go/importer (no golang.org/x/tools dependency), honoring the
+// repository's stdlib-only rule. It runs as `go run ./cmd/mlight-lint
 // ./...` and exits nonzero on findings.
 //
 // # Suppression
@@ -157,7 +169,10 @@ func pathMatches(path, frag string) bool {
 
 // Passes returns the full pass set in reporting order.
 func Passes() []Pass {
-	return []Pass{determinismPass{}, droppedErrPass{}, decoratorCompletePass{}, lockSafetyPass{}}
+	return []Pass{
+		determinismPass{}, droppedErrPass{}, decoratorCompletePass{}, lockSafetyPass{},
+		goroutineLeakPass{}, lockOrderPass{}, hotPathPass{},
+	}
 }
 
 // AllowName is the pseudo-pass under which directive hygiene problems
@@ -169,9 +184,22 @@ var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_]+)(?:\s+(.*))?
 // directive is one parsed //lint:allow comment.
 type directive struct {
 	pos    token.Position
+	text   string // raw comment text, including the leading //
 	pass   string
 	reason string
 	used   bool
+}
+
+// Directive is one //lint:allow comment with its resolution after a Run:
+// whether any selected pass produced a finding it suppressed. Pos.Offset
+// and Text delimit the comment's exact bytes in its file, which is what
+// the -fix mode of cmd/mlight-lint splices.
+type Directive struct {
+	Pos    token.Position
+	Text   string
+	Pass   string
+	Reason string
+	Used   bool
 }
 
 // collectDirectives parses every //lint:allow directive in pkg.
@@ -186,6 +214,7 @@ func collectDirectives(pkg *Package) []*directive {
 				}
 				ds = append(ds, &directive{
 					pos:    pkg.Fset.Position(c.Pos()),
+					text:   c.Text,
 					pass:   m[1],
 					reason: strings.TrimSpace(m[2]),
 				})
@@ -199,6 +228,15 @@ func collectDirectives(pkg *Package) []*directive {
 // and reports directive-hygiene problems. Diagnostics come back sorted by
 // position.
 func Run(pkg *Package, passes []Pass, cfg *Config) []Diagnostic {
+	diags, _ := RunWithDirectives(pkg, passes, cfg)
+	return diags
+}
+
+// RunWithDirectives is Run plus the package's directive inventory with its
+// post-run resolution, for tools (the -fix mode) that edit directives.
+// Only directives naming a selected pass (or the allow pseudo-pass) are
+// returned — a directive for an unselected pass cannot be judged unused.
+func RunWithDirectives(pkg *Package, passes []Pass, cfg *Config) ([]Diagnostic, []Directive) {
 	ds := collectDirectives(pkg)
 	selected := make(map[string]bool, len(passes))
 	var out []Diagnostic
@@ -238,7 +276,20 @@ func Run(pkg *Package, passes []Pass, cfg *Config) []Diagnostic {
 		}
 		return a.Pass < b.Pass
 	})
-	return out
+	var dirs []Directive
+	for _, d := range ds {
+		if !selected[d.pass] && d.pass != AllowName {
+			continue
+		}
+		dirs = append(dirs, Directive{
+			Pos:    d.pos,
+			Text:   d.text,
+			Pass:   d.pass,
+			Reason: d.reason,
+			Used:   d.used,
+		})
+	}
+	return out, dirs
 }
 
 // matchDirective finds a directive covering diag: same pass, same file, on

@@ -36,6 +36,10 @@ func TestGolden(t *testing.T) {
 		{"locksafety", "example.com/locksafety", nil},
 		{"dht", "example.com/dht", nil},
 		{"wire", "example.com/wire", map[string]string{"example.com/dht": dhtDir}},
+		{"goroutineleak", "example.com/goroutineleak", nil},
+		{"lockorder", "example.com/lockorder", nil},
+		{"hotpath", "example.com/hotpath", nil},
+		{"hotpathbroken", "example.com/hotpathbroken", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -167,7 +171,7 @@ func TestPathMatches(t *testing.T) {
 }
 
 // TestPassesAreRegistered pins the pass set: names are unique, documented,
-// and include the four invariants the issue requires.
+// and include every invariant the lint tool promises.
 func TestPassesAreRegistered(t *testing.T) {
 	seen := map[string]bool{}
 	for _, p := range Passes() {
@@ -179,7 +183,10 @@ func TestPassesAreRegistered(t *testing.T) {
 		}
 		seen[p.Name()] = true
 	}
-	for _, name := range []string{"determinism", "droppederr", "decoratorcomplete", "locksafety"} {
+	for _, name := range []string{
+		"determinism", "droppederr", "decoratorcomplete", "locksafety",
+		"goroutineleak", "lockorder", "hotpath",
+	} {
 		if !seen[name] {
 			t.Errorf("pass %q missing from Passes()", name)
 		}

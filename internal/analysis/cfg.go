@@ -1,0 +1,399 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow-analysis substrate the concurrency passes share: a
+// lightweight intraprocedural control-flow graph built from go/ast alone
+// (no golang.org/x/tools dependency, per the repository's stdlib-only
+// rule). Each function body becomes a graph of basic blocks — straight-line
+// statement runs — with edges for every structured-control construct:
+// if/else, for and range loops (including break/continue, labeled or not),
+// switch and type switch (including fallthrough), select, goto, return.
+//
+// The node-ownership contract the passes rely on: a block's Nodes list
+// holds only nodes whose entire subtree executes within that block. Control
+// statements never appear themselves — only their evaluated head parts do
+// (an if condition, a for condition, a range operand, a switch tag), while
+// their bodies become separate blocks. A select contributes its comm
+// statements to the per-clause blocks. Passes can therefore ast.Inspect
+// every node of a block without double-visiting another block's code.
+//
+// Two deliberate simplifications keep the layer small without costing the
+// passes precision they could actually use:
+//
+//   - Statements are the unit of transfer. A lock acquired and a channel
+//     sent in one statement would be ordered arbitrarily, but Go code holds
+//     Lock/Unlock and channel operations in dedicated statements in
+//     practice (and gofmt'd code in this repository always does).
+//   - Nested function literals are opaque as far as control flow goes:
+//     a literal appearing in a block's node belongs to that block as a
+//     value; its body's statements are not part of the enclosing CFG.
+//     Passes that care (goroutineleak) descend into literals explicitly
+//     with their own rules.
+//
+// panic/Fatal-style no-return calls are treated as ordinary statements; the
+// resulting extra paths only make the passes conservative, never unsound
+// for their use (a may-analysis over-approximates, a must-analysis
+// under-approximates, both in the safe direction).
+
+// Block is one straight-line run of nodes in a CFG. Succs lists the
+// possible control-flow successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	reachable bool
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is the single synthetic block every return and
+// fall-off-the-end path reaches.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// cfgBuilder carries the construction state: the current block under
+// extension plus the break/continue/label targets of the enclosing
+// constructs.
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block
+	breaks []*Block          // innermost-last break targets
+	conts  []*Block          // innermost-last continue targets
+	labels map[string]*label // named loop/switch targets and goto anchors
+}
+
+type label struct {
+	brk    *Block // break L target (after the labeled construct)
+	cont   *Block // continue L target (the labeled loop's post/head)
+	anchor *Block // the labeled statement itself (goto L target)
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: map[string]*label{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	b.edgeTo(c.Exit) // falling off the end reaches Exit
+	c.markReachable()
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo links the current block to dst, unless the current position is
+// unreachable (cur == nil after a terminating statement).
+func (b *cfgBuilder) edgeTo(dst *Block) {
+	if b.cur == nil || dst == nil {
+		return
+	}
+	for _, s := range b.cur.Succs {
+		if s == dst {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, dst)
+}
+
+// startBlock begins emitting into blk (with an edge from the current block
+// when one is live).
+func (b *cfgBuilder) startBlock(blk *Block) {
+	b.edgeTo(blk)
+	b.cur = blk
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelFor returns (creating on demand) the record for a label name, so
+// forward gotos and labeled statements agree on the anchor block.
+func (b *cfgBuilder) labelFor(name string) *label {
+	l, ok := b.labels[name]
+	if !ok {
+		l = &label{anchor: b.newBlock()}
+		b.labels[name] = l
+	}
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Statements after a terminator (return, break, goto) still need a
+		// home so passes can see they are dead: give them a fresh block with
+		// no predecessors, which markReachable will leave unreachable.
+		b.cur = b.newBlock()
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.LabeledStmt:
+		l := b.labelFor(st.Label.Name)
+		// The label's anchor block heads whatever the labeled statement is.
+		b.startBlock(l.anchor)
+		switch st.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			after := b.newBlock()
+			l.brk = after
+			b.labeledControl(st.Stmt, l, after)
+			b.cur = after
+		default:
+			b.stmt(st.Stmt)
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.startBlock(then)
+		b.stmtList(st.Body.List)
+		b.edgeTo(after)
+		b.cur = condBlk
+		if st.Else != nil {
+			els := b.newBlock()
+			b.startBlock(els)
+			b.stmt(st.Else)
+			b.edgeTo(after)
+		} else {
+			b.edgeTo(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.buildFor(st, nil, b.newBlock())
+
+	case *ast.RangeStmt:
+		b.buildRange(st, nil, b.newBlock())
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.buildSwitch(s, b.newBlock())
+
+	case *ast.SelectStmt:
+		b.buildSelect(st, b.newBlock())
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edgeTo(b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if st.Label != nil {
+				b.edgeTo(b.labelFor(st.Label.Name).brk)
+			} else if len(b.breaks) > 0 {
+				b.edgeTo(b.breaks[len(b.breaks)-1])
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if st.Label != nil {
+				b.edgeTo(b.labelFor(st.Label.Name).cont)
+			} else if len(b.conts) > 0 {
+				b.edgeTo(b.conts[len(b.conts)-1])
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.edgeTo(b.labelFor(st.Label.Name).anchor)
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by buildSwitch via clause chaining; nothing to cut.
+		}
+
+	default:
+		// Straight-line statements: declarations, assignments, expressions,
+		// sends, go, defer, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// labeledControl dispatches a labeled loop/switch/select with its break
+// target fixed to after.
+func (b *cfgBuilder) labeledControl(s ast.Stmt, l *label, after *Block) {
+	switch st := s.(type) {
+	case *ast.ForStmt:
+		b.buildFor(st, l, after)
+	case *ast.RangeStmt:
+		b.buildRange(st, l, after)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.buildSwitch(st, after)
+	case *ast.SelectStmt:
+		b.buildSelect(st, after)
+	}
+}
+
+func (b *cfgBuilder) buildFor(st *ast.ForStmt, l *label, after *Block) {
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	head := b.newBlock()
+	post := head
+	if st.Post != nil {
+		post = b.newBlock()
+	}
+	if l != nil {
+		l.cont = post
+	}
+	b.startBlock(head)
+	if st.Cond != nil {
+		b.add(st.Cond)
+		b.edgeTo(after)
+	}
+	body := b.newBlock()
+	b.startBlock(body)
+	b.breaks = append(b.breaks, after)
+	b.conts = append(b.conts, post)
+	b.stmtList(st.Body.List)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	b.edgeTo(post)
+	if st.Post != nil {
+		b.cur = post
+		b.add(st.Post)
+		b.edgeTo(head)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildRange(st *ast.RangeStmt, l *label, after *Block) {
+	head := b.newBlock()
+	if l != nil {
+		l.cont = head
+	}
+	b.startBlock(head)
+	b.add(st.X) // the ranged operand evaluates at the head
+	b.edgeTo(after)
+	body := b.newBlock()
+	b.startBlock(body)
+	b.breaks = append(b.breaks, after)
+	b.conts = append(b.conts, head)
+	b.stmtList(st.Body.List)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+	b.edgeTo(head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) buildSwitch(s ast.Stmt, after *Block) {
+	var body *ast.BlockStmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Tag)
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.add(st.Assign)
+		body = st.Body
+	}
+	head := b.cur
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		clauseBlocks = append(clauseBlocks, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		b.cur = head
+		b.startBlock(clauseBlocks[i])
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.breaks = append(b.breaks, after)
+		b.stmtList(cc.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if fallsThrough(cc.Body) && i+1 < len(clauseBlocks) {
+			b.edgeTo(clauseBlocks[i+1])
+			b.cur = nil
+		}
+		b.edgeTo(after)
+	}
+	if !hasDefault {
+		b.cur = head
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) buildSelect(st *ast.SelectStmt, after *Block) {
+	head := b.cur
+	if len(st.Body.List) == 0 {
+		// select {} blocks forever: control never reaches after.
+		b.cur = after
+		return
+	}
+	for _, cs := range st.Body.List {
+		cc := cs.(*ast.CommClause)
+		b.cur = head
+		blk := b.newBlock()
+		b.startBlock(blk)
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.breaks = append(b.breaks, after)
+		b.stmtList(cc.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+// markReachable flags every block reachable from Entry.
+func (c *CFG) markReachable() {
+	var visit func(*Block)
+	visit = func(b *Block) {
+		if b.reachable {
+			return
+		}
+		b.reachable = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(c.Entry)
+}
+
+// Reachable reports whether the block can execute at all.
+func (b *Block) Reachable() bool { return b.reachable }

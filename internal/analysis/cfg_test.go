@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses a function body and builds its CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fn.Body)
+}
+
+// reaches reports whether to is reachable from from by following Succs.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// nodeBlocks maps each node's source text position line to its block, for
+// locating specific statements in assertions.
+func blockWithCall(c *CFG, name string) *Block {
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildTestCFG(t, "a(); b()")
+	if !c.Exit.Reachable() {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	ba, bb := blockWithCall(c, "a"), blockWithCall(c, "b")
+	if ba == nil || bb == nil || ba != bb {
+		t.Fatalf("a and b should share one block: %v %v", ba, bb)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	c := buildTestCFG(t, "if cond() {\n a()\n} else {\n b()\n}\nafter()")
+	ba, bb, bafter := blockWithCall(c, "a"), blockWithCall(c, "b"), blockWithCall(c, "after")
+	if ba == nil || bb == nil || bafter == nil {
+		t.Fatal("missing blocks for branches or join")
+	}
+	if ba == bb {
+		t.Fatal("then and else share a block")
+	}
+	if !reaches(ba, bafter) || !reaches(bb, bafter) {
+		t.Fatal("branches do not rejoin")
+	}
+	if reaches(ba, bb) || reaches(bb, ba) {
+		t.Fatal("sibling branches reach each other")
+	}
+}
+
+func TestCFGInfiniteForNeverExits(t *testing.T) {
+	c := buildTestCFG(t, "for {\n a()\n}\nafter()")
+	if c.Exit.Reachable() {
+		t.Fatal("exit reachable past for{}")
+	}
+	if b := blockWithCall(c, "after"); b != nil && b.Reachable() {
+		t.Fatal("code after for{} is reachable")
+	}
+	ba := blockWithCall(c, "a")
+	if ba == nil || !reaches(ba, ba) {
+		t.Fatal("loop body has no back edge")
+	}
+}
+
+func TestCFGForBreakEscapes(t *testing.T) {
+	c := buildTestCFG(t, "for {\n if cond() {\n  break\n }\n a()\n}\nafter()")
+	bafter := blockWithCall(c, "after")
+	if bafter == nil || !bafter.Reachable() {
+		t.Fatal("break does not reach code after the loop")
+	}
+	if !c.Exit.Reachable() {
+		t.Fatal("exit unreachable despite break")
+	}
+}
+
+func TestCFGForCondAndContinue(t *testing.T) {
+	c := buildTestCFG(t, "for i := 0; i < n; i++ {\n if cond() {\n  continue\n }\n a()\n}\nafter()")
+	ba, bafter := blockWithCall(c, "a"), blockWithCall(c, "after")
+	if ba == nil || bafter == nil {
+		t.Fatal("missing body or after block")
+	}
+	if !reaches(ba, ba) {
+		t.Fatal("loop body cannot iterate")
+	}
+	if !reaches(c.Entry, bafter) {
+		t.Fatal("conditional loop cannot exit")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	c := buildTestCFG(t, "for range xs {\n a()\n}\nafter()")
+	ba, bafter := blockWithCall(c, "a"), blockWithCall(c, "after")
+	if ba == nil || bafter == nil {
+		t.Fatal("missing blocks")
+	}
+	if !reaches(ba, ba) || !reaches(c.Entry, bafter) {
+		t.Fatal("range loop shape wrong")
+	}
+}
+
+func TestCFGReturnCutsFlow(t *testing.T) {
+	c := buildTestCFG(t, "if cond() {\n return\n}\na()")
+	ba := blockWithCall(c, "a")
+	if ba == nil || !ba.Reachable() {
+		t.Fatal("code after conditional return should stay reachable")
+	}
+	c = buildTestCFG(t, "return\na()")
+	if ba := blockWithCall(c, "a"); ba != nil && ba.Reachable() {
+		t.Fatal("code after unconditional return is reachable")
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	c := buildTestCFG(t, "switch tag() {\ncase 1:\n a()\n fallthrough\ncase 2:\n b()\ndefault:\n d()\n}\nafter()")
+	ba, bb, bd, bafter := blockWithCall(c, "a"), blockWithCall(c, "b"), blockWithCall(c, "d"), blockWithCall(c, "after")
+	if ba == nil || bb == nil || bd == nil || bafter == nil {
+		t.Fatal("missing clause blocks")
+	}
+	if !reaches(ba, bb) {
+		t.Fatal("fallthrough edge missing")
+	}
+	if reaches(bb, bd) {
+		t.Fatal("case 2 falls into default without fallthrough")
+	}
+	// With a default clause the head cannot skip to after directly: every
+	// path to after goes through some clause.
+	for _, b := range []*Block{ba, bb, bd} {
+		if !reaches(b, bafter) {
+			t.Fatal("clause does not rejoin")
+		}
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	// A two-case select: each comm statement lands in its own branch block.
+	c := buildTestCFG(t, "select {\ncase <-ch:\n a()\ncase out <- v:\n b()\n}\nafter()")
+	ba, bb, bafter := blockWithCall(c, "a"), blockWithCall(c, "b"), blockWithCall(c, "after")
+	if ba == nil || bb == nil || bafter == nil {
+		t.Fatal("missing select branch blocks")
+	}
+	if ba == bb {
+		t.Fatal("select clauses share a block")
+	}
+	if !reaches(ba, bafter) || !reaches(bb, bafter) {
+		t.Fatal("select clauses do not rejoin")
+	}
+	// Empty select blocks forever.
+	c = buildTestCFG(t, "select {}\nafter()")
+	if b := blockWithCall(c, "after"); b != nil && b.Reachable() {
+		t.Fatal("code after select{} is reachable")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	c := buildTestCFG(t, "if cond() {\n goto done\n}\na()\ndone:\nb()")
+	ba, bb := blockWithCall(c, "a"), blockWithCall(c, "b")
+	if ba == nil || bb == nil {
+		t.Fatal("missing blocks")
+	}
+	if !bb.Reachable() || !reaches(ba, bb) {
+		t.Fatal("goto target unreachable or skipped")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildTestCFG(t, "outer:\nfor {\n for {\n  if cond() {\n   break outer\n  }\n  a()\n }\n}\nafter()")
+	bafter := blockWithCall(c, "after")
+	if bafter == nil || !bafter.Reachable() {
+		t.Fatal("labeled break does not escape both loops")
+	}
+	ba := blockWithCall(c, "a")
+	if ba == nil || !reaches(ba, ba) {
+		t.Fatal("inner loop lost its back edge")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	c := buildTestCFG(t, "outer:\nfor i := 0; i < n; i++ {\n for {\n  continue outer\n }\n}\nafter()")
+	bafter := blockWithCall(c, "after")
+	if bafter == nil || !bafter.Reachable() {
+		t.Fatal("continue outer should allow the outer loop to terminate")
+	}
+}
+
+// TestCFGNodeOwnership pins the contract that a block's nodes never include
+// another block's statements: the if statement's body call must not appear
+// in the condition's block.
+func TestCFGNodeOwnership(t *testing.T) {
+	c := buildTestCFG(t, "if cond() {\n inner()\n}\n")
+	bcond := blockWithCall(c, "cond")
+	if bcond == nil {
+		t.Fatal("condition block missing")
+	}
+	for _, n := range bcond.Nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == "inner" {
+				t.Fatal("body statement leaked into the condition block")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The goroutineleak pass flags `go` statements whose function can block
+// forever on a channel operation with no cancel/timeout/drain edge: the
+// maintenance-traffic defect class (abandoned RPC drains, write pumps
+// surviving Close, worker-pool goroutines parked on a send nobody will
+// receive) that dominates real P2P deployment failures.
+//
+// The analysis is intraprocedural over the spawned function's body (a
+// function literal or a same-package function/method), using the CFG to
+// ignore unreachable code. Every channel operation is classified against
+// package-level evidence of an escape edge:
+//
+//   - A send is safe when every `make` for the channel's referent object is
+//     buffered (the drain-channel idiom: `ch := make(chan result, 1)` lets
+//     an abandoned RPC goroutine complete its send and exit even after the
+//     caller timed out). Sends on unbuffered or unknown-provenance
+//     channels are flagged.
+//   - A receive is safe when the package ever close()s the referent (a
+//     done-channel), when it is a timer/ticker/context-cancellation
+//     channel (time.After, Timer.C, Ticker.C, ctx.Done()), or when the
+//     function spawning the goroutine also sends on the same referent (the
+//     semaphore pairing in worker pools: `sem <- tok` before `go`, a
+//     deferred `<-sem` inside).
+//   - A select is safe when it has a default or any safe case — one
+//     ready-eventually arm is an escape edge for the whole statement.
+//   - A range over a channel is safe only when the package close()s it.
+//
+// Blocking on sync primitives (Mutex, WaitGroup) is out of scope here:
+// lock-related hazards are the lockorder pass's domain, and WaitGroup.Wait
+// inside a spawned goroutine is almost always the intended join point.
+//
+// Referent identity is the types.Object behind the channel expression
+// (variable or struct field), so evidence found on one instance applies to
+// all — the usual may-analysis over-approximation, erring toward silence
+// only where the idiom itself (a close anywhere, a buffered make anywhere)
+// is present in the package.
+type goroutineLeakPass struct{}
+
+func (goroutineLeakPass) Name() string { return "goroutineleak" }
+func (goroutineLeakPass) Doc() string {
+	return "go statements whose function may block forever on a channel op with no cancel/timeout/drain edge"
+}
+
+// bufState is what the package's make() calls say about a channel object.
+type bufState int8
+
+const (
+	bufUnknown    bufState = iota // no make seen (parameter, map element, …)
+	bufBuffered                   // every make has a capacity argument
+	bufUnbuffered                 // some make is capacity-zero
+)
+
+// chanFacts is the package-level evidence the per-goroutine analysis
+// consults.
+type chanFacts struct {
+	pkg    *Package
+	buf    map[types.Object]bufState
+	closed map[types.Object]bool
+	// sends maps each function declaration to the channel objects it sends
+	// on anywhere in its subtree (for the semaphore-pairing rule).
+	sends map[*ast.FuncDecl]map[types.Object]bool
+	// decls resolves same-package functions/methods to their bodies.
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func (g goroutineLeakPass) Run(pkg *Package, cfg *Config) []Diagnostic {
+	facts := gatherChanFacts(pkg)
+	var out []Diagnostic
+	reported := map[token.Pos]bool{} // dedup ops of functions spawned at several sites
+	for _, f := range pkg.Files {
+		var enclosing *ast.FuncDecl
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = st
+			case *ast.GoStmt:
+				body := facts.spawnedBody(st)
+				if body != nil {
+					for _, d := range analyzeSpawned(pkg, facts, enclosing, body) {
+						if !reported[d.Pos.pos] {
+							reported[d.Pos.pos] = true
+							out = append(out, d.diag)
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}
+
+// posDiag pairs a diagnostic with the op position used for deduplication.
+type posDiag struct {
+	Pos  struct{ pos token.Pos }
+	diag Diagnostic
+}
+
+func mkPosDiag(pos token.Pos, d Diagnostic) posDiag {
+	pd := posDiag{diag: d}
+	pd.Pos.pos = pos
+	return pd
+}
+
+// gatherChanFacts makes one package-wide evidence pass.
+func gatherChanFacts(pkg *Package) *chanFacts {
+	f := &chanFacts{
+		pkg:    pkg,
+		buf:    map[types.Object]bufState{},
+		closed: map[types.Object]bool{},
+		sends:  map[*ast.FuncDecl]map[types.Object]bool{},
+		decls:  map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pkg.Files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = st
+				if fn, ok := pkg.Info.Defs[st.Name].(*types.Func); ok {
+					f.decls[fn] = st
+				}
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "close" && len(st.Args) == 1 {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						if obj := chanReferent(pkg, st.Args[0]); obj != nil {
+							f.closed[obj] = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanReferent(pkg, st.Chan); obj != nil && enclosing != nil {
+					set := f.sends[enclosing]
+					if set == nil {
+						set = map[types.Object]bool{}
+						f.sends[enclosing] = set
+					}
+					set[obj] = true
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i < len(st.Lhs) {
+						f.recordMake(st.Lhs[i], rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if i < len(st.Names) {
+						f.recordMake(st.Names[i], v)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := st.Key.(*ast.Ident); ok {
+					f.recordMake(key, st.Value)
+				}
+			}
+			return true
+		})
+	}
+	return f
+}
+
+// recordMake notes a `make(chan …)` bound to lhs, folding the buffered
+// verdict conservatively: one unbuffered make taints the object.
+func (f *chanFacts) recordMake(lhs ast.Expr, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := f.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if t := exprType(f.pkg, rhs); t == nil || !isChanType(t) {
+		return
+	}
+	obj := chanReferent(f.pkg, lhs)
+	if obj == nil {
+		return
+	}
+	verdict := bufUnbuffered
+	if len(call.Args) >= 2 {
+		// Any explicit capacity expression counts as buffered; a literal 0
+		// is the one spelled-out exception.
+		verdict = bufBuffered
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+			verdict = bufUnbuffered
+		}
+	}
+	switch f.buf[obj] {
+	case bufUnknown:
+		f.buf[obj] = verdict
+	case bufBuffered:
+		if verdict == bufUnbuffered {
+			f.buf[obj] = bufUnbuffered
+		}
+	}
+}
+
+// spawnedBody resolves the function a go statement runs: a literal's body
+// directly, or the declaration of a same-package function or method.
+func (f *chanFacts) spawnedBody(g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := f.pkg.Info.Uses[fun].(*types.Func); ok {
+			if fd := f.decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := f.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := f.decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// chanReferent resolves a channel expression to the variable or field
+// object that identifies it across the package.
+func chanReferent(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[x]
+	case *ast.SelectorExpr:
+		if obj, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			return obj
+		}
+	case *ast.IndexExpr:
+		return chanReferent(pkg, x.X)
+	}
+	return nil
+}
+
+func isChanType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// analyzeSpawned reports the blocking channel operations in a spawned body
+// that no package evidence marks as draining.
+func analyzeSpawned(pkg *Package, facts *chanFacts, enclosing *ast.FuncDecl, body *ast.BlockStmt) []posDiag {
+	cfg := BuildCFG(body)
+	dead := deadSpans(cfg)
+	var out []posDiag
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, mkPosDiag(pos, pkg.diag(pos, "goroutineleak", format, args...)))
+	}
+	covered := map[ast.Node]bool{} // select comm statements, judged with their select
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inSpans(dead, n.Pos()) {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.GoStmt:
+			// A nested go statement is its own spawn site; its body's ops do
+			// not block this goroutine.
+			return false
+		case *ast.SelectStmt:
+			if reason := selectUnsafe(pkg, facts, enclosing, st); reason != "" {
+				report(st.Pos(), "goroutine may block forever: %s", reason)
+			}
+			for _, cs := range st.Body.List {
+				if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+					covered[cc.Comm] = true
+				}
+			}
+			return true
+		case *ast.SendStmt:
+			if covered[st] {
+				return true
+			}
+			if reason := sendUnsafe(pkg, facts, st); reason != "" {
+				report(st.Pos(), "goroutine may block forever: %s", reason)
+			}
+			return true
+		case *ast.UnaryExpr:
+			if st.Op == token.ARROW {
+				if reason := recvUnsafe(pkg, facts, enclosing, st.X); reason != "" {
+					report(st.Pos(), "goroutine may block forever: %s", reason)
+				}
+			}
+			return true
+		case *ast.ExprStmt:
+			if covered[st] {
+				// A covered comm clause like `case <-done:`: skip the recv
+				// itself but nothing else.
+				if u, ok := ast.Unparen(st.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					walk(u.X)
+					return false
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			if covered[st] {
+				for _, rhs := range st.Rhs {
+					if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						walk(u.X)
+						continue
+					}
+					walk(rhs)
+				}
+				return false
+			}
+			return true
+		case *ast.RangeStmt:
+			if t := exprType(pkg, st.X); t != nil && isChanType(t) {
+				obj := chanReferent(pkg, st.X)
+				if obj == nil || !facts.closed[obj] {
+					report(st.Pos(), "goroutine may block forever: range over channel %s that is never closed in this package",
+						types.ExprString(st.X))
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+// deadSpans returns the source spans of CFG-unreachable nodes, so blocking
+// ops in dead code are not reported.
+func deadSpans(c *CFG) [][2]token.Pos {
+	var spans [][2]token.Pos
+	for _, b := range c.Blocks {
+		if b.Reachable() {
+			continue
+		}
+		for _, n := range b.Nodes {
+			spans = append(spans, [2]token.Pos{n.Pos(), n.End()})
+		}
+	}
+	return spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// sendUnsafe explains why a send may block forever, or returns "".
+func sendUnsafe(pkg *Package, facts *chanFacts, st *ast.SendStmt) string {
+	obj := chanReferent(pkg, st.Chan)
+	name := types.ExprString(st.Chan)
+	if obj == nil {
+		return "send on channel " + name + " of unknown buffering"
+	}
+	switch facts.buf[obj] {
+	case bufBuffered:
+		return ""
+	case bufUnbuffered:
+		return "send on unbuffered channel " + name
+	default:
+		return "send on channel " + name + " of unknown buffering"
+	}
+}
+
+// recvUnsafe explains why a receive may block forever, or returns "".
+func recvUnsafe(pkg *Package, facts *chanFacts, enclosing *ast.FuncDecl, ch ast.Expr) string {
+	ch = ast.Unparen(ch)
+	if isEscapeChan(pkg, ch) {
+		return ""
+	}
+	obj := chanReferent(pkg, ch)
+	if obj != nil {
+		if facts.closed[obj] {
+			return ""
+		}
+		if enclosing != nil && facts.sends[enclosing][obj] {
+			return "" // semaphore pairing: the spawning function sends on it
+		}
+	}
+	return "receive on channel " + types.ExprString(ch) +
+		" that is never closed in this package and has no send in the spawning function"
+}
+
+// isEscapeChan recognizes channels that fire by construction: time.After,
+// Timer.C, Ticker.C, and ctx.Done()-style cancellation channels.
+func isEscapeChan(pkg *Package, ch ast.Expr) bool {
+	switch x := ch.(type) {
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(x.Fun).(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Done" {
+				return true // context-style cancellation accessor
+			}
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && (fn.Name() == "After" || fn.Name() == "Tick") {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "C" {
+			if t := exprType(pkg, x.X); t != nil {
+				s := t.String()
+				if strings.HasSuffix(s, "time.Timer") || strings.HasSuffix(s, "time.Ticker") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// selectUnsafe explains why a select may block forever, or returns "". A
+// default clause or any single safe arm is an escape edge for the whole
+// statement.
+func selectUnsafe(pkg *Package, facts *chanFacts, enclosing *ast.FuncDecl, st *ast.SelectStmt) string {
+	if len(st.Body.List) == 0 {
+		return "empty select blocks forever"
+	}
+	for _, cs := range st.Body.List {
+		cc := cs.(*ast.CommClause)
+		if cc.Comm == nil {
+			return "" // default clause
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if sendUnsafe(pkg, facts, comm) == "" {
+				return ""
+			}
+		case *ast.ExprStmt:
+			if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				if recvUnsafe(pkg, facts, enclosing, u.X) == "" {
+					return ""
+				}
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if u, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					if recvUnsafe(pkg, facts, enclosing, u.X) == "" {
+						return ""
+					}
+				}
+			}
+		}
+	}
+	return "select with no default and no timeout/cancel/close/buffered arm"
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadReportsSyntaxErrors pins the loader's behavior on a package that
+// does not parse: one error naming the broken package, not a panic and not
+// a silently skipped package.
+func TestLoadReportsSyntaxErrors(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":    "module broken\n\ngo 1.22\n",
+		"broken.go": "package broken\n\nfunc unclosed( {\n",
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatalf("Load over a syntactically broken package succeeded with %d packages", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the broken package: %v", err)
+	}
+}
+
+// TestLoadOutsideModule pins the -C failure mode: pointing the loader at a
+// directory with no go.mod fails with the pattern-resolution error go list
+// reports — exit-code-2 territory for the command, never a zero-package
+// success.
+func TestLoadOutsideModule(t *testing.T) {
+	dir := writeTree(t, map[string]string{"README.txt": "not a module\n"})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatalf("Load outside a module succeeded with %d packages", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "module") {
+		t.Errorf("error does not explain the missing module: %v", err)
+	}
+}
+
+// TestLoadDirMissingExportData pins LoadDir's import resolution contract:
+// an import with no export data and no source directory is a typecheck
+// error naming the unresolvable path.
+func TestLoadDirMissingExportData(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"pkg.go": "package needsio\n\nimport \"io\"\n\nvar _ io.Reader\n",
+	})
+	pkg, err := LoadDir(dir, "example.com/needsio", nil, map[string]string{})
+	if err == nil {
+		t.Fatalf("LoadDir with empty export table succeeded: %+v", pkg)
+	}
+	if !strings.Contains(err.Error(), "typechecking") {
+		t.Errorf("error is not a typechecking failure: %v", err)
+	}
+}
+
+// TestLoadDirSyntaxError pins LoadDir's parse failure mode.
+func TestLoadDirSyntaxError(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"bad.go": "package bad\n\nfunc {\n",
+	})
+	if _, err := LoadDir(dir, "example.com/bad", nil, nil); err == nil {
+		t.Fatal("LoadDir over unparseable source succeeded")
+	} else if !strings.Contains(err.Error(), "parsing") {
+		t.Errorf("error is not a parse failure: %v", err)
+	}
+}
+
+// TestLoadDirMissingDirectory pins the simplest failure: the directory is
+// not there.
+func TestLoadDirMissingDirectory(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope"), "example.com/nope", nil, nil); err == nil {
+		t.Fatal("LoadDir over a missing directory succeeded")
+	}
+}
+
+// TestLoadDirEmptyPackage pins the documented (nil, nil) contract for a
+// directory with no Go files.
+func TestLoadDirEmptyPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{"notes.txt": "no go files here\n"})
+	pkg, err := LoadDir(dir, "example.com/empty", nil, nil)
+	if err != nil || pkg != nil {
+		t.Fatalf("LoadDir over an empty dir = %v, %v; want nil, nil", pkg, err)
+	}
+}

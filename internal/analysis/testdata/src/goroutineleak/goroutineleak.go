@@ -1,0 +1,167 @@
+// Package goroutineleak is golden-test input for the goroutine-leak pass:
+// a `go` statement whose function can park forever on a channel operation
+// with no cancel/timeout/drain edge is a leak, while buffered sends,
+// package-local close(), escape channels (time.After, ctx-style Done),
+// semaphore pairing, and select escape arms are the sanctioned shapes.
+package goroutineleak
+
+import "time"
+
+// --- positives -----------------------------------------------------------
+
+// sendUnbuffered parks forever: nothing ever receives.
+func sendUnbuffered() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want "send on unbuffered channel ch"
+	}()
+}
+
+// sendUnknown: the channel arrives as a parameter, so its buffering is not
+// knowable from this package and the send must be assumed blocking.
+func sendUnknown(ch chan int) {
+	go func() {
+		ch <- 2 // want "send on channel ch of unknown buffering"
+	}()
+}
+
+// recvNeverClosed: no close() in the package, no send in the spawner.
+func recvNeverClosed() {
+	ch := make(chan int, 1)
+	go func() {
+		<-ch // want "receive on channel ch that is never closed in this package"
+	}()
+}
+
+// selectNoEscape: every arm is an unknown-buffering op, no default.
+func selectNoEscape(a, b chan int) {
+	go func() {
+		select { // want "select with no default and no timeout/cancel/close/buffered arm"
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// emptySelect is the canonical park-forever statement.
+func emptySelect() {
+	go func() {
+		select {} // want "empty select blocks forever"
+	}()
+}
+
+// rangeNeverClosed: the loop only ends when the channel closes, and it
+// never does.
+func rangeNeverClosed(ch chan int) {
+	go func() {
+		for v := range ch { // want "range over channel ch that is never closed in this package"
+			_ = v
+		}
+	}()
+}
+
+// --- negatives -----------------------------------------------------------
+
+// sendBuffered: every make() for ch is buffered, so the send cannot park
+// past the first slot.
+func sendBuffered() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// recvClosedInPackage: close(done) below is the drain edge.
+func recvClosedInPackage() {
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+}
+
+// rangeClosedInPackage: the producer closes what the consumer ranges over.
+func rangeClosedInPackage() {
+	ch := make(chan int, 4)
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// selectWithTimeout: time.After is an escape arm for the whole select.
+func selectWithTimeout(ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// selectWithDefault never blocks at all.
+func selectWithDefault(ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		default:
+		}
+	}()
+}
+
+// canceler mimics context.Context's cancellation accessor.
+type canceler struct{ done chan struct{} }
+
+// Done returns the cancellation channel.
+func (c *canceler) Done() <-chan struct{} { return c.done }
+
+// recvDone: a .Done() accessor is an escape channel by convention.
+func recvDone(c *canceler) {
+	go func() {
+		<-c.Done()
+	}()
+}
+
+// semaphorePair: the spawning function sends on the same channel the
+// goroutine receives from — the bounded-worker-pool shape.
+func semaphorePair() {
+	sem := make(chan struct{}, 8)
+	for i := 0; i < 4; i++ {
+		sem <- struct{}{}
+		go func() {
+			<-sem
+		}()
+	}
+}
+
+// deadOp: the send is CFG-unreachable, so it cannot park anything.
+func deadOp(ch chan int) {
+	go func() {
+		return
+		ch <- 1
+	}()
+}
+
+// nestedSpawn: the inner go statement is its own spawn site; its receive
+// does not block the outer goroutine (and is itself safe via the close).
+func nestedSpawn() {
+	done := make(chan struct{})
+	go func() {
+		go func() {
+			<-done
+		}()
+	}()
+	close(done)
+}
+
+// waived: a deliberate fire-and-forget send, suppressed with a reasoned
+// directive instead of restructured.
+func waived(ch chan int) {
+	go func() {
+		ch <- 9 //lint:allow goroutineleak fixture guarantees a receiver; fire-and-forget by design
+	}()
+}

@@ -1,0 +1,3 @@
+module example.com/hotpath
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package hotpath is golden-test input for the hotpath pass: a function
+// whose doc comment carries //lint:hotpath must be allocation-free under
+// the compiler's escape analysis, and marker placement itself is checked.
+// This package has its own go.mod because the pass shells out to
+// `go build -gcflags=-m` in the package directory.
+package hotpath
+
+var sink any
+
+var global []byte
+
+// Sum is genuinely allocation-free: everything stays on the stack.
+//
+//lint:hotpath
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// LeakPointer returns a pointer to a local, forcing it to the heap.
+//
+//lint:hotpath
+func LeakPointer() *int {
+	x := 42 // want "moved to heap: x"
+	return &x
+}
+
+// GrowGlobal publishes a fresh slice, so the make escapes.
+//
+//lint:hotpath
+func GrowGlobal(n int) {
+	global = make([]byte, n) // want "escapes to heap"
+}
+
+// Box stores an integer into an interface, which heap-allocates the box.
+//
+//lint:hotpath
+func Box(i int) {
+	sink = i // want "i escapes to heap"
+}
+
+// Counter returns a closure over n: both the literal and its captured
+// variable move to the heap.
+//
+//lint:hotpath
+func Counter() func() int {
+	n := 0              // want "moved to heap: n"
+	return func() int { // want "func literal escapes to heap"
+		n++
+		return n
+	}
+}
+
+// Waived allocates on a cold path and says why that is fine.
+//
+//lint:hotpath
+func Waived(fail bool) *int {
+	if fail {
+		x := -1 //lint:allow hotpath cold failure arm, never taken on the fast path
+		return &x
+	}
+	return nil
+}
+
+//lint:hotpath
+var scratch []byte // want:prev "marker must be the doc comment of a function declaration"

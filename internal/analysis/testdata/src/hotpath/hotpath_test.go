@@ -1,0 +1,7 @@
+package hotpath
+
+// MarkedInTest carries a marker in a test file, where escape analysis
+// never runs.
+//
+//lint:hotpath
+func MarkedInTest() int { return 1 } // want:prev "marker in test file has no effect"

@@ -1,0 +1,3 @@
+module example.com/hotpathbroken
+
+go 1.22

@@ -1,0 +1,18 @@
+// Package hotpathbroken is golden-test input for the hotpath pass's
+// failure modes: a marker on a bodyless declaration is a hygiene finding,
+// and the bodyless declaration also breaks `go build`, so the remaining
+// marks report as unverifiable instead of silently passing.
+package hotpathbroken
+
+// Half is meant to be verified, but the compiler never reaches escape
+// analysis because Stub below has no body (and no assembly).
+//
+//lint:hotpath
+func Half(x int) int { // want "cannot verify //lint:hotpath marks"
+	return x / 2
+}
+
+// Stub is declared without a body.
+//
+//lint:hotpath
+func Stub(x int) int // want:prev "marker on bodyless declaration Stub cannot be verified"

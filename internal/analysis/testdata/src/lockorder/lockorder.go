@@ -1,0 +1,149 @@
+// Package lockorder is golden-test input for the lock-order pass: ABBA
+// acquisition cycles, nested acquisition of one lock class (striped and
+// plain), and locks held across blocking calls or channel operations are
+// findings; release-before-blocking, goroutine handoff, and reasoned
+// ordering waivers are the sanctioned shapes.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// rpc stands in for a transport: Call is in the blocking-call set.
+type rpc struct{}
+
+// Call blocks on a peer.
+func (r *rpc) Call() {}
+
+// --- acquisition cycle ---------------------------------------------------
+
+// abOrder takes muB while holding muA; baOrder takes them the other way
+// around. The cycle is reported once, at the edge that closes it.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "lock acquisition cycle: muA → muB → muA"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// --- nested acquisition --------------------------------------------------
+
+// selfNested reacquires a lock it already holds: Go mutexes are not
+// reentrant, so this deadlocks unconditionally.
+func selfNested() {
+	muA.Lock()
+	muA.Lock() // want "nested acquisition of lock class muA: possible self-deadlock"
+	muA.Unlock()
+	muA.Unlock()
+}
+
+// shard is one stripe of a sharded table.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// table holds striped locks like simnet's peer shards.
+type table struct {
+	shards [4]shard
+}
+
+// lockTwoShards holds two stripes of one class at once; the class is
+// striped, so the finding demands the ascending-index discipline.
+func (t *table) lockTwoShards(i, j int) {
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() // want "nested acquisition of striped lock class shard.mu\\[\\*\\]: shards must be locked in ascending index order"
+	t.shards[j].n++
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// lockShardsOrdered is the same shape with the discipline argued in a
+// waiver, the sanctioned form for multi-shard holds.
+func (t *table) lockShardsOrdered(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	t.shards[i].mu.Lock()
+	t.shards[j].mu.Lock() //lint:allow lockorder shards locked in ascending index order: i < j established above
+	t.shards[j].n++
+	t.shards[j].mu.Unlock()
+	t.shards[i].mu.Unlock()
+}
+
+// --- blocking while holding ----------------------------------------------
+
+// box guards a value with a mutex.
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// callLocked blocks on a peer with box.mu held (the deferred unlock keeps
+// it held for the whole body — that is the point of the finding).
+func (b *box) callLocked(r *rpc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r.Call() // want "lock box.mu held across blocking call Call"
+	b.n++
+}
+
+// sendLocked performs a channel send with box.mu held.
+func (b *box) sendLocked(ch chan int) {
+	b.mu.Lock()
+	ch <- b.n // want "lock box.mu held across channel send"
+	b.mu.Unlock()
+}
+
+// recvLocked performs a channel receive with box.mu held.
+func (b *box) recvLocked(ch chan int) {
+	b.mu.Lock()
+	b.n = <-ch // want "lock box.mu held across channel receive"
+	b.mu.Unlock()
+}
+
+// --- negatives -----------------------------------------------------------
+
+// releaseBeforeCall is the sanctioned shape: snapshot under the lock,
+// block after releasing it.
+func (b *box) releaseBeforeCall(r *rpc) {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	_ = n
+	r.Call()
+}
+
+// mayHeldOnly: one path released the lock before the call, so it is
+// may-held but not must-held there — the intersection join suppresses the
+// finding (while the union join still records acquisition edges).
+func (b *box) mayHeldOnly(r *rpc, flip bool) {
+	b.mu.Lock()
+	if flip {
+		b.mu.Unlock()
+	}
+	r.Call()
+	if !flip {
+		b.mu.Unlock()
+	}
+}
+
+// handoff: the goroutine body runs on another schedule; holding the lock
+// at the spawn point is not holding it at the Call.
+func (b *box) handoff(r *rpc) {
+	b.mu.Lock()
+	go func() {
+		r.Call()
+	}()
+	b.mu.Unlock()
+}

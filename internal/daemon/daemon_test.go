@@ -11,6 +11,7 @@ import (
 
 	"mlight"
 	"mlight/internal/daemon"
+	"mlight/internal/dht/dhttest"
 )
 
 // startCluster boots n daemons: the first bootstraps, the rest join
@@ -64,6 +65,7 @@ func countSmoke(t *testing.T, q mlight.Querier) int {
 }
 
 func TestClusterInsertQueryDrain(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("real-socket daemon suite is not short")
 	}
@@ -118,6 +120,7 @@ func TestClusterInsertQueryDrain(t *testing.T) {
 }
 
 func TestDialSubstrates(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("real-socket daemon suite is not short")
 	}
@@ -160,6 +163,7 @@ func TestDialRejectsUnknownSubstrate(t *testing.T) {
 }
 
 func TestWALRestartRecoversShard(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("real-socket daemon suite is not short")
 	}

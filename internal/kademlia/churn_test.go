@@ -50,6 +50,7 @@ func newChurnOverlay(t *testing.T, wrap func(dht.DHT) dht.DHT) dhttest.Churner {
 // raw overlay: after a deterministic schedule of joins, leaves, crashes,
 // and restarts under an active workload, a full scan equals ground truth.
 func TestChurnSchedule(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
 		return newChurnOverlay(t, func(d dht.DHT) dht.DHT { return d })
 	})
@@ -59,6 +60,7 @@ func TestChurnSchedule(t *testing.T) {
 // stack an index deployment actually uses, so churn recovery is proven to
 // compose with retries and accounting.
 func TestChurnScheduleDecorated(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	dhttest.RunChurn(t, func(t *testing.T) dhttest.Churner {
 		return newChurnOverlay(t, func(d dht.DHT) dht.DHT {
 			return dht.NewResilient(dht.NewCounting(d, nil),

@@ -36,12 +36,14 @@ func oracleOwner(o *Overlay, key dht.Key) simnet.NodeID {
 }
 
 func TestConformance(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	dhttest.RunConformance(t, func(t *testing.T) dht.DHT {
 		return buildOverlay(t, 10)
 	})
 }
 
 func TestFaultTolerance(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	dhttest.RunFaultTolerance(t, func(t *testing.T) dht.DHT {
 		return buildOverlay(t, 10)
 	})

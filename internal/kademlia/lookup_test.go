@@ -161,6 +161,7 @@ func TestSerialParallelIdenticalAccounting(t *testing.T) {
 // TestLookupUnderLoss runs the shared dhttest conformance case: seeded link
 // loss, bounded retries, ≥90% resolution, zero terminal failures.
 func TestLookupUnderLoss(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	dhttest.RunLookupUnderLoss(t, func(t *testing.T, seed int64) (dht.DHT, func(float64)) {
 		net := simnet.New(simnet.Options{Seed: seed})
 		// Replication 3 is the paper's own answer to lossy links: the key
@@ -182,6 +183,7 @@ func TestLookupUnderLoss(t *testing.T) {
 // lossless and must fully succeed; phase two injects loss and only requires
 // the overlay to stay race-free and return classified errors.
 func TestConcurrentLookupStress(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	o := buildOverlayMode(t, 16, false)
 	const keys = 64
 	for i := 0; i < keys; i++ {

@@ -102,6 +102,7 @@ var tcpSubstrates = []struct {
 }
 
 func TestConformanceOverTCP(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("socket-backed conformance is not short")
 	}
@@ -115,6 +116,7 @@ func TestConformanceOverTCP(t *testing.T) {
 }
 
 func TestFaultToleranceOverTCP(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("socket-backed fault suite is not short")
 	}
@@ -132,6 +134,7 @@ func TestFaultToleranceOverTCP(t *testing.T) {
 // exactly as it does in-process: the decorators only see the dht.DHT
 // interface, so the transport underneath must be invisible to them.
 func TestDecoratedStackOverTCP(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("socket-backed stack suite is not short")
 	}
@@ -147,6 +150,7 @@ func TestDecoratedStackOverTCP(t *testing.T) {
 // concurrent increments of one counter key must all land, even though each
 // transform runs client-side and races its peers for the install.
 func TestRemoteApplyAtomicityOverTCP(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("socket-backed atomicity suite is not short")
 	}
@@ -192,6 +196,7 @@ func TestRemoteApplyAtomicityOverTCP(t *testing.T) {
 // TestByteDHTOverTCP sends opaque byte values through a socket-backed ring,
 // the shape a Dial-based client actually uses.
 func TestByteDHTOverTCP(t *testing.T) {
+	dhttest.VerifyNoLeaks(t)
 	if testing.Short() {
 		t.Skip("socket-backed wire suite is not short")
 	}

@@ -28,7 +28,10 @@ import (
 // ErrMalformed reports undecodable bytes.
 var ErrMalformed = errors.New("wire: malformed encoding")
 
-// AppendPoint appends the encoding of p to buf.
+// AppendPoint appends the encoding of p to buf. Allocation-free when buf
+// has capacity (the codec fast path — callers reuse scratch buffers).
+//
+//lint:hotpath
 func AppendPoint(buf []byte, p spatial.Point) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(p)))
 	for _, c := range p {
@@ -54,7 +57,10 @@ func DecodePoint(buf []byte) (spatial.Point, []byte, error) {
 	return p, buf[dims*8:], nil
 }
 
-// AppendRecord appends the encoding of r to buf.
+// AppendRecord appends the encoding of r to buf. Allocation-free when buf
+// has capacity (the codec fast path — callers reuse scratch buffers).
+//
+//lint:hotpath
 func AppendRecord(buf []byte, r spatial.Record) []byte {
 	buf = AppendPoint(buf, r.Key)
 	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
